@@ -1,0 +1,25 @@
+//! E2 bench: voxelisation and sparse-vs-dense accounting (Fig. 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemelb_bench::workloads::{self, Size};
+use hemelb::geometry::blocks::BlockDecomposition;
+use hemelb::geometry::VesselBuilder;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("voxelise_aneurysm_tiny", |b| {
+        b.iter(|| VesselBuilder::aneurysm(28.0, 4.0, 6.0).voxelise(1.0))
+    });
+    let geo = workloads::aneurysm(Size::Small);
+    g.bench_function("block_decomposition", |b| {
+        b.iter(|| BlockDecomposition::build(&geo, 8))
+    });
+    g.bench_function("storage_comparison", |b| {
+        b.iter(|| geo.storage_comparison(248))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

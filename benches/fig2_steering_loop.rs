@@ -1,0 +1,41 @@
+//! E3 bench: steering protocol costs and one full closed-loop frame
+//! round trip (Fig. 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemelb::steering::{ImageFrame, SteeringCommand};
+use hemelb_bench::workloads::Size;
+use hemelb_bench::fig2;
+use hemelb_parallel::Wire;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("command_encode_decode", |b| {
+        let cmd = SteeringCommand::SetCamera {
+            eye: [1.0, 2.0, 3.0],
+            target: [0.0; 3],
+            up: [0.0, 0.0, 1.0],
+            fov_y: 0.8,
+        };
+        b.iter(|| {
+            let bytes = cmd.to_bytes();
+            SteeringCommand::from_bytes(bytes).unwrap()
+        })
+    });
+    g.bench_function("image_frame_encode_128x96", |b| {
+        let frame = ImageFrame {
+            step: 0,
+            width: 128,
+            height: 96,
+            rgb: vec![127; 128 * 96 * 3],
+        };
+        b.iter(|| frame.to_bytes())
+    });
+    g.bench_function("closed_loop_frame_roundtrip_2ranks", |b| {
+        b.iter(|| fig2::run(Size::Tiny, &[(2, (32, 24))], 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

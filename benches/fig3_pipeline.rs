@@ -1,0 +1,18 @@
+//! E4 bench: the extract→filter→map→render pipeline, full vs
+//! octree-reduced (Fig. 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemelb_bench::fig3;
+use hemelb_bench::workloads::Size;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("pipeline_full_and_reduced", |b| {
+        b.iter(|| fig3::run(Size::Tiny, 3, (64, 48)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

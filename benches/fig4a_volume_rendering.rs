@@ -1,0 +1,78 @@
+//! E5 bench: ray casting and sort-last compositing (Fig. 4a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hemelb::insitu::camera::Camera;
+use hemelb::insitu::compositing::{binary_swap, direct_send};
+use hemelb::insitu::field::Scalar;
+use hemelb::insitu::transfer::TransferFunction;
+use hemelb::insitu::volume::{render_full, Brick, render_brick};
+use hemelb::geometry::Vec3;
+use hemelb::parallel::run_spmd;
+use hemelb_bench::workloads::{self, Size};
+
+fn bench(c: &mut Criterion) {
+    let geo = workloads::aneurysm(Size::Tiny);
+    let snap = workloads::developed_flow(&geo, 150);
+    let shape = geo.shape();
+    let cam = Camera::framing(
+        Vec3::ZERO,
+        Vec3::new(shape[0] as f64, shape[1] as f64, shape[2] as f64),
+        Vec3::new(0.15, -1.0, 0.25),
+        256,
+        192,
+    );
+    let tf = TransferFunction::heat(0.0, snap.max_speed().max(1e-9));
+
+    let mut g = c.benchmark_group("fig4a");
+    g.sample_size(10);
+    g.bench_function("ray_cast_256x192", |b| {
+        b.iter(|| render_full(&geo, &snap, Scalar::Speed, &cam, &tf, 0.5))
+    });
+    for p in [2usize, 4] {
+        let geo2 = geo.clone();
+        let snap2 = snap.clone();
+        let cam2 = cam;
+        let tf2 = tf.clone();
+        g.bench_with_input(BenchmarkId::new("binary_swap", p), &p, |b, &p| {
+            b.iter(|| {
+                let geo3 = geo2.clone();
+                let snap3 = snap2.clone();
+                let tf3 = tf2.clone();
+                run_spmd(p, move |comm| {
+                    let mine: Vec<u32> = (0..geo3.fluid_count() as u32)
+                        .filter(|&s| s as usize * p / geo3.fluid_count() == comm.rank())
+                        .collect();
+                    let partial = match Brick::from_sites(&geo3, &snap3, Scalar::Speed, &mine) {
+                        Some(br) => render_brick(&br, &cam2, &tf3, 0.5),
+                        None => hemelb::insitu::image::PartialImage::new(cam2.width, cam2.height),
+                    };
+                    binary_swap(comm, partial).unwrap()
+                })
+            })
+        });
+        let geo2 = geo.clone();
+        let snap2 = snap.clone();
+        let tf2 = tf.clone();
+        g.bench_with_input(BenchmarkId::new("direct_send", p), &p, |b, &p| {
+            b.iter(|| {
+                let geo3 = geo2.clone();
+                let snap3 = snap2.clone();
+                let tf3 = tf2.clone();
+                run_spmd(p, move |comm| {
+                    let mine: Vec<u32> = (0..geo3.fluid_count() as u32)
+                        .filter(|&s| s as usize * p / geo3.fluid_count() == comm.rank())
+                        .collect();
+                    let partial = match Brick::from_sites(&geo3, &snap3, Scalar::Speed, &mine) {
+                        Some(br) => render_brick(&br, &cam2, &tf3, 0.5),
+                        None => hemelb::insitu::image::PartialImage::new(cam2.width, cam2.height),
+                    };
+                    direct_send(comm, partial).unwrap()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E6 bench: streamline tracing, serial and distributed with hand-off
+//! (Fig. 4b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hemelb::insitu::field::SampledField;
+use hemelb::insitu::lines::{trace_distributed, trace_streamline, TraceConfig};
+use hemelb::parallel::run_spmd;
+use hemelb_bench::workloads::{self, Size};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let geo = workloads::aneurysm(Size::Tiny);
+    let snap = workloads::developed_flow(&geo, 150);
+    let seeds = Arc::new(workloads::inlet_seeds(&geo, 16));
+    let cfg = TraceConfig {
+        h: 0.5,
+        max_steps: 2000,
+        min_speed: 1e-9,
+    };
+
+    let mut g = c.benchmark_group("fig4b");
+    g.sample_size(10);
+    g.bench_function("serial_16_streamlines", |b| {
+        let field = SampledField::new(&geo, &snap);
+        b.iter(|| {
+            seeds
+                .iter()
+                .map(|&s| trace_streamline(&field, s, &cfg).len())
+                .sum::<usize>()
+        })
+    });
+    for p in [2usize, 4] {
+        let geo2 = geo.clone();
+        let snap2 = snap.clone();
+        let seeds2 = seeds.clone();
+        g.bench_with_input(BenchmarkId::new("distributed_handoff", p), &p, |b, &p| {
+            b.iter(|| {
+                let geo3 = geo2.clone();
+                let snap3 = snap2.clone();
+                let seeds3 = seeds2.clone();
+                run_spmd(p, move |comm| {
+                    let owner = workloads::slab_owner(&geo3, comm.size());
+                    let field = SampledField::new(&geo3, &snap3);
+                    trace_distributed(comm, &geo3, &field, &owner, &seeds3, &cfg)
+                        .unwrap()
+                        .1
+                        .steps_computed
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

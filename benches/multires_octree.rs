@@ -1,0 +1,39 @@
+//! E9 bench: octree construction, refresh, cuts and ROI queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hemelb::octree::roi::{Roi, RoiCut};
+use hemelb::octree::{FieldOctree, StreamOrder};
+use hemelb_bench::workloads::{self, Size};
+
+fn bench(c: &mut Criterion) {
+    let geo = workloads::aneurysm(Size::Small);
+    let snap = workloads::developed_flow(&geo, 100);
+    let speed: Vec<f64> = (0..snap.len()).map(|i| snap.speed(i)).collect();
+    let tree = FieldOctree::build(&geo, &speed);
+
+    let mut g = c.benchmark_group("octree");
+    g.sample_size(10);
+    g.bench_function("build", |b| b.iter(|| FieldOctree::build(&geo, &speed)));
+    g.bench_function("refresh", |b| {
+        let mut t = tree.clone();
+        b.iter(|| t.refresh(&geo, &speed))
+    });
+    for level in [1u8, 3, tree.depth()] {
+        g.bench_with_input(BenchmarkId::new("cut", level), &level, |b, &level| {
+            b.iter(|| tree.cut_at_level(level).len())
+        });
+    }
+    g.bench_function("stream_order", |b| b.iter(|| StreamOrder::build(&tree)));
+    let shape = geo.shape();
+    let roi = Roi {
+        lo: [shape[0] as u32 / 3, 0, shape[2] as u32 / 2],
+        hi: [2 * shape[0] as u32 / 3, shape[1] as u32, shape[2] as u32],
+    };
+    g.bench_function("roi_cut", |b| {
+        b.iter(|| RoiCut::build(&tree, roi, 2, tree.depth()).nodes.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E8 bench: distributed two-level geometry load across reading-core
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hemelb::geometry::distio::read_distributed;
+use hemelb::geometry::format::write_sgmy;
+use hemelb::parallel::run_spmd;
+use hemelb_bench::workloads::{self, Size};
+
+fn bench(c: &mut Criterion) {
+    let geo = workloads::aneurysm(Size::Tiny);
+    let mut buf = Vec::new();
+    write_sgmy(&geo, 8, &mut buf).unwrap();
+    let path = std::env::temp_dir().join(format!("bench_e8_{}.sgmy", std::process::id()));
+    std::fs::write(&path, &buf).unwrap();
+
+    let mut g = c.benchmark_group("preprocess");
+    g.sample_size(10);
+    for readers in [1usize, 2, 8] {
+        let path2 = path.clone();
+        g.bench_with_input(
+            BenchmarkId::new("read_distributed_8ranks", readers),
+            &readers,
+            |b, &readers| {
+                b.iter(|| {
+                    let path3 = path2.clone();
+                    run_spmd(8, move |comm| {
+                        read_distributed(&path3, comm, readers).unwrap().my_sites.len()
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

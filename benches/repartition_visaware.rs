@@ -1,0 +1,32 @@
+//! E10 bench: partitioners and the vis-aware multi-constraint rebalance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemelb::partition::graph::{Connectivity, SiteGraph};
+use hemelb::partition::visaware::{rebalance, synthetic_view_weights};
+use hemelb::partition::{HilbertSfc, MultilevelKWay, NaiveBlock, Partitioner, Rcb};
+use hemelb_bench::workloads::{self, Size};
+
+fn bench(c: &mut Criterion) {
+    let geo = workloads::aneurysm(Size::Tiny);
+    let graph = SiteGraph::from_geometry(&geo, Connectivity::D3Q15);
+
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(10);
+    g.bench_function("naive_8", |b| b.iter(|| NaiveBlock.partition(&graph, 8)));
+    g.bench_function("hilbert_8", |b| b.iter(|| HilbertSfc.partition(&graph, 8)));
+    g.bench_function("rcb_8", |b| b.iter(|| Rcb.partition(&graph, 8)));
+    g.bench_function("kway_8", |b| {
+        b.iter(|| MultilevelKWay::default().partition(&graph, 8))
+    });
+
+    let owner = MultilevelKWay::default().partition(&graph, 8);
+    let w2 = synthetic_view_weights(&graph, [1.0, 0.0, 0.0], 0.3);
+    let g2 = graph.clone().with_secondary_weights(w2);
+    g.bench_function("visaware_rebalance_8", |b| {
+        b.iter(|| rebalance(&g2, &owner, 8, 0.1, 30).moved_vertices)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E7 bench: the distributed LB time step across rank counts and
+//! partitioners — the core strong-scaling measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hemelb::core::{DistSolver, Solver, SolverConfig};
+use hemelb::parallel::run_spmd;
+use hemelb_bench::workloads::{self, Size};
+
+fn bench(c: &mut Criterion) {
+    let geo = workloads::aneurysm(Size::Tiny);
+    let sites = geo.fluid_count() as u64;
+
+    let mut g = c.benchmark_group("lb_step");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(sites));
+    g.bench_function("serial", |b| {
+        let mut solver = Solver::new(geo.clone(), SolverConfig::pressure_driven(1.01, 0.99));
+        b.iter(|| solver.step());
+    });
+    for p in [2usize, 4, 8] {
+        for (name, owner) in [
+            ("slab", workloads::slab_owner(&geo, p)),
+            ("kway", workloads::kway_owner(&geo, p)),
+        ] {
+            let geo2 = geo.clone();
+            g.bench_with_input(
+                BenchmarkId::new(format!("dist_{name}"), p),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        let geo3 = geo2.clone();
+                        let owner3 = owner.clone();
+                        // 10 steps per iteration amortise construction.
+                        run_spmd(p, move |comm| {
+                            let mut s = DistSolver::new(
+                                geo3.clone(),
+                                owner3.clone(),
+                                SolverConfig::pressure_driven(1.01, 0.99),
+                                comm,
+                            )
+                            .unwrap();
+                            s.step_n(10).unwrap();
+                        })
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

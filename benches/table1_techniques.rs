@@ -1,0 +1,49 @@
+//! E1 bench: one frame of each Table I technique on the same flow and
+//! decomposition (4 ranks, tiny aneurysm).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemelb_bench::workloads::{self, Size};
+use hemelb_insitu::report::{
+    measure_lic, measure_lines, measure_particles, measure_volume, TechniqueInputs,
+};
+use std::sync::Arc;
+
+fn inputs() -> TechniqueInputs {
+    let geo = workloads::aneurysm(Size::Tiny);
+    let snap = workloads::developed_flow(&geo, 150);
+    let owner = Arc::new(workloads::slab_owner(&geo, 4));
+    let seeds = Arc::new(workloads::inlet_seeds(&geo, 16));
+    TechniqueInputs {
+        lic_plane_z: workloads::find_axis_z(&geo),
+        trace: hemelb_insitu::lines::TraceConfig {
+            h: 1.0,
+            max_steps: 1500,
+            min_speed: 1e-8,
+        },
+        geo,
+        snap,
+        owner,
+        ranks: 4,
+        image: (96, 72),
+        seeds,
+        particle_steps: 100,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let inp = inputs();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("volume_rendering_frame", |b| {
+        b.iter(|| measure_volume(&inp))
+    });
+    g.bench_function("line_integrals_frame", |b| b.iter(|| measure_lines(&inp)));
+    g.bench_function("particle_tracing_run", |b| {
+        b.iter(|| measure_particles(&inp))
+    });
+    g.bench_function("lic_frame", |b| b.iter(|| measure_lic(&inp)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Experiment E3 — the paper's **Fig. 2**: the closed-loop system
+//! architecture with computational steering.
+//!
+//! The figure is an architecture diagram; its measurable content is the
+//! *round-trip* of the six-step in situ loop (client → master → vis
+//! component → image → master → client) — the latency that decides
+//! whether the loop is interactive. We run the real closed loop and
+//! time `RequestFrame → ImageFrame` round trips for a sweep of image
+//! sizes and rank counts.
+
+use crate::workloads::{self, Size};
+use hemelb_core::SolverConfig;
+use hemelb_parallel::run_spmd;
+use hemelb_steering::{
+    duplex_pair, run_closed_loop, ClosedLoopConfig, SteeringClient, SteeringCommand, Transport,
+};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// One configuration's measurements.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Ranks.
+    pub ranks: usize,
+    /// Image size.
+    pub image: (u32, u32),
+    /// Round-trip latencies of successive frame requests (seconds).
+    pub rtts: Vec<f64>,
+    /// Steering bytes shipped to the client.
+    pub steering_bytes: u64,
+    /// Frames rendered.
+    pub frames: u64,
+}
+
+impl Fig2Row {
+    /// Median round-trip time.
+    pub fn median_rtt(&self) -> f64 {
+        let mut v = self.rtts.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+}
+
+/// The sweep result.
+pub struct Fig2Result {
+    /// Rows.
+    pub rows: Vec<Fig2Row>,
+}
+
+/// Run E3: for each `(ranks, image)` configuration, run the closed loop
+/// and have a client issue `frames` frame requests.
+pub fn run(size: Size, configs: &[(usize, (u32, u32))], frames: usize) -> Fig2Result {
+    let geo = workloads::aneurysm(size);
+    let mut rows = Vec::new();
+    for &(ranks, image) in configs {
+        let (client_end, server_end) = duplex_pair();
+        let server_slot = Arc::new(Mutex::new(Some(
+            Box::new(server_end) as Box<dyn Transport>
+        )));
+        let geo2 = geo.clone();
+
+        let client_thread = std::thread::spawn(move || {
+            let client = SteeringClient::new(Box::new(client_end));
+            let mut rtts = Vec::with_capacity(frames);
+            for _ in 0..frames {
+                let (_, rtt) = client.request_frame().expect("frame round trip");
+                rtts.push(rtt.as_secs_f64());
+            }
+            client.send(&SteeringCommand::Terminate).ok();
+            // Drain trailing messages until the server closes.
+            while client.recv().is_ok() {}
+            rtts
+        });
+
+        let results = run_spmd(ranks, move |comm| {
+            let transport = if comm.is_master() {
+                server_slot.lock().take()
+            } else {
+                None
+            };
+            run_closed_loop(
+                geo2.clone(),
+                workloads::slab_owner(&geo2, comm.size()),
+                SolverConfig::pressure_driven(1.01, 0.99),
+                comm,
+                transport,
+                &ClosedLoopConfig {
+                    max_steps: u64::MAX / 2,
+                    image,
+                    initial_vis_rate: u32::MAX, // frames only on request
+                    steps_per_cycle: 5,
+                    vis_aware_repartition: false,
+                },
+            )
+            .unwrap()
+        });
+        let rtts = client_thread.join().expect("client thread");
+        rows.push(Fig2Row {
+            ranks,
+            image,
+            rtts,
+            steering_bytes: results[0].steering_bytes,
+            frames: results[0].frames_rendered,
+        });
+    }
+    Fig2Result { rows }
+}
+
+impl fmt::Display for Fig2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 2 (measured): closed-loop steering round trip (client→master→vis→image→client)"
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>10} {:>12} {:>14} {:>12}",
+            "ranks", "image", "median RTT", "steering sent", "frames"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6} {:>4}x{:<5} {:>10.2} ms {:>14} {:>12}",
+                r.ranks,
+                r.image.0,
+                r.image.1,
+                r.median_rtt() * 1e3,
+                workloads::fmt_bytes(r.steering_bytes),
+                r.frames,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_round_trips_complete() {
+        let result = run(Size::Tiny, &[(2, (32, 24))], 3);
+        let row = &result.rows[0];
+        assert_eq!(row.rtts.len(), 3);
+        assert!(row.frames >= 3);
+        assert!(row.steering_bytes > 3 * 32 * 24 * 3, "three RGB frames shipped");
+        assert!(row.median_rtt() < 60.0, "interactive on any machine");
+    }
+}

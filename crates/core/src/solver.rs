@@ -1,0 +1,608 @@
+//! The serial sparse-geometry LB solver (reference implementation).
+//!
+//! One time step is collide → stream (pull) with local boundary rules on
+//! missing links. The distributed solver in [`crate::dist`] reproduces
+//! this bit-for-bit; tests assert the equality.
+
+use crate::boundary::{pressure_anti_bounce_back, velocity_bounce_back, wall_bounce_back, IoletBc};
+use crate::collision::{collide, CollisionKind};
+use crate::equilibrium::{feq_all, pi_neq, shear_rate_magnitude};
+use crate::fields::FieldSnapshot;
+use crate::model::LatticeModel;
+use hemelb_geometry::{SiteKind, SparseGeometry};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which velocity set to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// 15-velocity set (HemeLB's default).
+    D3Q15,
+    /// 19-velocity set.
+    D3Q19,
+}
+
+impl ModelKind {
+    /// Instantiate the velocity set.
+    pub fn build(self) -> LatticeModel {
+        match self {
+            ModelKind::D3Q15 => LatticeModel::d3q15(),
+            ModelKind::D3Q19 => LatticeModel::d3q19(),
+        }
+    }
+}
+
+/// Solver parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Velocity set.
+    pub model: ModelKind,
+    /// BGK relaxation time (also the even relaxation time of TRT).
+    pub tau: f64,
+    /// Collision operator.
+    pub collision: CollisionKind,
+    /// Boundary prescriptions for inlets, indexed by inlet id (the last
+    /// entry is reused for any higher id).
+    pub inlet_bcs: Vec<IoletBc>,
+    /// Boundary prescriptions for outlets, indexed likewise.
+    pub outlet_bcs: Vec<IoletBc>,
+}
+
+impl SolverConfig {
+    /// Pressure-driven flow: fixed density at the inlet(s) and outlet(s).
+    pub fn pressure_driven(rho_in: f64, rho_out: f64) -> Self {
+        SolverConfig {
+            model: ModelKind::D3Q15,
+            tau: 0.8,
+            collision: CollisionKind::Bgk,
+            inlet_bcs: vec![IoletBc::Pressure { rho: rho_in }],
+            outlet_bcs: vec![IoletBc::Pressure { rho: rho_out }],
+        }
+    }
+
+    /// Parabolic velocity inlet with peak `u_peak`, pressure outlet at
+    /// the reference density.
+    pub fn velocity_driven(u_peak: f64) -> Self {
+        SolverConfig {
+            model: ModelKind::D3Q15,
+            tau: 0.8,
+            collision: CollisionKind::Bgk,
+            inlet_bcs: vec![IoletBc::Velocity {
+                peak: u_peak,
+                parabolic: true,
+            }],
+            outlet_bcs: vec![IoletBc::Pressure { rho: 1.0 }],
+        }
+    }
+
+    /// Override the relaxation time.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        assert!(tau > 0.5, "tau must exceed 1/2");
+        self.tau = tau;
+        self
+    }
+
+    /// Override the velocity set.
+    pub fn with_model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Override the collision operator.
+    pub fn with_collision(mut self, collision: CollisionKind) -> Self {
+        self.collision = collision;
+        self
+    }
+
+    /// Lattice kinematic viscosity `cs²(τ−½)`.
+    pub fn viscosity(&self) -> f64 {
+        crate::CS2 * (self.tau - 0.5)
+    }
+
+    /// The BC for inlet `id` (last entry reused beyond the list).
+    pub fn inlet_bc(&self, id: u16) -> IoletBc {
+        let idx = (id as usize).min(self.inlet_bcs.len().saturating_sub(1));
+        self.inlet_bcs[idx]
+    }
+
+    /// The BC for outlet `id`.
+    pub fn outlet_bc(&self, id: u16) -> IoletBc {
+        let idx = (id as usize).min(self.outlet_bcs.len().saturating_sub(1));
+        self.outlet_bcs[idx]
+    }
+}
+
+/// Sentinel in the pull table marking a missing (boundary) link.
+pub(crate) const LINK_BOUNDARY: u32 = u32::MAX;
+
+/// Build the pull-streaming source table: `table[s*q + i]` is the fluid
+/// site found at `pos(s) − c_i`, or [`LINK_BOUNDARY`].
+pub(crate) fn build_pull_table(geo: &SparseGeometry, model: &LatticeModel) -> Vec<u32> {
+    let n = geo.fluid_count();
+    let q = model.q;
+    let mut table = vec![LINK_BOUNDARY; n * q];
+    for s in 0..n as u32 {
+        let [x, y, z] = geo.position(s);
+        for i in 0..q {
+            let c = model.c[i];
+            let src = geo.site_at(
+                x as i64 - c[0] as i64,
+                y as i64 - c[1] as i64,
+                z as i64 - c[2] as i64,
+            );
+            if let Some(src) = src {
+                table[s as usize * q + i] = src;
+            }
+        }
+    }
+    table
+}
+
+/// Per-site precomputed boundary velocity for velocity iolets (zero for
+/// everything else), evaluated once at construction.
+pub(crate) fn precompute_bc_velocities(geo: &SparseGeometry, cfg: &SolverConfig) -> Vec<[f64; 3]> {
+    let inlets = geo.inlets();
+    let outlets = geo.outlets();
+    (0..geo.fluid_count() as u32)
+        .map(|s| match geo.kind(s) {
+            SiteKind::Inlet(id) => {
+                let io = inlets[(id as usize).min(inlets.len() - 1)];
+                cfg.inlet_bc(id).velocity_at(io, geo.position_v(s))
+            }
+            SiteKind::Outlet(id) => {
+                let io = outlets[(id as usize).min(outlets.len() - 1)];
+                cfg.outlet_bc(id).velocity_at(io, geo.position_v(s))
+            }
+            _ => [0.0; 3],
+        })
+        .collect()
+}
+
+/// Apply the boundary rule for the missing link `(s, i)`.
+///
+/// `f_star_opp` is the site's own post-collision opposite population,
+/// `rho_u` the site's pre-collision moments this step.
+#[inline]
+pub(crate) fn boundary_rule(
+    model: &LatticeModel,
+    cfg: &SolverConfig,
+    kind: SiteKind,
+    bc_velocity: [f64; 3],
+    i: usize,
+    f_star_opp: f64,
+    rho_u: (f64, [f64; 3]),
+    step: u64,
+) -> f64 {
+    let apply = |bc: IoletBc| -> f64 {
+        match bc {
+            IoletBc::Velocity { .. } | IoletBc::Pulsatile { .. } => {
+                let k = bc.pulse_factor(step);
+                let u = [bc_velocity[0] * k, bc_velocity[1] * k, bc_velocity[2] * k];
+                velocity_bounce_back(model, i, u, f_star_opp)
+            }
+            IoletBc::Pressure { rho } => {
+                pressure_anti_bounce_back(model, i, rho, rho_u.1, f_star_opp)
+            }
+        }
+    };
+    match kind {
+        SiteKind::Bulk | SiteKind::Wall => wall_bounce_back(f_star_opp),
+        SiteKind::Inlet(id) => apply(cfg.inlet_bc(id)),
+        SiteKind::Outlet(id) => apply(cfg.outlet_bc(id)),
+    }
+}
+
+/// The serial solver.
+pub struct Solver {
+    geo: Arc<SparseGeometry>,
+    cfg: SolverConfig,
+    model: LatticeModel,
+    /// Current distributions, site-major `[site][direction]`.
+    f: Vec<f64>,
+    /// Double buffer for streaming.
+    f_next: Vec<f64>,
+    /// Pull table.
+    pull: Vec<u32>,
+    /// Pre-collision moments of the current step, per site.
+    moments: Vec<(f64, [f64; 3])>,
+    /// Precomputed iolet velocities.
+    bc_velocity: Vec<[f64; 3]>,
+    /// MRT operator when `cfg.collision` is [`CollisionKind::Mrt`].
+    mrt: Option<crate::mrt::MrtOperator>,
+    /// Completed time steps.
+    step: u64,
+}
+
+impl Solver {
+    /// Initialise at rest (`ρ = 1`, `u = 0`) on the given geometry.
+    pub fn new(geo: Arc<SparseGeometry>, cfg: SolverConfig) -> Self {
+        let model = cfg.model.build();
+        let n = geo.fluid_count();
+        let q = model.q;
+        let mut f = vec![0.0; n * q];
+        for s in 0..n {
+            feq_all(&model, 1.0, [0.0; 3], &mut f[s * q..(s + 1) * q]);
+        }
+        let pull = build_pull_table(&geo, &model);
+        let bc_velocity = precompute_bc_velocities(&geo, &cfg);
+        let mrt = match cfg.collision {
+            CollisionKind::Mrt { omega_ghost } => {
+                Some(crate::mrt::MrtOperator::new(&model, omega_ghost))
+            }
+            _ => None,
+        };
+        Solver {
+            f_next: f.clone(),
+            moments: vec![(1.0, [0.0; 3]); n],
+            f,
+            pull,
+            bc_velocity,
+            mrt,
+            geo,
+            cfg,
+            model,
+            step: 0,
+        }
+    }
+
+    /// The geometry this solver runs on.
+    pub fn geometry(&self) -> &Arc<SparseGeometry> {
+        &self.geo
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.cfg
+    }
+
+    /// The velocity set.
+    pub fn model(&self) -> &LatticeModel {
+        &self.model
+    }
+
+    /// Completed steps.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Replace the BC of inlet `id` at runtime (computational steering:
+    /// "not only simulation parameters … can be further modified").
+    /// Precomputed boundary velocities are refreshed.
+    pub fn set_inlet_bc(&mut self, id: usize, bc: crate::boundary::IoletBc) {
+        if id >= self.cfg.inlet_bcs.len() {
+            self.cfg.inlet_bcs.resize(id + 1, bc);
+        }
+        self.cfg.inlet_bcs[id] = bc;
+        self.bc_velocity = precompute_bc_velocities(&self.geo, &self.cfg);
+    }
+
+    /// Replace the BC of outlet `id` at runtime.
+    pub fn set_outlet_bc(&mut self, id: usize, bc: crate::boundary::IoletBc) {
+        if id >= self.cfg.outlet_bcs.len() {
+            self.cfg.outlet_bcs.resize(id + 1, bc);
+        }
+        self.cfg.outlet_bcs[id] = bc;
+        self.bc_velocity = precompute_bc_velocities(&self.geo, &self.cfg);
+    }
+
+    /// Advance one time step (collide + stream).
+    pub fn step(&mut self) {
+        let n = self.geo.fluid_count();
+        let q = self.model.q;
+        let mut scratch = vec![0.0; q];
+
+        // Collide in place: f becomes f*.
+        for s in 0..n {
+            let fs = &mut self.f[s * q..(s + 1) * q];
+            self.moments[s] = match &mut self.mrt {
+                Some(op) => op.collide(&self.model, self.cfg.tau, fs),
+                None => collide(&self.model, self.cfg.collision, self.cfg.tau, fs, &mut scratch),
+            };
+        }
+
+        // Stream (pull) with boundary rules on missing links.
+        for s in 0..n {
+            let kind = self.geo.kind(s as u32);
+            for i in 0..q {
+                let src = self.pull[s * q + i];
+                self.f_next[s * q + i] = if src != LINK_BOUNDARY {
+                    self.f[src as usize * q + i]
+                } else {
+                    boundary_rule(
+                        &self.model,
+                        &self.cfg,
+                        kind,
+                        self.bc_velocity[s],
+                        i,
+                        self.f[s * q + self.model.opp[i]],
+                        self.moments[s],
+                        self.step,
+                    )
+                };
+            }
+        }
+        std::mem::swap(&mut self.f, &mut self.f_next);
+        self.step += 1;
+    }
+
+    /// Advance `count` steps.
+    pub fn step_n(&mut self, count: u64) {
+        for _ in 0..count {
+            self.step();
+        }
+    }
+
+    /// Macroscopic snapshot of the current state.
+    pub fn snapshot(&self) -> FieldSnapshot {
+        let n = self.geo.fluid_count();
+        let q = self.model.q;
+        let mut rho = Vec::with_capacity(n);
+        let mut u = Vec::with_capacity(n);
+        let mut shear = Vec::with_capacity(n);
+        for s in 0..n {
+            let fs = &self.f[s * q..(s + 1) * q];
+            let (r, v) = crate::equilibrium::moments(&self.model, fs);
+            let pi = pi_neq(&self.model, fs, r, v);
+            rho.push(r);
+            u.push(v);
+            shear.push(shear_rate_magnitude(pi, r, self.cfg.tau));
+        }
+        FieldSnapshot {
+            step: self.step,
+            rho,
+            u,
+            shear,
+        }
+    }
+
+    /// Total mass `Σ_s Σ_i f_si` (conserved by interior dynamics; open
+    /// boundaries exchange mass by design).
+    pub fn mass(&self) -> f64 {
+        self.f.iter().sum()
+    }
+
+    /// Raw distributions of one site (for tests and the distributed
+    /// equality check).
+    pub fn distributions(&self, site: u32) -> &[f64] {
+        let q = self.model.q;
+        &self.f[site as usize * q..(site as usize + 1) * q]
+    }
+
+    /// The whole distribution array, site-major (checkpointing).
+    pub fn raw_distributions(&self) -> &[f64] {
+        &self.f
+    }
+
+    /// Overwrite the dynamical state (checkpoint restore).
+    ///
+    /// # Panics
+    /// Panics if the array length does not match `sites × q`.
+    pub(crate) fn install_state(&mut self, step: u64, f: Vec<f64>) {
+        assert_eq!(f.len(), self.f.len());
+        self.f = f;
+        self.step = step;
+    }
+
+    /// Run until the RMS velocity change over `check_every` steps drops
+    /// below `tol`, or `max_steps` elapse. Returns (converged, steps
+    /// taken, final RMS change).
+    pub fn run_to_steady_state(
+        &mut self,
+        tol: f64,
+        check_every: u64,
+        max_steps: u64,
+    ) -> (bool, u64, f64) {
+        let start = self.step;
+        let mut prev = self.snapshot();
+        loop {
+            self.step_n(check_every);
+            let now = self.snapshot();
+            let change = now.velocity_rms_change(&prev) / check_every as f64;
+            if change < tol {
+                return (true, self.step - start, change);
+            }
+            if self.step - start >= max_steps {
+                return (false, self.step - start, change);
+            }
+            prev = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemelb_geometry::VesselBuilder;
+
+    fn tube_solver(cfg: SolverConfig) -> Solver {
+        let geo = VesselBuilder::straight_tube(20.0, 4.0).voxelise(1.0);
+        Solver::new(Arc::new(geo), cfg)
+    }
+
+    #[test]
+    fn equilibrium_rest_state_is_stationary_in_closed_interior() {
+        // With equal inlet/outlet pressure at the reference density the
+        // rest state is an exact fixed point.
+        let mut s = tube_solver(SolverConfig::pressure_driven(1.0, 1.0));
+        let before = s.snapshot();
+        s.step_n(5);
+        let after = s.snapshot();
+        assert!(after.velocity_rms_change(&before) < 1e-14);
+        assert!((after.mass() - before.mass()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pressure_gradient_drives_flow_toward_outlet() {
+        let mut s = tube_solver(SolverConfig::pressure_driven(1.01, 0.99));
+        s.step_n(200);
+        let snap = s.snapshot();
+        // Mean x-velocity must be positive (inlet at x=0).
+        let mean_ux: f64 = snap.u.iter().map(|u| u[0]).sum::<f64>() / snap.len() as f64;
+        assert!(mean_ux > 1e-4, "flow should develop, got {mean_ux}");
+        assert!(snap.validity_report().is_empty(), "{:?}", snap.validity_report());
+    }
+
+    #[test]
+    fn velocity_inlet_drives_flow() {
+        let mut s = tube_solver(SolverConfig::velocity_driven(0.05));
+        s.step_n(300);
+        let snap = s.snapshot();
+        let mean_ux: f64 = snap.u.iter().map(|u| u[0]).sum::<f64>() / snap.len() as f64;
+        assert!(mean_ux > 1e-3, "{mean_ux}");
+        assert!(snap.max_speed() < 0.2);
+    }
+
+    #[test]
+    fn d3q19_also_develops_flow() {
+        let cfg = SolverConfig::pressure_driven(1.01, 0.99).with_model(ModelKind::D3Q19);
+        let mut s = tube_solver(cfg);
+        s.step_n(150);
+        let snap = s.snapshot();
+        let mean_ux: f64 = snap.u.iter().map(|u| u[0]).sum::<f64>() / snap.len() as f64;
+        assert!(mean_ux > 1e-4);
+    }
+
+    #[test]
+    fn trt_matches_flow_direction_of_bgk() {
+        let cfg = SolverConfig::pressure_driven(1.01, 0.99)
+            .with_collision(CollisionKind::trt_magic());
+        let mut s = tube_solver(cfg);
+        s.step_n(150);
+        let snap = s.snapshot();
+        let mean_ux: f64 = snap.u.iter().map(|u| u[0]).sum::<f64>() / snap.len() as f64;
+        assert!(mean_ux > 1e-4);
+        assert!(snap.validity_report().is_empty());
+    }
+
+    #[test]
+    fn steady_state_detection_terminates() {
+        let mut s = tube_solver(SolverConfig::pressure_driven(1.002, 0.998));
+        let (converged, steps, residual) = s.run_to_steady_state(1e-8, 50, 5000);
+        assert!(converged, "residual {residual} after {steps}");
+        // Flow is steady: a further 50 steps change almost nothing.
+        let a = s.snapshot();
+        s.step_n(50);
+        let b = s.snapshot();
+        assert!(b.velocity_rms_change(&a) / 50.0 < 1e-7);
+    }
+
+    #[test]
+    fn poiseuille_profile_in_steady_tube() {
+        // Pressure-driven laminar flow in a circular tube: the steady
+        // axial velocity is u(r) = u_max (1 − r²/R²). Staircase walls at
+        // this resolution justify a generous tolerance; what must hold is
+        // the parabolic *shape* (high correlation) and peak location on
+        // the axis.
+        let geo = VesselBuilder::straight_tube(24.0, 5.0).voxelise(1.0);
+        let geo = Arc::new(geo);
+        let mut s = Solver::new(
+            geo.clone(),
+            SolverConfig::pressure_driven(1.004, 0.996).with_tau(0.9),
+        );
+        s.run_to_steady_state(1e-9, 100, 20_000);
+        let snap = s.snapshot();
+
+        // Collect (r², ux) for mid-tube sites.
+        let shape = geo.shape();
+        let cy = (shape[1] as f64 - 1.0) / 2.0;
+        let cz = (shape[2] as f64 - 1.0) / 2.0;
+        let x_mid = shape[0] as u32 / 2;
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        for i in 0..geo.fluid_count() as u32 {
+            let [x, y, z] = geo.position(i);
+            if x == x_mid {
+                let r2 = (y as f64 - cy).powi(2) + (z as f64 - cz).powi(2);
+                pts.push((r2, snap.u[i as usize][0]));
+            }
+        }
+        assert!(pts.len() > 20, "need a cross-section");
+
+        // Linear regression ux = a + b r² must fit well with b < 0.
+        let n = pts.len() as f64;
+        let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxy: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        let sxx: f64 = pts.iter().map(|p| (p.0 - mx).powi(2)).sum();
+        let syy: f64 = pts.iter().map(|p| (p.1 - my).powi(2)).sum();
+        let b = sxy / sxx;
+        let r = sxy / (sxx * syy).sqrt();
+        assert!(b < 0.0, "velocity must decrease with r²");
+        assert!(
+            r < -0.97,
+            "profile must be near-parabolic in r²; correlation {r}"
+        );
+
+        // Peak at the axis ≈ intercept a; compare against max measured.
+        let a = my - b * mx;
+        let u_max = pts.iter().map(|p| p.1).fold(0.0, f64::max);
+        assert!((a - u_max).abs() / u_max < 0.2, "a={a}, u_max={u_max}");
+    }
+
+    #[test]
+    fn pulsatile_inlet_produces_oscillating_flow() {
+        use crate::boundary::IoletBc;
+        let period = 120u64;
+        let cfg = SolverConfig {
+            model: ModelKind::D3Q15,
+            tau: 0.8,
+            collision: CollisionKind::Bgk,
+            inlet_bcs: vec![IoletBc::Pulsatile {
+                peak: 0.04,
+                parabolic: true,
+                amplitude: 0.8,
+                period,
+            }],
+            outlet_bcs: vec![IoletBc::Pressure { rho: 1.0 }],
+        };
+        let mut s = tube_solver(cfg);
+        // Skip the initial transient, then record mean inflow speed over
+        // one full cycle.
+        s.step_n(2 * period);
+        let mut series = Vec::new();
+        for _ in 0..period {
+            s.step();
+            let snap = s.snapshot();
+            let mean_ux: f64 =
+                snap.u.iter().map(|u| u[0]).sum::<f64>() / snap.len() as f64;
+            series.push(mean_ux);
+        }
+        let max = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        assert!(mean > 1e-4, "net forward flow: {mean}");
+        assert!(
+            (max - min) > mean * 0.5,
+            "pulsation visible: min={min}, max={max}, mean={mean}"
+        );
+        // The oscillation period matches the prescribed cycle: the
+        // crest and the trough are roughly half a period apart.
+        let i_max = series
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0 as i64;
+        let i_min = series
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0 as i64;
+        let gap = (i_max - i_min).rem_euclid(period as i64);
+        let half = period as i64 / 2;
+        assert!(
+            (gap - half).abs() < period as i64 / 4,
+            "crest/trough separation {gap} should be near {half}"
+        );
+    }
+
+    #[test]
+    fn mass_bounded_in_driven_flow() {
+        let mut s = tube_solver(SolverConfig::pressure_driven(1.01, 0.99));
+        let m0 = s.mass();
+        s.step_n(500);
+        let m1 = s.mass();
+        // Open boundaries exchange mass but the state stays bounded.
+        assert!((m1 - m0).abs() / m0 < 0.05, "m0={m0}, m1={m1}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # hemelb-geometry
+//!
+//! Synthetic vascular geometry for the sparse lattice-Boltzmann solver:
+//! parametric vessel primitives (straight tubes, bends, bifurcations,
+//! saccular aneurysms) combined through signed-distance functions, a
+//! voxeliser that classifies lattice sites, and HemeLB's *two-level*
+//! sparse block geometry format together with the "subset of reading
+//! cores" distributed loader the paper describes in §IV-B.
+//!
+//! The original HemeLB operates on patient-specific geometries segmented
+//! from medical scans — data we do not have. The parametric aneurysm
+//! built here (see [`vessels`]) exercises the identical code paths: a
+//! sparse fluid domain (a few percent to ~20 % of its bounding box),
+//! wall-adjacent sites everywhere, and pressure inlets/outlets capping
+//! open vessel ends (substitution documented in `DESIGN.md`).
+//!
+//! ```
+//! use hemelb_geometry::vessels::VesselBuilder;
+//!
+//! // A small aneurysm geometry: a tube with a spherical sac on its side.
+//! let geo = VesselBuilder::aneurysm(24.0, 6.0, 8.0).voxelise(1.0);
+//! assert!(geo.fluid_count() > 0);
+//! // Sparse: far fewer fluid sites than bounding-box cells.
+//! let box_cells = geo.shape().iter().product::<usize>();
+//! assert!(geo.fluid_count() < box_cells);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod distio;
+pub mod format;
+pub mod lattice;
+pub mod sdf;
+pub mod vec3;
+pub mod vessels;
+pub mod voxel;
+
+pub use lattice::{IoLet, IoLetKind, SiteKind, SparseGeometry};
+pub use sdf::Sdf;
+pub use vec3::Vec3;
+pub use vessels::VesselBuilder;

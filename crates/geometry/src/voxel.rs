@@ -1,0 +1,298 @@
+//! Voxelisation: sample a signed-distance vessel onto the sparse lattice.
+//!
+//! Cells whose centre lies inside the lumen *and* inside every
+//! inlet/outlet half-space become fluid sites. Sites within one cell of
+//! an open-end plane are classified as inlet/outlet sites; remaining
+//! fluid sites with a non-fluid 26-neighbour are wall sites; the rest are
+//! bulk.
+
+use crate::lattice::{IoLet, IoLetKind, SiteKind, SparseGeometry, NOT_FLUID};
+use crate::sdf::Sdf;
+use crate::vec3::Vec3;
+
+/// Input to the voxeliser: the lumen shape plus open-end disks.
+pub struct VoxelInput<'a> {
+    /// Lumen signed-distance function (negative inside).
+    pub lumen: &'a dyn Sdf,
+    /// Open boundaries. Normals must point *out* of the fluid domain;
+    /// fluid only exists on the `(p - centre)·normal <= 0` side.
+    pub iolets: Vec<IoLet>,
+    /// Bounding box minimum corner in world units.
+    pub lo: Vec3,
+    /// Bounding box maximum corner in world units.
+    pub hi: Vec3,
+}
+
+/// Voxelise at the given lattice spacing `dx` (world units per cell).
+///
+/// Geometry coordinates in the result are *lattice* units: cell `(x,y,z)`
+/// has its centre at `lo + (x+0.5, y+0.5, z+0.5)·dx` in world units.
+pub fn voxelise(input: &VoxelInput<'_>, dx: f64) -> SparseGeometry {
+    assert!(dx > 0.0, "lattice spacing must be positive");
+    let extent = input.hi - input.lo;
+    let shape = [
+        (extent.x / dx).ceil().max(1.0) as usize,
+        (extent.y / dx).ceil().max(1.0) as usize,
+        (extent.z / dx).ceil().max(1.0) as usize,
+    ];
+
+    let world_of = |x: usize, y: usize, z: usize| -> Vec3 {
+        input.lo
+            + Vec3::new(
+                (x as f64 + 0.5) * dx,
+                (y as f64 + 0.5) * dx,
+                (z as f64 + 0.5) * dx,
+            )
+    };
+
+    let in_fluid = |p: Vec3| -> bool {
+        if !input.lumen.contains(p) {
+            return false;
+        }
+        input
+            .iolets
+            .iter()
+            .all(|io| (p - io.centre).dot(io.normal) <= 0.0)
+    };
+
+    // Pass 1: mark fluid cells.
+    let ncells = shape[0] * shape[1] * shape[2];
+    let mut fluid = vec![false; ncells];
+    let off = |x: usize, y: usize, z: usize| (x * shape[1] + y) * shape[2] + z;
+    for x in 0..shape[0] {
+        for y in 0..shape[1] {
+            for z in 0..shape[2] {
+                fluid[off(x, y, z)] = in_fluid(world_of(x, y, z));
+            }
+        }
+    }
+
+    // Pass 2: index fluid cells and classify.
+    let mut index = vec![NOT_FLUID; ncells];
+    let mut positions = Vec::new();
+    let mut kinds = Vec::new();
+    let is_fluid_cell = |x: i64, y: i64, z: i64| -> bool {
+        if x < 0
+            || y < 0
+            || z < 0
+            || x as usize >= shape[0]
+            || y as usize >= shape[1]
+            || z as usize >= shape[2]
+        {
+            return false;
+        }
+        fluid[off(x as usize, y as usize, z as usize)]
+    };
+
+    for x in 0..shape[0] {
+        for y in 0..shape[1] {
+            for z in 0..shape[2] {
+                if !fluid[off(x, y, z)] {
+                    continue;
+                }
+                let id = positions.len() as u32;
+                index[off(x, y, z)] = id;
+                positions.push([x as u32, y as u32, z as u32]);
+
+                let p = world_of(x, y, z);
+                let kind = classify(p, dx, &input.iolets, || {
+                    let (xi, yi, zi) = (x as i64, y as i64, z as i64);
+                    let mut has_solid_neighbour = false;
+                    'scan: for ddx in -1..=1i64 {
+                        for ddy in -1..=1i64 {
+                            for ddz in -1..=1i64 {
+                                if ddx == 0 && ddy == 0 && ddz == 0 {
+                                    continue;
+                                }
+                                if !is_fluid_cell(xi + ddx, yi + ddy, zi + ddz) {
+                                    has_solid_neighbour = true;
+                                    break 'scan;
+                                }
+                            }
+                        }
+                    }
+                    has_solid_neighbour
+                });
+                kinds.push(kind);
+            }
+        }
+    }
+
+    // Geometry iolets are stored in lattice units for downstream use.
+    let lattice_iolets: Vec<IoLet> = input
+        .iolets
+        .iter()
+        .map(|io| IoLet {
+            kind: io.kind,
+            centre: (io.centre - input.lo) / dx - Vec3::splat(0.5),
+            normal: io.normal,
+            radius: io.radius / dx,
+        })
+        .collect();
+
+    SparseGeometry::from_parts(shape, index, positions, kinds, lattice_iolets)
+}
+
+/// Classify one fluid cell: iolet slab membership wins, then wall
+/// adjacency (computed lazily), then bulk.
+fn classify(
+    p: Vec3,
+    dx: f64,
+    iolets: &[IoLet],
+    has_solid_neighbour: impl FnOnce() -> bool,
+) -> SiteKind {
+    let mut inlet_id = 0u16;
+    let mut outlet_id = 0u16;
+    for io in iolets {
+        let along = (p - io.centre).dot(io.normal);
+        // Fluid exists at along <= 0; the slab is the last cell layer
+        // before the plane.
+        if along > -dx && along <= 0.0 {
+            return match io.kind {
+                IoLetKind::Inlet => SiteKind::Inlet(inlet_id),
+                IoLetKind::Outlet => SiteKind::Outlet(outlet_id),
+            };
+        }
+        match io.kind {
+            IoLetKind::Inlet => inlet_id += 1,
+            IoLetKind::Outlet => outlet_id += 1,
+        }
+    }
+    if has_solid_neighbour() {
+        SiteKind::Wall
+    } else {
+        SiteKind::Bulk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sdf::Capsule;
+
+    fn straight_tube_input(len: f64, radius: f64) -> (Capsule, Vec<IoLet>, Vec3, Vec3) {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(len, 0.0, 0.0);
+        let tube = Capsule::tube(a, b, radius);
+        let iolets = vec![
+            IoLet {
+                kind: IoLetKind::Inlet,
+                centre: a + Vec3::new(1.0, 0.0, 0.0),
+                normal: Vec3::new(-1.0, 0.0, 0.0),
+                radius,
+            },
+            IoLet {
+                kind: IoLetKind::Outlet,
+                centre: b - Vec3::new(1.0, 0.0, 0.0),
+                normal: Vec3::new(1.0, 0.0, 0.0),
+                radius,
+            },
+        ];
+        let lo = Vec3::new(0.0, -radius - 2.0, -radius - 2.0);
+        let hi = Vec3::new(len, radius + 2.0, radius + 2.0);
+        (tube, iolets, lo, hi)
+    }
+
+    #[test]
+    fn tube_voxelisation_has_all_site_kinds() {
+        let (tube, iolets, lo, hi) = straight_tube_input(20.0, 4.0);
+        let geo = voxelise(
+            &VoxelInput {
+                lumen: &tube,
+                iolets,
+                lo,
+                hi,
+            },
+            1.0,
+        );
+        let (bulk, wall, inlet, outlet) = geo.kind_census();
+        assert!(bulk > 0, "expected bulk sites");
+        assert!(wall > 0, "expected wall sites");
+        assert!(inlet > 0, "expected inlet sites");
+        assert!(outlet > 0, "expected outlet sites");
+        // A tube in a square box is roughly π r² / (2r+4)² of the box.
+        assert!(geo.fluid_fraction() > 0.1 && geo.fluid_fraction() < 0.7);
+    }
+
+    #[test]
+    fn refining_dx_scales_site_count_cubically() {
+        let (tube, iolets, lo, hi) = straight_tube_input(16.0, 4.0);
+        let coarse = voxelise(
+            &VoxelInput {
+                lumen: &tube,
+                iolets: iolets.clone(),
+                lo,
+                hi,
+            },
+            1.0,
+        );
+        let fine = voxelise(
+            &VoxelInput {
+                lumen: &tube,
+                iolets,
+                lo,
+                hi,
+            },
+            0.5,
+        );
+        let ratio = fine.fluid_count() as f64 / coarse.fluid_count() as f64;
+        assert!(
+            (4.0..=16.0).contains(&ratio),
+            "halving dx should multiply sites by ~8, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn index_grid_matches_positions() {
+        let (tube, iolets, lo, hi) = straight_tube_input(12.0, 3.0);
+        let geo = voxelise(
+            &VoxelInput {
+                lumen: &tube,
+                iolets,
+                lo,
+                hi,
+            },
+            1.0,
+        );
+        for i in 0..geo.fluid_count() as u32 {
+            let [x, y, z] = geo.position(i);
+            assert_eq!(geo.site_at(x as i64, y as i64, z as i64), Some(i));
+        }
+    }
+
+    #[test]
+    fn interior_of_tube_is_bulk() {
+        let (tube, iolets, lo, hi) = straight_tube_input(20.0, 5.0);
+        let geo = voxelise(
+            &VoxelInput {
+                lumen: &tube,
+                iolets,
+                lo,
+                hi,
+            },
+            1.0,
+        );
+        // A site near the axis at mid-length must be bulk.
+        let mid = geo
+            .positions()
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let da = dist_to(a, 10.0, geo.shape());
+                let db = dist_to(b, 10.0, geo.shape());
+                da.partial_cmp(&db).unwrap()
+            })
+            .map(|(i, _)| i as u32)
+            .unwrap();
+        assert_eq!(geo.kind(mid), SiteKind::Bulk);
+    }
+
+    fn dist_to(p: &[u32; 3], x_mid: f64, shape: [usize; 3]) -> f64 {
+        let cy = shape[1] as f64 / 2.0;
+        let cz = shape[2] as f64 / 2.0;
+        let dx = p[0] as f64 - x_mid;
+        let dy = p[1] as f64 - cy;
+        let dz = p[2] as f64 - cz;
+        dx * dx + dy * dy + dz * dz
+    }
+}

@@ -1,0 +1,227 @@
+//! Sort-last image compositing: direct-send and binary-swap.
+//!
+//! After every rank ray-casts its own brick, the partial images are
+//! combined by depth. Direct-send ships whole partials to the master;
+//! binary-swap exchanges image *halves* over log₂P rounds so the
+//! per-rank bandwidth stays O(pixels) instead of O(pixels·P) — the
+//! classic scalability fix for exactly the data-movement concern the
+//! paper opens with.
+
+use crate::image::{Image, PartialImage};
+use bytes::Bytes;
+use hemelb_parallel::{CommResult, Communicator, Tag, WireReader, WireWriter};
+
+const T_DIRECT: Tag = Tag::composite(0);
+const T_SWAP: Tag = Tag::composite(1);
+const T_GATHER: Tag = Tag::composite(64);
+
+/// Serialise a pixel range of a partial image (premultiplied RGBA +
+/// depth, 20 B per pixel).
+fn encode_range(p: &PartialImage, range: std::ops::Range<usize>) -> Bytes {
+    let mut w = WireWriter::with_capacity(16 + range.len() * 20);
+    w.put_usize(range.start);
+    w.put_usize(range.len());
+    for i in range {
+        let px = p.image.pixels[i];
+        w.put_f32(px[0]);
+        w.put_f32(px[1]);
+        w.put_f32(px[2]);
+        w.put_f32(px[3]);
+        w.put_f32(p.depth[i]);
+    }
+    w.finish()
+}
+
+/// Merge an encoded pixel range into `into` (depth-ordered over).
+fn merge_range(into: &mut PartialImage, payload: Bytes) -> CommResult<std::ops::Range<usize>> {
+    let mut r = WireReader::new(payload);
+    let start = r.get_usize()?;
+    let len = r.get_usize()?;
+    for i in start..start + len {
+        let px = [r.get_f32()?, r.get_f32()?, r.get_f32()?, r.get_f32()?];
+        let d = r.get_f32()?;
+        let (a, da) = (into.image.pixels[i], into.depth[i]);
+        let (front, back, dmin) = if da <= d { (a, px, da) } else { (px, a, d) };
+        into.image.pixels[i] = crate::image::over_px(front, back);
+        into.depth[i] = dmin;
+    }
+    Ok(start..start + len)
+}
+
+/// Direct-send compositing: every rank ships its whole partial to rank
+/// 0, which merges them in rank order. O(P·pixels) bytes into one node.
+pub fn direct_send(comm: &Communicator, mine: PartialImage) -> CommResult<Option<Image>> {
+    comm.note_sync();
+    let n = mine.image.pixels.len();
+    if comm.is_master() {
+        let mut acc = mine;
+        for _ in 1..comm.size() {
+            let (_, payload) = comm.recv_any(T_DIRECT)?;
+            merge_range(&mut acc, payload)?;
+        }
+        Ok(Some(acc.image))
+    } else {
+        comm.send(0, T_DIRECT, encode_range(&mine, 0..n))?;
+        Ok(None)
+    }
+}
+
+/// Binary-swap compositing for power-of-two worlds; falls back to
+/// [`direct_send`] otherwise. After log₂P rounds each rank owns a fully
+/// composited 1/P of the image, which is then gathered at rank 0.
+pub fn binary_swap(comm: &Communicator, mine: PartialImage) -> CommResult<Option<Image>> {
+    let p = comm.size();
+    if !p.is_power_of_two() || p == 1 {
+        return direct_send(comm, mine);
+    }
+    comm.note_sync();
+    let npix = mine.image.pixels.len();
+    let me = comm.rank();
+    let mut acc = mine;
+    let mut range = 0..npix;
+    let mut bit = 1usize;
+    let mut round = 0u32;
+    while bit < p {
+        let partner = me ^ bit;
+        let half = (range.end - range.start) / 2;
+        let (keep, send) = if me & bit == 0 {
+            (range.start..range.start + half, range.start + half..range.end)
+        } else {
+            (range.start + half..range.end, range.start..range.start + half)
+        };
+        let tag = Tag(T_SWAP.0 + round);
+        comm.send(partner, tag, encode_range(&acc, send))?;
+        let payload = comm.recv(partner, tag)?;
+        let merged = merge_range(&mut acc, payload)?;
+        debug_assert_eq!(merged, keep);
+        range = keep;
+        bit <<= 1;
+        round += 1;
+    }
+    // Gather the owned slivers at rank 0.
+    if comm.is_master() {
+        let mut final_img = Image::new(acc.image.width, acc.image.height);
+        final_img.pixels[range.clone()].copy_from_slice(&acc.image.pixels[range.clone()]);
+        for _ in 1..p {
+            let (_, payload) = comm.recv_any(T_GATHER)?;
+            let mut r = WireReader::new(payload);
+            let start = r.get_usize()?;
+            let len = r.get_usize()?;
+            for i in start..start + len {
+                final_img.pixels[i] = [r.get_f32()?, r.get_f32()?, r.get_f32()?, r.get_f32()?];
+                r.get_f32()?; // depth, unused in the final image
+            }
+        }
+        Ok(Some(final_img))
+    } else {
+        comm.send(0, T_GATHER, encode_range(&acc, range))?;
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemelb_parallel::{run_spmd, run_spmd_with_stats, TagClass};
+
+    /// A deterministic synthetic partial for rank `r` of `p`: each rank
+    /// owns a horizontal band at depth `r`, coloured by rank.
+    fn synthetic_partial(r: usize, p: usize, w: u32, h: u32) -> PartialImage {
+        let mut out = PartialImage::new(w, h);
+        let band = h as usize / p;
+        for y in r * band..(r + 1) * band {
+            for x in 0..w as usize {
+                let i = y * w as usize + x;
+                out.image.pixels[i] = [r as f32 / p as f32, 0.5, 0.25, 1.0];
+                out.depth[i] = r as f32 + 1.0;
+            }
+        }
+        out
+    }
+
+    fn reference(p: usize, w: u32, h: u32) -> Image {
+        let mut acc = synthetic_partial(0, p, w, h);
+        for r in 1..p {
+            acc.merge(&synthetic_partial(r, p, w, h));
+        }
+        acc.image
+    }
+
+    #[test]
+    fn direct_send_matches_local_merge() {
+        for p in [1, 2, 3, 5] {
+            let results = run_spmd(p, move |comm| {
+                let mine = synthetic_partial(comm.rank(), comm.size(), 16, 20);
+                direct_send(comm, mine).unwrap()
+            });
+            let img = results[0].as_ref().expect("master gets the image");
+            assert_eq!(img.pixels, reference(p, 16, 20).pixels, "p={p}");
+            for r in 1..p {
+                assert!(results[r].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn binary_swap_matches_direct_send() {
+        for p in [2usize, 4, 8] {
+            let results = run_spmd(p, move |comm| {
+                let mine = synthetic_partial(comm.rank(), comm.size(), 16, 16);
+                binary_swap(comm, mine).unwrap()
+            });
+            let img = results[0].as_ref().unwrap();
+            assert_eq!(img.pixels, reference(p, 16, 16).pixels, "p={p}");
+        }
+    }
+
+    #[test]
+    fn binary_swap_bounds_per_rank_traffic() {
+        let p = 8;
+        let (w, h) = (64u32, 64u32);
+        let swap = run_spmd_with_stats(p, move |comm| {
+            let mine = synthetic_partial(comm.rank(), comm.size(), w, h);
+            binary_swap(comm, mine).unwrap();
+        });
+        let direct = run_spmd_with_stats(p, move |comm| {
+            let mine = synthetic_partial(comm.rank(), comm.size(), w, h);
+            direct_send(comm, mine).unwrap();
+        });
+        let max_swap = swap
+            .stats
+            .iter()
+            .map(|s| s.bytes(TagClass::Compositing))
+            .max()
+            .unwrap();
+        let max_direct = direct
+            .stats
+            .iter()
+            .map(|s| s.bytes(TagClass::Compositing))
+            .max()
+            .unwrap();
+        // Binary swap sends ~pixels·(1 - 1/P) + sliver; direct send's
+        // non-root ranks each send the full image but the *hotspot* is
+        // that rank 0 receives P-1 full images. Compare inbound hotspot:
+        // rank 0 receives nothing in swap's merge rounds beyond halves.
+        // The robust, machine-independent claim: per-rank max send in
+        // swap ≤ full image, while total direct bytes = (P-1)·full.
+        let full_image = (w * h) as u64 * 20;
+        assert!(
+            max_swap <= full_image + 64 * 7,
+            "swap per-rank send {max_swap} should not exceed one image {full_image}"
+        );
+        assert!(direct.summary.total.bytes(TagClass::Compositing) >= (p as u64 - 1) * full_image);
+        let _ = max_direct;
+    }
+
+    #[test]
+    fn non_power_of_two_falls_back() {
+        let results = run_spmd(3, |comm| {
+            let mine = synthetic_partial(comm.rank(), comm.size(), 8, 9);
+            binary_swap(comm, mine).unwrap()
+        });
+        assert_eq!(
+            results[0].as_ref().unwrap().pixels,
+            reference(3, 8, 9).pixels
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! Isosurface extraction — the "extract" stage of the paper's
+//! post-processing pipeline made concrete: a triangle mesh of a field's
+//! level set (e.g. a wall-shear-stress or velocity-magnitude surface),
+//! computed in situ so that only geometry leaves the simulation, not
+//! the field.
+//!
+//! The method is **marching tetrahedra**: each lattice cube is split
+//! into six tetrahedra around its main diagonal and each tetrahedron is
+//! contoured independently. Unlike table-driven marching cubes this is
+//! correct by construction (no 256-case table to mistranscribe) and
+//! produces a consistent, crack-free surface; the price is more, smaller
+//! triangles.
+
+use crate::camera::Camera;
+use crate::image::Image;
+use hemelb_geometry::Vec3;
+use std::collections::HashMap;
+
+/// An indexed triangle mesh in lattice coordinates.
+#[derive(Debug, Clone, Default)]
+pub struct TriangleMesh {
+    /// Vertex positions.
+    pub vertices: Vec<Vec3>,
+    /// Triangles as vertex-index triples (counter-clockwise seen from
+    /// the positive side of the field).
+    pub triangles: Vec<[u32; 3]>,
+}
+
+impl TriangleMesh {
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Check the watertightness invariant: every undirected edge is
+    /// shared by exactly two triangles. True for a level set that
+    /// closes inside the sampled region.
+    pub fn is_watertight(&self) -> bool {
+        let mut edges: HashMap<(u32, u32), u32> = HashMap::new();
+        for t in &self.triangles {
+            for k in 0..3 {
+                let (a, b) = (t[k], t[(k + 1) % 3]);
+                let key = (a.min(b), a.max(b));
+                *edges.entry(key).or_insert(0) += 1;
+            }
+        }
+        !edges.is_empty() && edges.values().all(|&c| c == 2)
+    }
+
+    /// Total surface area.
+    pub fn area(&self) -> f64 {
+        self.triangles
+            .iter()
+            .map(|t| {
+                let a = self.vertices[t[0] as usize];
+                let b = self.vertices[t[1] as usize];
+                let c = self.vertices[t[2] as usize];
+                (b - a).cross(c - a).norm() * 0.5
+            })
+            .sum()
+    }
+
+    /// Approximate transport size (the in situ reduction argument:
+    /// geometry is far smaller than the field it summarises).
+    pub fn approx_bytes(&self) -> usize {
+        self.vertices.len() * 24 + self.triangles.len() * 12
+    }
+}
+
+/// The Freudenthal (Kuhn) six-tetrahedra decomposition of a unit cube
+/// around the 0–7 main diagonal: one tetrahedron per axis permutation,
+/// `0 → 0+e_i → 0+e_i+e_j → 7`. Applied uniformly to every cube this
+/// subdivision is *face-consistent* (shared faces get the same
+/// diagonal), which is what makes the extracted surface crack-free.
+/// Corner numbering: bit 0 = +x, bit 1 = +y, bit 2 = +z.
+const TETS: [[usize; 4]; 6] = [
+    [0, 1, 3, 7], // x, y, z
+    [0, 1, 5, 7], // x, z, y
+    [0, 2, 3, 7], // y, x, z
+    [0, 2, 6, 7], // y, z, x
+    [0, 4, 5, 7], // z, x, y
+    [0, 4, 6, 7], // z, y, x
+];
+
+/// Corner offset for cube-corner index `c`.
+#[inline]
+fn corner(c: usize) -> (i64, i64, i64) {
+    ((c & 1) as i64, ((c >> 1) & 1) as i64, ((c >> 2) & 1) as i64)
+}
+
+/// Extract the `iso` level set of a sampled scalar field over the grid
+/// `[0, dims)³`. `sample(x, y, z)` returns `None` outside the domain
+/// (e.g. solid cells); tetrahedra touching missing samples are skipped,
+/// clipping the surface at the domain boundary.
+pub fn marching_tetrahedra<F>(dims: [usize; 3], sample: F, iso: f64) -> TriangleMesh
+where
+    F: Fn(i64, i64, i64) -> Option<f64>,
+{
+    let mut mesh = TriangleMesh::default();
+    // Dedup vertices on their (sorted) grid-edge key so shared edges
+    // share vertices (needed for the watertightness invariant).
+    let mut edge_vertex: HashMap<(i64, i64, i64, i64, i64, i64), u32> = HashMap::new();
+
+    let mut vertex_on_edge =
+        |mesh: &mut TriangleMesh,
+         (ax, ay, az): (i64, i64, i64),
+         va: f64,
+         (bx, by, bz): (i64, i64, i64),
+         vb: f64|
+         -> u32 {
+            let key = if (ax, ay, az) <= (bx, by, bz) {
+                (ax, ay, az, bx, by, bz)
+            } else {
+                (bx, by, bz, ax, ay, az)
+            };
+            if let Some(&idx) = edge_vertex.get(&key) {
+                return idx;
+            }
+            let t = if (vb - va).abs() < 1e-300 {
+                0.5
+            } else {
+                ((iso - va) / (vb - va)).clamp(0.0, 1.0)
+            };
+            let p = Vec3::new(
+                ax as f64 + (bx - ax) as f64 * t,
+                ay as f64 + (by - ay) as f64 * t,
+                az as f64 + (bz - az) as f64 * t,
+            );
+            let idx = mesh.vertices.len() as u32;
+            mesh.vertices.push(p);
+            edge_vertex.insert(key, idx);
+            idx
+        };
+
+    for x in 0..dims[0] as i64 - 1 {
+        for y in 0..dims[1] as i64 - 1 {
+            for z in 0..dims[2] as i64 - 1 {
+                // Gather the cube's 8 corner samples.
+                let mut vals = [0.0f64; 8];
+                let mut pos = [(0i64, 0i64, 0i64); 8];
+                let mut complete = true;
+                for c in 0..8 {
+                    let (dx, dy, dz) = corner(c);
+                    let (px, py, pz) = (x + dx, y + dy, z + dz);
+                    match sample(px, py, pz) {
+                        Some(v) => {
+                            vals[c] = v;
+                            pos[c] = (px, py, pz);
+                        }
+                        None => {
+                            complete = false;
+                            break;
+                        }
+                    }
+                }
+                if !complete {
+                    continue;
+                }
+                for tet in &TETS {
+                    contour_tet(&mut mesh, &mut vertex_on_edge, tet, &pos, &vals, iso);
+                }
+            }
+        }
+    }
+    mesh
+}
+
+/// Contour one tetrahedron: 0, 1 or 2 triangles.
+fn contour_tet<FV>(
+    mesh: &mut TriangleMesh,
+    vertex_on_edge: &mut FV,
+    tet: &[usize; 4],
+    pos: &[(i64, i64, i64); 8],
+    vals: &[f64; 8],
+    iso: f64,
+) where
+    FV: FnMut(&mut TriangleMesh, (i64, i64, i64), f64, (i64, i64, i64), f64) -> u32,
+{
+    // Which tet corners are above the iso value?
+    let above: Vec<usize> = (0..4).filter(|&k| vals[tet[k]] >= iso).collect();
+    let below: Vec<usize> = (0..4).filter(|&k| vals[tet[k]] < iso).collect();
+    let emit = |mesh: &mut TriangleMesh, a: u32, b: u32, c: u32| {
+        if a != b && b != c && a != c {
+            mesh.triangles.push([a, b, c]);
+        }
+    };
+    match above.len() {
+        0 | 4 => {}
+        1 | 3 => {
+            // One corner isolated: one triangle on the three edges from
+            // the isolated corner.
+            let (lone, others) = if above.len() == 1 {
+                (above[0], &below)
+            } else {
+                (below[0], &above)
+            };
+            let l = tet[lone];
+            let verts: Vec<u32> = others
+                .iter()
+                .map(|&k| {
+                    let o = tet[k];
+                    vertex_on_edge(mesh, pos[l], vals[l], pos[o], vals[o])
+                })
+                .collect();
+            emit(mesh, verts[0], verts[1], verts[2]);
+        }
+        2 => {
+            // Two vs two: a quad on the four crossing edges, split into
+            // two triangles. Edge order matters for a valid strip:
+            // (a0-b0, a0-b1, a1-b1, a1-b0) walks the quad perimeter.
+            let (a0, a1) = (tet[above[0]], tet[above[1]]);
+            let (b0, b1) = (tet[below[0]], tet[below[1]]);
+            let v00 = vertex_on_edge(mesh, pos[a0], vals[a0], pos[b0], vals[b0]);
+            let v01 = vertex_on_edge(mesh, pos[a0], vals[a0], pos[b1], vals[b1]);
+            let v11 = vertex_on_edge(mesh, pos[a1], vals[a1], pos[b1], vals[b1]);
+            let v10 = vertex_on_edge(mesh, pos[a1], vals[a1], pos[b0], vals[b0]);
+            emit(mesh, v00, v01, v11);
+            emit(mesh, v00, v11, v10);
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Flat-shade a mesh into an image with a z-buffer (the minimal path
+/// from extracted geometry to pixels; Fig. 4-style artefacts for
+/// surfaces).
+pub fn render_mesh(mesh: &TriangleMesh, cam: &Camera, colour: [f32; 3]) -> Image {
+    let mut img = Image::new(cam.width, cam.height);
+    let mut zbuf = vec![f32::INFINITY; (cam.width * cam.height) as usize];
+    let (_, _, forward) = cam.basis();
+    let light = (forward * -1.0).normalised();
+
+    for t in &mesh.triangles {
+        let a = mesh.vertices[t[0] as usize];
+        let b = mesh.vertices[t[1] as usize];
+        let c = mesh.vertices[t[2] as usize];
+        let n = (b - a).cross(c - a).normalised();
+        let shade = (n.dot(light).abs() * 0.8 + 0.2) as f32;
+
+        let (Some(pa), Some(pb), Some(pc)) =
+            (cam.project(a), cam.project(b), cam.project(c))
+        else {
+            continue;
+        };
+        // Bounding box in pixels.
+        let min_x = pa.0.min(pb.0).min(pc.0).floor().max(0.0) as i64;
+        let max_x = pa.0.max(pb.0).max(pc.0).ceil().min(cam.width as f64 - 1.0) as i64;
+        let min_y = pa.1.min(pb.1).min(pc.1).floor().max(0.0) as i64;
+        let max_y = pa.1.max(pb.1).max(pc.1).ceil().min(cam.height as f64 - 1.0) as i64;
+        let area = (pb.0 - pa.0) * (pc.1 - pa.1) - (pc.0 - pa.0) * (pb.1 - pa.1);
+        if area.abs() < 1e-12 {
+            continue;
+        }
+        for py in min_y..=max_y {
+            for px in min_x..=max_x {
+                let (fx, fy) = (px as f64 + 0.5, py as f64 + 0.5);
+                // Barycentric coordinates.
+                let w0 = ((pb.0 - fx) * (pc.1 - fy) - (pc.0 - fx) * (pb.1 - fy)) / area;
+                let w1 = ((pc.0 - fx) * (pa.1 - fy) - (pa.0 - fx) * (pc.1 - fy)) / area;
+                let w2 = 1.0 - w0 - w1;
+                if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                    continue;
+                }
+                let depth = (w0 * pa.2 + w1 * pb.2 + w2 * pc.2) as f32;
+                let idx = (py as u32 * cam.width + px as u32) as usize;
+                if depth < zbuf[idx] {
+                    zbuf[idx] = depth;
+                    img.pixels[idx] = [colour[0] * shade, colour[1] * shade, colour[2] * shade, 1.0];
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sphere SDF sampled on a grid: the canonical closed level set.
+    fn sphere_field(dims: [usize; 3], centre: [f64; 3], r: f64) -> impl Fn(i64, i64, i64) -> Option<f64> {
+        move |x, y, z| {
+            if x < 0
+                || y < 0
+                || z < 0
+                || x >= dims[0] as i64
+                || y >= dims[1] as i64
+                || z >= dims[2] as i64
+            {
+                return None;
+            }
+            let dx = x as f64 - centre[0];
+            let dy = y as f64 - centre[1];
+            let dz = z as f64 - centre[2];
+            Some((dx * dx + dy * dy + dz * dz).sqrt() - r)
+        }
+    }
+
+    #[test]
+    fn sphere_isosurface_is_watertight() {
+        let dims = [20usize, 20, 20];
+        let mesh = marching_tetrahedra(dims, sphere_field(dims, [9.5, 9.5, 9.5], 5.0), 0.0);
+        assert!(mesh.triangle_count() > 100);
+        assert!(mesh.is_watertight(), "closed surface, shared edges");
+    }
+
+    #[test]
+    fn sphere_vertices_lie_on_the_sphere() {
+        let dims = [20usize, 20, 20];
+        let c = [9.5, 9.5, 9.5];
+        let r = 5.0;
+        let mesh = marching_tetrahedra(dims, sphere_field(dims, c, r), 0.0);
+        for v in &mesh.vertices {
+            let d = ((v.x - c[0]).powi(2) + (v.y - c[1]).powi(2) + (v.z - c[2]).powi(2)).sqrt();
+            // Linear interpolation of an SDF along unit edges is exact
+            // up to curvature.
+            assert!((d - r).abs() < 0.15, "vertex at distance {d}");
+        }
+    }
+
+    #[test]
+    fn sphere_area_approximates_4_pi_r2() {
+        let dims = [26usize, 26, 26];
+        let r = 8.0;
+        let mesh = marching_tetrahedra(dims, sphere_field(dims, [12.5, 12.5, 12.5], r), 0.0);
+        let expect = 4.0 * std::f64::consts::PI * r * r;
+        let got = mesh.area();
+        // Marching-tet meshes overestimate area slightly (faceting);
+        // within 10% is a correct implementation.
+        assert!(
+            (got - expect).abs() / expect < 0.10,
+            "area {got} vs 4πr² = {expect}"
+        );
+    }
+
+    #[test]
+    fn empty_level_set_gives_empty_mesh() {
+        let dims = [10usize, 10, 10];
+        let mesh = marching_tetrahedra(dims, sphere_field(dims, [5.0, 5.0, 5.0], 3.0), 100.0);
+        assert_eq!(mesh.triangle_count(), 0);
+        assert!(!mesh.is_watertight(), "vacuously no edges");
+    }
+
+    #[test]
+    fn missing_samples_clip_the_surface() {
+        // Same sphere but the x > centre half of the grid is missing:
+        // the surface is cut open (not watertight, about half the area).
+        let dims = [20usize, 20, 20];
+        let full = marching_tetrahedra(dims, sphere_field(dims, [9.5, 9.5, 9.5], 5.0), 0.0);
+        let base = sphere_field(dims, [9.5, 9.5, 9.5], 5.0);
+        let half = marching_tetrahedra(dims, move |x, y, z| {
+            if x > 9 {
+                None
+            } else {
+                base(x, y, z)
+            }
+        }, 0.0);
+        assert!(half.triangle_count() > 0);
+        assert!(!half.is_watertight());
+        let ratio = half.area() / full.area();
+        assert!((0.3..0.7).contains(&ratio), "half the sphere: {ratio}");
+    }
+
+    #[test]
+    fn mesh_renders_to_pixels() {
+        let dims = [20usize, 20, 20];
+        let mesh = marching_tetrahedra(dims, sphere_field(dims, [9.5, 9.5, 9.5], 5.0), 0.0);
+        let cam = Camera::framing(
+            Vec3::ZERO,
+            Vec3::new(20.0, 20.0, 20.0),
+            Vec3::new(0.3, -1.0, 0.4),
+            80,
+            60,
+        );
+        let img = render_mesh(&mesh, &cam, [0.8, 0.2, 0.2]);
+        let cov = img.coverage();
+        assert!(cov > 0.02, "sphere visible: {cov}");
+        assert!(cov < 0.8, "background empty: {cov}");
+    }
+
+    #[test]
+    fn transport_size_is_a_reduction() {
+        let dims = [24usize, 24, 24];
+        let mesh = marching_tetrahedra(dims, sphere_field(dims, [11.5, 11.5, 11.5], 7.0), 0.0);
+        let field_bytes = dims[0] * dims[1] * dims[2] * 8;
+        assert!(
+            mesh.approx_bytes() < field_bytes * 2,
+            "mesh {} vs field {field_bytes}",
+            mesh.approx_bytes()
+        );
+    }
+}

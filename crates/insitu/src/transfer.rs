@@ -1,0 +1,130 @@
+//! Transfer functions: scalar → premultiplied RGBA.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear colour/opacity map over a scalar range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferFunction {
+    /// Scalar value mapped to the first control point.
+    pub lo: f64,
+    /// Scalar value mapped to the last control point.
+    pub hi: f64,
+    /// Control points: straight RGB + opacity, interpolated linearly.
+    pub stops: Vec<[f32; 4]>,
+    /// Global opacity scale (per unit length of ray travel).
+    pub opacity_scale: f32,
+}
+
+impl TransferFunction {
+    /// A blue→cyan→yellow→red "heat" map, the usual choice for speed.
+    pub fn heat(lo: f64, hi: f64) -> Self {
+        TransferFunction {
+            lo,
+            hi,
+            stops: vec![
+                [0.05, 0.05, 0.5, 0.02],
+                [0.0, 0.8, 0.9, 0.25],
+                [0.95, 0.9, 0.1, 0.6],
+                [0.9, 0.05, 0.05, 0.95],
+            ],
+            opacity_scale: 1.0,
+        }
+    }
+
+    /// A greyscale ramp (density-style rendering).
+    pub fn grey(lo: f64, hi: f64) -> Self {
+        TransferFunction {
+            lo,
+            hi,
+            stops: vec![[0.0, 0.0, 0.0, 0.0], [1.0, 1.0, 1.0, 1.0]],
+            opacity_scale: 1.0,
+        }
+    }
+
+    /// Classify a scalar: straight RGB and opacity in `[0, 1]`.
+    pub fn classify(&self, v: f64) -> [f32; 4] {
+        let t = if self.hi > self.lo {
+            ((v - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let n = self.stops.len();
+        if n == 1 {
+            return self.stops[0];
+        }
+        let scaled = t * (n - 1) as f64;
+        let i = (scaled.floor() as usize).min(n - 2);
+        let frac = (scaled - i as f64) as f32;
+        let a = self.stops[i];
+        let b = self.stops[i + 1];
+        [
+            a[0] + (b[0] - a[0]) * frac,
+            a[1] + (b[1] - a[1]) * frac,
+            a[2] + (b[2] - a[2]) * frac,
+            (a[3] + (b[3] - a[3]) * frac) * self.opacity_scale,
+        ]
+    }
+
+    /// Classify and convert to a premultiplied sample for a ray segment
+    /// of length `ds` (Beer–Lambert opacity accumulation).
+    pub fn sample(&self, v: f64, ds: f64) -> [f32; 4] {
+        let c = self.classify(v);
+        let alpha = 1.0 - (-c[3] as f64 * ds).exp() as f32;
+        [c[0] * alpha, c[1] * alpha, c[2] * alpha, alpha]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_clamps_out_of_range() {
+        let tf = TransferFunction::heat(0.0, 1.0);
+        assert_eq!(tf.classify(-5.0), tf.classify(0.0));
+        assert_eq!(tf.classify(9.0), tf.classify(1.0));
+    }
+
+    #[test]
+    fn classify_interpolates_between_stops() {
+        let tf = TransferFunction::grey(0.0, 1.0);
+        let mid = tf.classify(0.5);
+        for c in mid {
+            assert!((c - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn endpoints_hit_exact_stops() {
+        let tf = TransferFunction::heat(2.0, 4.0);
+        assert_eq!(tf.classify(2.0), tf.stops[0]);
+        let last = tf.classify(4.0);
+        for i in 0..4 {
+            assert!((last[i] - tf.stops[3][i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sample_opacity_grows_with_path_length() {
+        let tf = TransferFunction::heat(0.0, 1.0);
+        let thin = tf.sample(0.8, 0.1);
+        let thick = tf.sample(0.8, 2.0);
+        assert!(thick[3] > thin[3]);
+        assert!(thick[3] <= 1.0);
+        assert!(thin[3] > 0.0);
+    }
+
+    #[test]
+    fn zero_opacity_scalar_is_transparent() {
+        let tf = TransferFunction::grey(0.0, 1.0);
+        let s = tf.sample(0.0, 1.0);
+        assert_eq!(s, [0.0; 4]);
+    }
+
+    #[test]
+    fn degenerate_range_does_not_divide_by_zero() {
+        let tf = TransferFunction::grey(1.0, 1.0);
+        let c = tf.classify(1.0);
+        assert!(c.iter().all(|v| v.is_finite()));
+    }
+}

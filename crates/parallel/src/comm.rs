@@ -1,0 +1,792 @@
+//! Ranks, worlds and point-to-point messaging.
+//!
+//! A [`World`] owns the mailboxes of `P` ranks; each rank holds one
+//! [`Communicator`] (its MPI-communicator analogue) through which it sends
+//! and receives tagged byte payloads. Semantics mirror MPI:
+//!
+//! * sends are asynchronous and never block (buffered channels);
+//! * receives match on `(source, tag)` and are FIFO within a match;
+//! * messages arriving before they are wanted are buffered locally.
+//!
+//! Every send is recorded in the rank's [`CommStats`] under the
+//! [`TagClass`](crate::stats::TagClass) derived from the tag, which is how
+//! the experiment harness attributes traffic to halo exchange,
+//! visualisation, steering, and so on.
+
+use crate::error::{CommError, CommResult};
+use crate::stats::CommStats;
+use crate::tag::Tag;
+use crate::wire::{Wire, WireReader, WireWriter};
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// One in-flight message.
+#[derive(Debug, Clone)]
+struct Envelope {
+    src: usize,
+    tag: Tag,
+    payload: Bytes,
+}
+
+/// Factory for a set of connected [`Communicator`]s.
+///
+/// Usually constructed indirectly through [`run_spmd`](crate::run_spmd);
+/// exposed for callers that manage their own threads (e.g. the steering
+/// server embeds rank 0 in the simulation driver thread).
+#[derive(Debug)]
+pub struct World;
+
+impl World {
+    /// Create `size` connected communicators, one per rank.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn communicators(size: usize) -> Vec<Communicator> {
+        assert!(size > 0, "world size must be positive");
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| {
+                // A rank holds no sender to itself: self-sends are
+                // delivered locally in `send`, and — crucially — a rank
+                // that dies drops its senders, so peers blocked on it see
+                // a disconnect instead of hanging forever.
+                let peer_senders: Vec<Option<Sender<Envelope>>> = senders
+                    .iter()
+                    .enumerate()
+                    .map(|(dst, tx)| (dst != rank).then(|| tx.clone()))
+                    .collect();
+                Communicator {
+                    rank,
+                    size,
+                    senders: peer_senders,
+                    inbox: rx,
+                    pending: RefCell::new(VecDeque::new()),
+                    stats: RefCell::new(CommStats::new()),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A rank's handle onto the world: identity, point-to-point messaging and
+/// collectives (the collectives live in this type too; see the
+/// `collective` impl block below).
+#[derive(Debug)]
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    /// `senders[dst]` is `Some` for every peer, `None` for `dst == rank`.
+    senders: Vec<Option<Sender<Envelope>>>,
+    inbox: Receiver<Envelope>,
+    /// Messages received from the channel but not yet matched.
+    pending: RefCell<VecDeque<Envelope>>,
+    stats: RefCell<CommStats>,
+}
+
+impl Communicator {
+    /// This rank's index in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether this rank is rank 0 (the conventional master).
+    #[inline]
+    pub fn is_master(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// Snapshot of this rank's communication counters.
+    pub fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Record a synchronisation point (used by blocking collectives; also
+    /// available to higher layers that implement their own sync
+    /// structure, e.g. the compositing tree).
+    pub fn note_sync(&self) {
+        self.stats.borrow_mut().record_sync();
+    }
+
+    // ----- point to point ------------------------------------------------
+
+    /// Send `payload` to `dst` under `tag`. Never blocks.
+    pub fn send(&self, dst: usize, tag: Tag, payload: Bytes) -> CommResult<()> {
+        if dst >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: dst,
+                size: self.size,
+            });
+        }
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            payload,
+        };
+        match &self.senders[dst] {
+            // Self-sends are delivered locally and do not count as
+            // network traffic.
+            None => {
+                self.pending.borrow_mut().push_back(env);
+                Ok(())
+            }
+            Some(tx) => {
+                self.stats
+                    .borrow_mut()
+                    .record_send(tag.class(), env.payload.len());
+                tx.send(env).map_err(|_| CommError::Disconnected { peer: dst })
+            }
+        }
+    }
+
+    /// Send an encodable value to `dst` under `tag`.
+    pub fn send_wire<T: Wire>(&self, dst: usize, tag: Tag, value: &T) -> CommResult<()> {
+        let mut w = WireWriter::new();
+        value.encode(&mut w);
+        self.send(dst, tag, w.finish())
+    }
+
+    /// Blocking receive of the next message from `src` under `tag`.
+    pub fn recv(&self, src: usize, tag: Tag) -> CommResult<Bytes> {
+        if src >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: src,
+                size: self.size,
+            });
+        }
+        // Check already-buffered messages first (FIFO within a match).
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|e| e.src == src && e.tag == tag) {
+                return Ok(pending.remove(pos).expect("position valid").payload);
+            }
+        }
+        loop {
+            let env = self
+                .inbox
+                .recv()
+                .map_err(|_| CommError::Disconnected { peer: src })?;
+            if env.src == src && env.tag == tag {
+                return Ok(env.payload);
+            }
+            self.pending.borrow_mut().push_back(env);
+        }
+    }
+
+    /// Blocking receive of the next message under `tag` from *any* source.
+    /// Returns `(source, payload)`.
+    pub fn recv_any(&self, tag: Tag) -> CommResult<(usize, Bytes)> {
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|e| e.tag == tag) {
+                let env = pending.remove(pos).expect("position valid");
+                return Ok((env.src, env.payload));
+            }
+        }
+        loop {
+            let env = self
+                .inbox
+                .recv()
+                .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
+            if env.tag == tag {
+                return Ok((env.src, env.payload));
+            }
+            self.pending.borrow_mut().push_back(env);
+        }
+    }
+
+    /// Non-blocking receive from `src` under `tag`.
+    pub fn try_recv(&self, src: usize, tag: Tag) -> CommResult<Option<Bytes>> {
+        if src >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: src,
+                size: self.size,
+            });
+        }
+        self.drain_inbox();
+        let mut pending = self.pending.borrow_mut();
+        if let Some(pos) = pending.iter().position(|e| e.src == src && e.tag == tag) {
+            return Ok(Some(pending.remove(pos).expect("position valid").payload));
+        }
+        Ok(None)
+    }
+
+    /// Non-blocking receive under `tag` from any source.
+    pub fn try_recv_any(&self, tag: Tag) -> Option<(usize, Bytes)> {
+        self.drain_inbox();
+        let mut pending = self.pending.borrow_mut();
+        if let Some(pos) = pending.iter().position(|e| e.tag == tag) {
+            let env = pending.remove(pos).expect("position valid");
+            return Some((env.src, env.payload));
+        }
+        None
+    }
+
+    /// Blocking receive and decode from `src` under `tag`.
+    pub fn recv_wire<T: Wire>(&self, src: usize, tag: Tag) -> CommResult<T> {
+        let payload = self.recv(src, tag)?;
+        T::from_bytes(payload)
+    }
+
+    /// Move everything waiting in the channel into the local buffer.
+    fn drain_inbox(&self) {
+        let mut pending = self.pending.borrow_mut();
+        while let Ok(env) = self.inbox.try_recv() {
+            pending.push_back(env);
+        }
+    }
+
+    // ----- neighbourhood exchange ----------------------------------------
+
+    /// Sparse neighbourhood all-to-all: send `outgoing[i] = (peer, bytes)`
+    /// and receive exactly one message under `tag` from each rank in
+    /// `expect_from`. Returns received payloads in the order of
+    /// `expect_from`.
+    ///
+    /// Deadlock-free because sends are buffered; this is the idiom the LB
+    /// halo exchange and the particle hand-off both use, and its traffic
+    /// is what the paper's Table I calls "communication cost".
+    pub fn exchange(
+        &self,
+        tag: Tag,
+        outgoing: &[(usize, Bytes)],
+        expect_from: &[usize],
+    ) -> CommResult<Vec<Bytes>> {
+        for (dst, payload) in outgoing {
+            self.send(*dst, tag, payload.clone())?;
+        }
+        let mut received = Vec::with_capacity(expect_from.len());
+        for &src in expect_from {
+            received.push(self.recv(src, tag)?);
+        }
+        Ok(received)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+const T_BARRIER: Tag = Tag::collective(0);
+const T_BCAST: Tag = Tag::collective(1);
+const T_GATHER: Tag = Tag::collective(2);
+const T_REDUCE: Tag = Tag::collective(3);
+const T_SCAN: Tag = Tag::collective(4);
+const T_ALLTOALL: Tag = Tag::collective(5);
+
+impl Communicator {
+    /// Dissemination barrier: ⌈log₂ P⌉ rounds, each rank sends one empty
+    /// message per round. All ranks must call it.
+    pub fn barrier(&self) -> CommResult<()> {
+        self.note_sync();
+        let p = self.size;
+        if p == 1 {
+            return Ok(());
+        }
+        let mut round = 0u32;
+        let mut dist = 1usize;
+        while dist < p {
+            let dst = (self.rank + dist) % p;
+            let src = (self.rank + p - dist % p) % p;
+            let tag = Tag(T_BARRIER.0 + round);
+            self.send(dst, tag, Bytes::new())?;
+            self.recv(src, tag)?;
+            dist *= 2;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Binomial-tree broadcast of a byte payload from `root`.
+    pub fn broadcast(&self, root: usize, payload: Option<Bytes>) -> CommResult<Bytes> {
+        self.note_sync();
+        let p = self.size;
+        // Virtual rank with root relabelled to 0.
+        let vrank = (self.rank + p - root) % p;
+        let mut data = if self.rank == root {
+            payload.ok_or_else(|| CommError::CollectiveMismatch {
+                reason: "broadcast root must supply a payload".into(),
+            })?
+        } else {
+            // Receive from virtual parent.
+            let mut mask = 1usize;
+            while mask < p {
+                if vrank & mask != 0 {
+                    break;
+                }
+                mask <<= 1;
+            }
+            let vparent = vrank & !mask;
+            let parent = (vparent + root) % p;
+            self.recv(parent, T_BCAST)?
+        };
+        // Forward to virtual children.
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                break;
+            }
+            let vchild = vrank | mask;
+            if vchild < p {
+                let child = (vchild + root) % p;
+                self.send(child, T_BCAST, data.clone())?;
+            }
+            mask <<= 1;
+        }
+        if self.rank == root {
+            // `data` already correct.
+        } else {
+            data = data.clone();
+        }
+        Ok(data)
+    }
+
+    /// Broadcast an encodable value from `root`. Non-root ranks pass
+    /// `None`.
+    pub fn broadcast_wire<T: Wire>(&self, root: usize, value: Option<&T>) -> CommResult<T> {
+        let payload = value.map(|v| v.to_bytes());
+        if self.rank == root && payload.is_none() {
+            return Err(CommError::CollectiveMismatch {
+                reason: "broadcast_wire root must supply a value".into(),
+            });
+        }
+        let data = self.broadcast(root, payload)?;
+        T::from_bytes(data)
+    }
+
+    /// Gather each rank's payload at `root`; returns `Some(vec)` indexed
+    /// by rank at the root, `None` elsewhere.
+    pub fn gather(&self, root: usize, payload: Bytes) -> CommResult<Option<Vec<Bytes>>> {
+        self.note_sync();
+        if self.rank == root {
+            let mut out: Vec<Option<Bytes>> = vec![None; self.size];
+            out[root] = Some(payload);
+            for _ in 0..self.size - 1 {
+                let (src, data) = self.recv_any(T_GATHER)?;
+                out[src] = Some(data);
+            }
+            Ok(Some(
+                out.into_iter()
+                    .map(|o| o.expect("all ranks reported"))
+                    .collect(),
+            ))
+        } else {
+            self.send(root, T_GATHER, payload)?;
+            Ok(None)
+        }
+    }
+
+    /// All-gather: every rank ends with every rank's payload, indexed by
+    /// rank. Implemented as gather-to-0 + broadcast.
+    pub fn all_gather(&self, payload: Bytes) -> CommResult<Vec<Bytes>> {
+        let gathered = self.gather(0, payload)?;
+        let packed = if self.rank == 0 {
+            let parts = gathered.expect("root holds gathered parts");
+            let mut w = WireWriter::new();
+            w.put_usize(parts.len());
+            for p in &parts {
+                w.put_bytes(p);
+            }
+            Some(w.finish())
+        } else {
+            None
+        };
+        let all = self.broadcast(0, packed)?;
+        let mut r = WireReader::new(all);
+        let n = r.get_usize()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(r.get_bytes()?);
+        }
+        Ok(out)
+    }
+
+    /// Binomial-tree reduction of `value` with the associative,
+    /// commutative combiner `op`; result at `root` only.
+    pub fn reduce_f64_vec<F>(
+        &self,
+        root: usize,
+        mut value: Vec<f64>,
+        op: F,
+    ) -> CommResult<Option<Vec<f64>>>
+    where
+        F: Fn(f64, f64) -> f64,
+    {
+        self.note_sync();
+        let p = self.size;
+        let vrank = (self.rank + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask == 0 {
+                let vpeer = vrank | mask;
+                if vpeer < p {
+                    let peer = (vpeer + root) % p;
+                    let theirs = self.recv(peer, T_REDUCE)?;
+                    let mut r = WireReader::new(theirs);
+                    let other = r.get_f64_vec()?;
+                    if other.len() != value.len() {
+                        return Err(CommError::CollectiveMismatch {
+                            reason: format!(
+                                "reduce vector lengths differ: {} vs {}",
+                                value.len(),
+                                other.len()
+                            ),
+                        });
+                    }
+                    for (v, o) in value.iter_mut().zip(other) {
+                        *v = op(*v, o);
+                    }
+                }
+            } else {
+                let vpeer = vrank & !mask;
+                let peer = (vpeer + root) % p;
+                let mut w = WireWriter::with_capacity(8 + value.len() * 8);
+                w.put_f64_slice(&value);
+                self.send(peer, T_REDUCE, w.finish())?;
+                return Ok(None);
+            }
+            mask <<= 1;
+        }
+        Ok(Some(value))
+    }
+
+    /// All-reduce of an `f64` vector (reduce to 0, then broadcast).
+    pub fn all_reduce_f64_vec<F>(&self, value: Vec<f64>, op: F) -> CommResult<Vec<f64>>
+    where
+        F: Fn(f64, f64) -> f64,
+    {
+        let reduced = self.reduce_f64_vec(0, value, op)?;
+        let packed = reduced.map(|v| {
+            let mut w = WireWriter::with_capacity(8 + v.len() * 8);
+            w.put_f64_slice(&v);
+            w.finish()
+        });
+        let data = self.broadcast(0, packed)?;
+        let mut r = WireReader::new(data);
+        r.get_f64_vec()
+    }
+
+    /// All-reduce of a single `f64`.
+    pub fn all_reduce_f64<F>(&self, value: f64, op: F) -> CommResult<f64>
+    where
+        F: Fn(f64, f64) -> f64,
+    {
+        Ok(self.all_reduce_f64_vec(vec![value], op)?[0])
+    }
+
+    /// All-reduce of a single `u64` (values are representable exactly in
+    /// `f64` only up to 2^53, so this uses its own integer path).
+    pub fn all_reduce_u64<F>(&self, value: u64, op: F) -> CommResult<u64>
+    where
+        F: Fn(u64, u64) -> u64,
+    {
+        self.note_sync();
+        // Gather to 0, fold, broadcast — P is modest in-process.
+        let gathered = self.gather(0, value.to_bytes())?;
+        let result = if let Some(parts) = gathered {
+            let mut acc: Option<u64> = None;
+            for part in parts {
+                let v = u64::from_bytes(part)?;
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => op(a, v),
+                });
+            }
+            Some(acc.expect("world nonempty").to_bytes())
+        } else {
+            None
+        };
+        let data = self.broadcast(0, result)?;
+        u64::from_bytes(data)
+    }
+
+    /// Exclusive prefix sum of `value` over ranks: rank r receives
+    /// `sum(values[0..r])`; rank 0 receives 0. Linear chain.
+    pub fn exscan_u64(&self, value: u64) -> CommResult<u64> {
+        self.note_sync();
+        let prefix = if self.rank == 0 {
+            0u64
+        } else {
+            u64::from_bytes(self.recv(self.rank - 1, T_SCAN)?)?
+        };
+        if self.rank + 1 < self.size {
+            let next = prefix + value;
+            self.send(self.rank + 1, T_SCAN, next.to_bytes())?;
+        }
+        Ok(prefix)
+    }
+
+    /// Personalised all-to-all: `outgoing[r]` goes to rank `r`; returns
+    /// the payloads received from each rank, indexed by source rank
+    /// (including this rank's own `outgoing[self.rank]`, delivered
+    /// locally without touching the network counters).
+    pub fn all_to_all(&self, outgoing: Vec<Bytes>) -> CommResult<Vec<Bytes>> {
+        if outgoing.len() != self.size {
+            return Err(CommError::CollectiveMismatch {
+                reason: format!(
+                    "all_to_all needs {} payloads, got {}",
+                    self.size,
+                    outgoing.len()
+                ),
+            });
+        }
+        self.note_sync();
+        let mut incoming: Vec<Option<Bytes>> = vec![None; self.size];
+        for (dst, payload) in outgoing.into_iter().enumerate() {
+            if dst == self.rank {
+                incoming[dst] = Some(payload);
+            } else {
+                self.send(dst, T_ALLTOALL, payload)?;
+            }
+        }
+        for _ in 0..self.size - 1 {
+            let (src, data) = self.recv_any(T_ALLTOALL)?;
+            if incoming[src].is_some() {
+                return Err(CommError::CollectiveMismatch {
+                    reason: format!("duplicate all_to_all message from rank {src}"),
+                });
+            }
+            incoming[src] = Some(data);
+        }
+        Ok(incoming
+            .into_iter()
+            .map(|o| o.expect("all ranks delivered"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_spmd;
+
+    #[test]
+    fn p2p_fifo_per_source_and_tag() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u64 {
+                    comm.send_wire(1, Tag::user(0), &i).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..10)
+                    .map(|_| comm.recv_wire::<u64>(0, Tag::user(0)).unwrap())
+                    .collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(results[1], (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_wire(1, Tag::user(1), &111u64).unwrap();
+                comm.send_wire(1, Tag::user(2), &222u64).unwrap();
+                (0, 0)
+            } else {
+                // Receive tag 2 first even though tag 1 arrived first.
+                let b = comm.recv_wire::<u64>(0, Tag::user(2)).unwrap();
+                let a = comm.recv_wire::<u64>(0, Tag::user(1)).unwrap();
+                (a, b)
+            }
+        });
+        assert_eq!(results[1], (111, 222));
+    }
+
+    #[test]
+    fn barrier_all_sizes() {
+        for p in 1..=7 {
+            run_spmd(p, |comm| {
+                for _ in 0..3 {
+                    comm.barrier().unwrap();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        for p in 1..=6 {
+            for root in 0..p {
+                let results = run_spmd(p, move |comm| {
+                    let v = if comm.rank() == root {
+                        Some(&123_456u64)
+                    } else {
+                        None
+                    };
+                    comm.broadcast_wire::<u64>(root, v).unwrap()
+                });
+                assert!(results.iter().all(|&v| v == 123_456));
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_by_rank() {
+        let results = run_spmd(5, |comm| {
+            let payload = (comm.rank() as u64 * 10).to_bytes();
+            comm.gather(2, payload).unwrap()
+        });
+        let at_root = results[2].as_ref().unwrap();
+        for (r, b) in at_root.iter().enumerate() {
+            assert_eq!(u64::from_bytes(b.clone()).unwrap(), r as u64 * 10);
+        }
+        assert!(results[0].is_none());
+    }
+
+    #[test]
+    fn all_gather_consistent_everywhere() {
+        let results = run_spmd(4, |comm| {
+            let payload = (comm.rank() as u64).to_bytes();
+            comm.all_gather(payload)
+                .unwrap()
+                .into_iter()
+                .map(|b| u64::from_bytes(b).unwrap())
+                .collect::<Vec<_>>()
+        });
+        for r in &results {
+            assert_eq!(*r, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn reduce_and_allreduce() {
+        for p in 1..=8 {
+            let results = run_spmd(p, |comm| {
+                let x = (comm.rank() + 1) as f64;
+                comm.all_reduce_f64(x, |a, b| a + b).unwrap()
+            });
+            let expect = (p * (p + 1)) as f64 / 2.0;
+            for r in results {
+                assert!((r - expect).abs() < 1e-12, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise_max() {
+        let results = run_spmd(3, |comm| {
+            let r = comm.rank() as f64;
+            comm.all_reduce_f64_vec(vec![r, -r, r * r], f64::max).unwrap()
+        });
+        for r in &results {
+            assert_eq!(*r, vec![2.0, 0.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn exscan_prefix_sums() {
+        let results = run_spmd(5, |comm| comm.exscan_u64(comm.rank() as u64 + 1).unwrap());
+        assert_eq!(results, vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn all_to_all_personalised() {
+        let results = run_spmd(4, |comm| {
+            let out: Vec<Bytes> = (0..4)
+                .map(|dst| ((comm.rank() * 100 + dst) as u64).to_bytes())
+                .collect();
+            comm.all_to_all(out)
+                .unwrap()
+                .into_iter()
+                .map(|b| u64::from_bytes(b).unwrap())
+                .collect::<Vec<_>>()
+        });
+        for (me, r) in results.iter().enumerate() {
+            let expect: Vec<u64> = (0..4).map(|src| (src * 100 + me) as u64).collect();
+            assert_eq!(*r, expect);
+        }
+    }
+
+    #[test]
+    fn exchange_pairs() {
+        let results = run_spmd(4, |comm| {
+            let me = comm.rank();
+            let peer = me ^ 1;
+            let out = vec![(peer, (me as u64).to_bytes())];
+            let rcvd = comm.exchange(Tag::halo(0), &out, &[peer]).unwrap();
+            u64::from_bytes(rcvd[0].clone()).unwrap()
+        });
+        assert_eq!(results, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn stats_count_sends() {
+        let results = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, Tag::halo(0), Bytes::from_static(&[0u8; 64]))
+                    .unwrap();
+                comm.send(1, Tag::vis(0), Bytes::from_static(&[0u8; 32]))
+                    .unwrap();
+            } else {
+                comm.recv(0, Tag::halo(0)).unwrap();
+                comm.recv(0, Tag::vis(0)).unwrap();
+            }
+            comm.stats()
+        });
+        use crate::stats::TagClass;
+        assert_eq!(results[0].bytes(TagClass::Halo), 64);
+        assert_eq!(results[0].bytes(TagClass::Visualisation), 32);
+        assert_eq!(results[1].total_bytes(), 0);
+    }
+
+    #[test]
+    fn invalid_rank_is_an_error() {
+        run_spmd(2, |comm| {
+            assert!(matches!(
+                comm.send(9, Tag::user(0), Bytes::new()),
+                Err(CommError::InvalidRank { rank: 9, size: 2 })
+            ));
+            assert!(matches!(
+                comm.recv(7, Tag::user(0)),
+                Err(CommError::InvalidRank { rank: 7, size: 2 })
+            ));
+        });
+    }
+
+    #[test]
+    fn try_recv_returns_none_before_arrival() {
+        run_spmd(2, |comm| {
+            if comm.rank() == 1 {
+                // Probe strictly before rank 0 is allowed to send.
+                assert!(comm.try_recv(0, Tag::user(5)).unwrap().is_none());
+                comm.send(0, Tag::user(6), Bytes::new()).unwrap(); // release
+                let mut got = None;
+                while got.is_none() {
+                    got = comm.try_recv(0, Tag::user(5)).unwrap();
+                }
+                assert_eq!(u64::from_bytes(got.unwrap()).unwrap(), 9);
+            } else {
+                comm.recv(1, Tag::user(6)).unwrap(); // wait for the probe
+                comm.send_wire(1, Tag::user(5), &9u64).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn self_send_delivers_locally_without_counting() {
+        run_spmd(1, |comm| {
+            comm.send_wire(0, Tag::user(0), &77u64).unwrap();
+            let v: u64 = comm.recv_wire(0, Tag::user(0)).unwrap();
+            assert_eq!(v, 77);
+            assert_eq!(comm.stats().total_msgs(), 0);
+        });
+    }
+}

@@ -1,0 +1,293 @@
+//! Communication accounting.
+//!
+//! Every send performed through a [`Communicator`](crate::Communicator)
+//! is recorded in a per-rank [`CommStats`]: one message count and one byte
+//! count per [`TagClass`]. The experiment harness aggregates the per-rank
+//! records into a [`StatsSummary`] (totals, per-rank maxima, imbalance),
+//! which is the measured stand-in for the paper's qualitative
+//! "communication cost" column.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Traffic classes, one per co-design subsystem (derived from tag ranges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TagClass {
+    /// Collective-internal traffic (barriers, reductions, ...).
+    Collective,
+    /// LB halo exchange (distribution functions crossing rank boundaries).
+    Halo,
+    /// Geometry loading and redistribution (pre-processing).
+    Geometry,
+    /// Data migration due to (re)partitioning.
+    Migration,
+    /// In situ visualisation traffic moving simulation data (halo
+    /// strips, particle hand-off, ...).
+    Visualisation,
+    /// Image compositing traffic (result reduction).
+    Compositing,
+    /// Steering protocol traffic.
+    Steering,
+    /// Application-defined traffic.
+    User,
+}
+
+impl TagClass {
+    /// All classes, in reporting order.
+    pub const ALL: [TagClass; 8] = [
+        TagClass::Collective,
+        TagClass::Halo,
+        TagClass::Geometry,
+        TagClass::Migration,
+        TagClass::Visualisation,
+        TagClass::Compositing,
+        TagClass::Steering,
+        TagClass::User,
+    ];
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            TagClass::Collective => 0,
+            TagClass::Halo => 1,
+            TagClass::Geometry => 2,
+            TagClass::Migration => 3,
+            TagClass::Visualisation => 4,
+            TagClass::Compositing => 5,
+            TagClass::Steering => 6,
+            TagClass::User => 7,
+        }
+    }
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TagClass::Collective => "collective",
+            TagClass::Halo => "halo",
+            TagClass::Geometry => "geometry",
+            TagClass::Migration => "migration",
+            TagClass::Visualisation => "vis",
+            TagClass::Compositing => "composite",
+            TagClass::Steering => "steering",
+            TagClass::User => "user",
+        }
+    }
+}
+
+/// Per-rank communication counters.
+///
+/// Counters are cumulative over the life of a rank; callers that need
+/// per-phase figures snapshot with [`CommStats::clone`] and subtract with
+/// [`CommStats::delta_since`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    msgs: [u64; 8],
+    bytes: [u64; 8],
+    /// Number of blocking collective entries (synchronisation points).
+    pub sync_points: u64,
+}
+
+impl CommStats {
+    /// A fresh, zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sent message of `len` payload bytes in `class`.
+    #[inline]
+    pub fn record_send(&mut self, class: TagClass, len: usize) {
+        let i = class.index();
+        self.msgs[i] += 1;
+        self.bytes[i] += len as u64;
+    }
+
+    /// Record entry into a blocking collective (a synchronisation point).
+    #[inline]
+    pub fn record_sync(&mut self) {
+        self.sync_points += 1;
+    }
+
+    /// Messages sent in `class`.
+    #[inline]
+    pub fn msgs(&self, class: TagClass) -> u64 {
+        self.msgs[class.index()]
+    }
+
+    /// Payload bytes sent in `class`.
+    #[inline]
+    pub fn bytes(&self, class: TagClass) -> u64 {
+        self.bytes[class.index()]
+    }
+
+    /// Total messages sent across all classes.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Total payload bytes sent across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Counter-wise difference `self - earlier` (panics on underflow,
+    /// which would indicate the snapshots were swapped).
+    pub fn delta_since(&self, earlier: &CommStats) -> CommStats {
+        let mut out = CommStats::default();
+        for i in 0..8 {
+            out.msgs[i] = self.msgs[i]
+                .checked_sub(earlier.msgs[i])
+                .expect("stats snapshots out of order");
+            out.bytes[i] = self.bytes[i]
+                .checked_sub(earlier.bytes[i])
+                .expect("stats snapshots out of order");
+        }
+        out.sync_points = self
+            .sync_points
+            .checked_sub(earlier.sync_points)
+            .expect("stats snapshots out of order");
+        out
+    }
+
+    /// Counter-wise sum, used when folding per-rank records.
+    pub fn merged_with(&self, other: &CommStats) -> CommStats {
+        let mut out = self.clone();
+        for i in 0..8 {
+            out.msgs[i] += other.msgs[i];
+            out.bytes[i] += other.bytes[i];
+        }
+        out.sync_points += other.sync_points;
+        out
+    }
+}
+
+/// Aggregate view over the per-rank [`CommStats`] of one SPMD run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsSummary {
+    /// Number of ranks that contributed.
+    pub ranks: usize,
+    /// Sum of all per-rank counters.
+    pub total: CommStats,
+    /// Maximum total bytes sent by any single rank.
+    pub max_bytes_per_rank: u64,
+    /// Maximum total messages sent by any single rank.
+    pub max_msgs_per_rank: u64,
+    /// `max_bytes_per_rank / mean_bytes_per_rank`; 1.0 is perfectly even.
+    /// Reported as 1.0 when no traffic occurred.
+    pub byte_imbalance: f64,
+}
+
+impl StatsSummary {
+    /// Fold per-rank records into an aggregate.
+    pub fn from_ranks(per_rank: &[CommStats]) -> Self {
+        let ranks = per_rank.len();
+        let total = per_rank
+            .iter()
+            .fold(CommStats::default(), |acc, s| acc.merged_with(s));
+        let max_bytes_per_rank = per_rank.iter().map(|s| s.total_bytes()).max().unwrap_or(0);
+        let max_msgs_per_rank = per_rank.iter().map(|s| s.total_msgs()).max().unwrap_or(0);
+        let mean = if ranks == 0 {
+            0.0
+        } else {
+            total.total_bytes() as f64 / ranks as f64
+        };
+        let byte_imbalance = if mean > 0.0 {
+            max_bytes_per_rank as f64 / mean
+        } else {
+            1.0
+        };
+        StatsSummary {
+            ranks,
+            total,
+            max_bytes_per_rank,
+            max_msgs_per_rank,
+            byte_imbalance,
+        }
+    }
+
+    /// Bytes per class as `(label, bytes)` pairs with non-zero counts.
+    pub fn bytes_by_class(&self) -> Vec<(&'static str, u64)> {
+        TagClass::ALL
+            .iter()
+            .filter(|c| self.total.bytes(**c) > 0)
+            .map(|c| (c.label(), self.total.bytes(*c)))
+            .collect()
+    }
+}
+
+impl fmt::Display for StatsSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ranks={} total_msgs={} total_bytes={} max_bytes/rank={} imbalance={:.3} syncs={}",
+            self.ranks,
+            self.total.total_msgs(),
+            self.total.total_bytes(),
+            self.max_bytes_per_rank,
+            self.byte_imbalance,
+            self.total.sync_points,
+        )?;
+        for (label, bytes) in self.bytes_by_class() {
+            writeln!(f, "  {label:>10}: {bytes} B")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut s = CommStats::new();
+        s.record_send(TagClass::Halo, 128);
+        s.record_send(TagClass::Halo, 64);
+        s.record_send(TagClass::Visualisation, 1000);
+        assert_eq!(s.msgs(TagClass::Halo), 2);
+        assert_eq!(s.bytes(TagClass::Halo), 192);
+        assert_eq!(s.msgs(TagClass::Visualisation), 1);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.total_bytes(), 1192);
+    }
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let mut s = CommStats::new();
+        s.record_send(TagClass::Halo, 100);
+        let snap = s.clone();
+        s.record_send(TagClass::Halo, 50);
+        s.record_sync();
+        let d = s.delta_since(&snap);
+        assert_eq!(d.bytes(TagClass::Halo), 50);
+        assert_eq!(d.msgs(TagClass::Halo), 1);
+        assert_eq!(d.sync_points, 1);
+    }
+
+    #[test]
+    fn summary_imbalance() {
+        let mut a = CommStats::new();
+        a.record_send(TagClass::User, 300);
+        let mut b = CommStats::new();
+        b.record_send(TagClass::User, 100);
+        let sum = StatsSummary::from_ranks(&[a, b]);
+        assert_eq!(sum.total.total_bytes(), 400);
+        assert_eq!(sum.max_bytes_per_rank, 300);
+        assert!((sum.byte_imbalance - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_silence_is_balanced() {
+        let sum = StatsSummary::from_ranks(&[CommStats::new(), CommStats::new()]);
+        assert_eq!(sum.byte_imbalance, 1.0);
+        assert_eq!(sum.total.total_bytes(), 0);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = CommStats::new();
+        a.record_send(TagClass::Halo, 10);
+        let mut b = CommStats::new();
+        b.record_send(TagClass::Steering, 20);
+        assert_eq!(a.merged_with(&b), b.merged_with(&a));
+    }
+}

@@ -1,0 +1,512 @@
+//! Compact little-endian wire encoding.
+//!
+//! Messages on the substrate are raw byte payloads ([`bytes::Bytes`]).
+//! This module provides a small, allocation-conscious encoding layer used
+//! by the solver, the visualisation algorithms and the steering protocol:
+//! fixed-width little-endian scalars, length-prefixed sequences, and a
+//! [`Wire`] trait for composite types.
+//!
+//! The format is deliberately simple (no schema evolution) because both
+//! ends of every channel are compiled from the same source — the same
+//! situation as MPI messages inside one binary.
+
+use crate::error::{CommError, CommResult};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Serialisation sink with typed put helpers.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// A new empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer pre-sized for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Append a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Append a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Append an `i64` (little-endian).
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Append an `f32` (little-endian bit pattern).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_f32_le(v);
+    }
+
+    /// Append an `f64` (little-endian bit pattern).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Append a `usize` as `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.buf.put_f64_le(x);
+        }
+    }
+
+    /// Append a length-prefixed `f32` slice.
+    pub fn put_f32_slice(&mut self, v: &[f32]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.buf.put_f32_le(x);
+        }
+    }
+
+    /// Append a length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.buf.put_u64_le(x);
+        }
+    }
+
+    /// Append a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, v: &[u32]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.buf.put_u32_le(x);
+        }
+    }
+
+    /// Append a length-prefixed raw byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.put_slice(v);
+    }
+
+    /// Append an encodable value.
+    pub fn put<T: Wire>(&mut self, v: &T) {
+        v.encode(self);
+    }
+
+    /// Finish, yielding the immutable payload.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Deserialisation cursor over a received payload.
+#[derive(Debug)]
+pub struct WireReader {
+    buf: Bytes,
+}
+
+macro_rules! need {
+    ($self:ident, $n:expr, $what:expr) => {
+        if $self.buf.remaining() < $n {
+            return Err(CommError::Decode {
+                reason: format!(
+                    "truncated payload: need {} bytes for {}, have {}",
+                    $n,
+                    $what,
+                    $self.buf.remaining()
+                ),
+            });
+        }
+    };
+}
+
+impl WireReader {
+    /// Wrap a payload for reading.
+    pub fn new(buf: Bytes) -> Self {
+        WireReader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> CommResult<u8> {
+        need!(self, 1, "u8");
+        Ok(self.buf.get_u8())
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> CommResult<u32> {
+        need!(self, 4, "u32");
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> CommResult<u64> {
+        need!(self, 8, "u64");
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Read an `i64`.
+    pub fn get_i64(&mut self) -> CommResult<i64> {
+        need!(self, 8, "i64");
+        Ok(self.buf.get_i64_le())
+    }
+
+    /// Read an `f32`.
+    pub fn get_f32(&mut self) -> CommResult<f32> {
+        need!(self, 4, "f32");
+        Ok(self.buf.get_f32_le())
+    }
+
+    /// Read an `f64`.
+    pub fn get_f64(&mut self) -> CommResult<f64> {
+        need!(self, 8, "f64");
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Read a `usize` (encoded as `u64`); errors if it overflows `usize`.
+    pub fn get_usize(&mut self) -> CommResult<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CommError::Decode {
+            reason: format!("length {v} overflows usize"),
+        })
+    }
+
+    /// Read a `bool`.
+    pub fn get_bool(&mut self) -> CommResult<bool> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> CommResult<String> {
+        let n = self.get_checked_len(1, "string")?;
+        let raw = self.buf.split_to(n);
+        String::from_utf8(raw.to_vec()).map_err(|e| CommError::Decode {
+            reason: format!("invalid utf-8: {e}"),
+        })
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn get_f64_vec(&mut self) -> CommResult<Vec<f64>> {
+        let n = self.get_checked_len(8, "f64 slice")?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.buf.get_f64_le());
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `f32` vector.
+    pub fn get_f32_vec(&mut self) -> CommResult<Vec<f32>> {
+        let n = self.get_checked_len(4, "f32 slice")?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.buf.get_f32_le());
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `u64` vector.
+    pub fn get_u64_vec(&mut self) -> CommResult<Vec<u64>> {
+        let n = self.get_checked_len(8, "u64 slice")?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.buf.get_u64_le());
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed `u32` vector.
+    pub fn get_u32_vec(&mut self) -> CommResult<Vec<u32>> {
+        let n = self.get_checked_len(4, "u32 slice")?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.buf.get_u32_le());
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed raw byte vector.
+    pub fn get_bytes(&mut self) -> CommResult<Bytes> {
+        let n = self.get_checked_len(1, "byte slice")?;
+        Ok(self.buf.split_to(n))
+    }
+
+    /// Read a decodable value.
+    pub fn get<T: Wire>(&mut self) -> CommResult<T> {
+        T::decode(self)
+    }
+
+    /// Error unless the payload has been fully consumed. Useful as a
+    /// trailing check in protocol decoders.
+    pub fn expect_end(&self) -> CommResult<()> {
+        if self.buf.has_remaining() {
+            Err(CommError::Decode {
+                reason: format!("{} trailing bytes after decode", self.buf.remaining()),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read a length prefix and validate that `len * elem` bytes are
+    /// actually present, so corrupt lengths fail cleanly instead of
+    /// attempting huge allocations.
+    fn get_checked_len(&mut self, elem: usize, what: &str) -> CommResult<usize> {
+        let n = self.get_usize()?;
+        let need = n.checked_mul(elem).ok_or_else(|| CommError::Decode {
+            reason: format!("length overflow decoding {what}"),
+        })?;
+        if self.buf.remaining() < need {
+            return Err(CommError::Decode {
+                reason: format!(
+                    "truncated payload: {what} of {n} elems needs {need} bytes, have {}",
+                    self.buf.remaining()
+                ),
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// Types with a fixed, self-describing wire encoding.
+pub trait Wire: Sized {
+    /// Append `self` to the writer.
+    fn encode(&self, w: &mut WireWriter);
+    /// Parse one value from the reader.
+    fn decode(r: &mut WireReader) -> CommResult<Self>;
+
+    /// Encode as a standalone payload.
+    fn to_bytes(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Decode from a standalone payload, requiring full consumption.
+    fn from_bytes(b: Bytes) -> CommResult<Self> {
+        let mut r = WireReader::new(b);
+        let v = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut WireReader) -> CommResult<Self> {
+        r.get_u64()
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut WireReader) -> CommResult<Self> {
+        r.get_u32()
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_f64(*self);
+    }
+    fn decode(r: &mut WireReader) -> CommResult<Self> {
+        r.get_f64()
+    }
+}
+
+impl Wire for f32 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_f32(*self);
+    }
+    fn decode(r: &mut WireReader) -> CommResult<Self> {
+        r.get_f32()
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_bool(*self);
+    }
+    fn decode(r: &mut WireReader) -> CommResult<Self> {
+        r.get_bool()
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut WireReader) -> CommResult<Self> {
+        r.get_str()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_usize(self.len());
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut WireReader) -> CommResult<Self> {
+        let n = r.get_usize()?;
+        // Guard against corrupt lengths: each element needs >= 1 byte.
+        if r.remaining() < n {
+            return Err(CommError::Decode {
+                reason: format!("vec length {n} exceeds remaining {} bytes", r.remaining()),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire, U: Wire> Wire for (T, U) {
+    fn encode(&self, w: &mut WireWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut WireReader) -> CommResult<Self> {
+        Ok((T::decode(r)?, U::decode(r)?))
+    }
+}
+
+impl Wire for [f64; 3] {
+    fn encode(&self, w: &mut WireWriter) {
+        for &x in self {
+            w.put_f64(x);
+        }
+    }
+    fn decode(r: &mut WireReader) -> CommResult<Self> {
+        Ok([r.get_f64()?, r.get_f64()?, r.get_f64()?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_i64(-42);
+        w.put_f32(1.5);
+        w.put_f64(-0.125);
+        w.put_bool(true);
+        w.put_str("aneurysm");
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f32().unwrap(), 1.5);
+        assert_eq!(r.get_f64().unwrap(), -0.125);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "aneurysm");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn slices_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_f64_slice(&[1.0, 2.0, 3.0]);
+        w.put_u64_slice(&[]);
+        w.put_u32_slice(&[9, 8]);
+        w.put_bytes(b"xyz");
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_f64_vec().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.get_u64_vec().unwrap(), Vec::<u64>::new());
+        assert_eq!(r.get_u32_vec().unwrap(), vec![9, 8]);
+        assert_eq!(&r.get_bytes().unwrap()[..], b"xyz");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = WireWriter::new();
+        w.put_u64(5);
+        let mut r = WireReader::new(w.finish());
+        // Claims 5 f64s but has none.
+        assert!(r.get_f64_vec().is_err());
+    }
+
+    #[test]
+    fn corrupt_huge_length_fails_cleanly() {
+        let mut w = WireWriter::new();
+        w.put_u64(u64::MAX);
+        let mut r = WireReader::new(w.finish());
+        assert!(r.get_u64_vec().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = WireWriter::new();
+        w.put_u64(1);
+        w.put_u8(0);
+        let b = w.finish();
+        assert!(matches!(
+            u64::from_bytes(b),
+            Err(CommError::Decode { .. })
+        ));
+    }
+
+    #[test]
+    fn composite_wire_round_trip() {
+        let v: Vec<(u32, String)> = vec![(1, "a".into()), (2, "bb".into())];
+        let b = v.to_bytes();
+        let back = Vec::<(u32, String)>::from_bytes(b).unwrap();
+        assert_eq!(back, v);
+    }
+}

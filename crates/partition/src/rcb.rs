@@ -1,0 +1,141 @@
+//! Recursive coordinate bisection (RCB).
+//!
+//! Split the site cloud along its longest axis at the weighted median,
+//! recursing until `k` parts exist. Handles non-power-of-two `k` by
+//! splitting weight proportionally to the child part counts.
+
+use crate::graph::SiteGraph;
+use crate::Partitioner;
+
+/// Recursive coordinate bisection partitioner.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Rcb;
+
+impl Partitioner for Rcb {
+    fn partition(&self, graph: &SiteGraph, k: usize) -> Vec<usize> {
+        assert!(k > 0);
+        let mut owner = vec![0usize; graph.len()];
+        let mut ids: Vec<u32> = (0..graph.len() as u32).collect();
+        bisect(graph, &mut ids, 0, k, &mut owner);
+        owner
+    }
+    fn name(&self) -> &'static str {
+        "rcb"
+    }
+}
+
+fn bisect(graph: &SiteGraph, ids: &mut [u32], first_part: usize, parts: usize, owner: &mut [usize]) {
+    if parts == 1 {
+        for &v in ids.iter() {
+            owner[v as usize] = first_part;
+        }
+        return;
+    }
+    // Longest axis of this subset's bounding box.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &v in ids.iter() {
+        let c = graph.coords[v as usize];
+        for a in 0..3 {
+            lo[a] = lo[a].min(c[a]);
+            hi[a] = hi[a].max(c[a]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| {
+            (hi[a] - lo[a])
+                .partial_cmp(&(hi[b] - lo[b]))
+                .expect("finite extents")
+        })
+        .expect("three axes");
+
+    // Sort along that axis (tie-break on the others for determinism).
+    ids.sort_unstable_by(|&a, &b| {
+        let ca = graph.coords[a as usize];
+        let cb = graph.coords[b as usize];
+        ca[axis]
+            .partial_cmp(&cb[axis])
+            .unwrap()
+            .then(ca[(axis + 1) % 3].partial_cmp(&cb[(axis + 1) % 3]).unwrap())
+            .then(ca[(axis + 2) % 3].partial_cmp(&cb[(axis + 2) % 3]).unwrap())
+            .then(a.cmp(&b))
+    });
+
+    // Weighted split proportional to child part counts.
+    let left_parts = parts / 2;
+    let right_parts = parts - left_parts;
+    let total: f64 = ids.iter().map(|&v| graph.vwgt[v as usize]).sum();
+    let target = total * left_parts as f64 / parts as f64;
+    let mut acc = 0.0;
+    let mut split = ids.len();
+    for (i, &v) in ids.iter().enumerate() {
+        acc += graph.vwgt[v as usize];
+        if acc >= target {
+            split = i + 1;
+            break;
+        }
+    }
+    // Keep both halves non-empty when possible.
+    split = split.clamp(1, ids.len().saturating_sub(1).max(1));
+    let (left, right) = ids.split_at_mut(split);
+    bisect(graph, left, first_part, left_parts, owner);
+    bisect(graph, right, first_part + left_parts, right_parts, owner);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Connectivity;
+    use crate::metrics::quality;
+    use crate::SiteGraph;
+    use hemelb_geometry::VesselBuilder;
+
+    #[test]
+    fn rcb_splits_a_tube_into_slabs() {
+        let geo = VesselBuilder::straight_tube(32.0, 4.0).voxelise(1.0);
+        let g = SiteGraph::from_geometry(&geo, Connectivity::Six);
+        let owner = Rcb.partition(&g, 4);
+        let q = quality(&g, &owner, 4);
+        assert!(q.imbalance < 1.1, "imbalance {}", q.imbalance);
+        // For an x-elongated tube the splits must be along x: each part's
+        // x-range must be (nearly) disjoint.
+        let mut ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); 4];
+        for (v, &o) in owner.iter().enumerate() {
+            let x = g.coords[v][0];
+            ranges[o].0 = ranges[o].0.min(x);
+            ranges[o].1 = ranges[o].1.max(x);
+        }
+        let mut sorted = ranges.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in sorted.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1 - 1.0,
+                "slabs should barely overlap: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rcb_handles_non_power_of_two() {
+        let geo = VesselBuilder::aneurysm(24.0, 4.0, 6.0).voxelise(1.0);
+        let g = SiteGraph::from_geometry(&geo, Connectivity::Six);
+        for k in [3, 5, 7] {
+            let owner = Rcb.partition(&g, k);
+            let q = quality(&g, &owner, k);
+            assert!(q.imbalance < 1.25, "k={k} imbalance {}", q.imbalance);
+            let mut seen = vec![false; k];
+            for &o in &owner {
+                seen[o] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "k={k}: empty part");
+        }
+    }
+
+    #[test]
+    fn rcb_k1_is_identity() {
+        let geo = VesselBuilder::straight_tube(10.0, 2.0).voxelise(1.0);
+        let g = SiteGraph::from_geometry(&geo, Connectivity::Six);
+        let owner = Rcb.partition(&g, 1);
+        assert!(owner.iter().all(|&o| o == 0));
+    }
+}

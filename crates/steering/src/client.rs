@@ -1,0 +1,132 @@
+//! The headless steering client.
+
+use crate::protocol::{ImageFrame, ServerMessage, StatusReport, SteeringCommand};
+use crate::transport::Transport;
+use hemelb_parallel::Wire;
+
+/// A steering client driving a running simulation over a transport.
+pub struct SteeringClient {
+    transport: Box<dyn Transport>,
+}
+
+impl SteeringClient {
+    /// Wrap a connected transport.
+    pub fn new(transport: Box<dyn Transport>) -> Self {
+        SteeringClient { transport }
+    }
+
+    /// Send one command.
+    pub fn send(&self, cmd: &SteeringCommand) -> std::io::Result<()> {
+        self.transport.send_frame(cmd.to_bytes())
+    }
+
+    /// Blocking receive of the next server message.
+    pub fn recv(&self) -> std::io::Result<ServerMessage> {
+        let frame = self.transport.recv_frame()?;
+        ServerMessage::from_bytes(frame)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> std::io::Result<Option<ServerMessage>> {
+        match self.transport.try_recv_frame()? {
+            None => Ok(None),
+            Some(frame) => ServerMessage::from_bytes(frame)
+                .map(Some)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
+        }
+    }
+
+    /// Block until the next image arrives, returning it together with
+    /// the status reports that preceded it.
+    pub fn wait_for_image(&self) -> std::io::Result<(ImageFrame, Vec<StatusReport>)> {
+        let mut statuses = Vec::new();
+        loop {
+            match self.recv()? {
+                ServerMessage::Image(img) => return Ok((img, statuses)),
+                ServerMessage::Status(s) => statuses.push(s),
+                ServerMessage::Observables(_) => {}
+            }
+        }
+    }
+
+    /// Request a frame and wait for it (one full steps 2–6 round of the
+    /// paper's in situ loop). Returns the frame and the round-trip wall
+    /// time.
+    pub fn request_frame(&self) -> std::io::Result<(ImageFrame, std::time::Duration)> {
+        let t0 = std::time::Instant::now();
+        self.send(&SteeringCommand::RequestFrame)?;
+        let (img, _) = self.wait_for_image()?;
+        Ok((img, t0.elapsed()))
+    }
+
+    /// Request in situ observables over the current ROI and wait for
+    /// the report (other messages received in between are returned too).
+    pub fn request_observables(
+        &self,
+    ) -> std::io::Result<(crate::protocol::ObservableReport, Vec<ServerMessage>)> {
+        self.send(&SteeringCommand::RequestObservables)?;
+        let mut others = Vec::new();
+        loop {
+            match self.recv()? {
+                ServerMessage::Observables(o) => return Ok((o, others)),
+                other => others.push(other),
+            }
+        }
+    }
+
+    /// Steering bytes this client has sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.transport.bytes_sent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::duplex_pair;
+
+    #[test]
+    fn client_receives_interleaved_messages() {
+        let (client_end, server_end) = duplex_pair();
+        let client = SteeringClient::new(Box::new(client_end));
+        // Simulate the server side by hand.
+        let status = StatusReport {
+            step: 5,
+            mass: 1.0,
+            max_speed: 0.01,
+            residual: 0.0,
+            problems: vec![],
+            eta_steps: 95,
+            paused: false,
+        };
+        server_end
+            .send_frame(ServerMessage::Status(status.clone()).to_bytes())
+            .unwrap();
+        let img = ImageFrame {
+            step: 5,
+            width: 1,
+            height: 1,
+            rgb: vec![1, 2, 3],
+        };
+        server_end
+            .send_frame(ServerMessage::Image(img.clone()).to_bytes())
+            .unwrap();
+        let (got_img, statuses) = client.wait_for_image().unwrap();
+        assert_eq!(got_img, img);
+        assert_eq!(statuses, vec![status]);
+    }
+
+    #[test]
+    fn commands_arrive_at_the_other_end() {
+        let (client_end, server_end) = duplex_pair();
+        let client = SteeringClient::new(Box::new(client_end));
+        client.send(&SteeringCommand::SetVisRate(7)).unwrap();
+        let frame = server_end.recv_frame().unwrap();
+        assert_eq!(
+            SteeringCommand::from_bytes(frame).unwrap(),
+            SteeringCommand::SetVisRate(7)
+        );
+        assert!(client.bytes_sent() > 0);
+    }
+}

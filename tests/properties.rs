@@ -1,0 +1,320 @@
+//! Property-based tests (proptest) on the core invariants: wire
+//! encoding, partition covers, octree tilings, compositing algebra,
+//! collectives versus sequential references, and solver conservation.
+
+use hemelb::core::equilibrium::{feq_all, moments};
+use hemelb::core::model::LatticeModel;
+use hemelb::geometry::VesselBuilder;
+use hemelb::insitu::image::{over_px, PartialImage};
+use hemelb::octree::FieldOctree;
+use hemelb::parallel::{run_spmd, Wire, WireReader, WireWriter};
+use hemelb::partition::graph::{Connectivity, SiteGraph};
+use hemelb::partition::{quality, HilbertSfc, MortonSfc, MultilevelKWay, NaiveBlock, Partitioner, Rcb};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_scalars_round_trip(a: u64, b: f64, c: bool, s in "\\PC{0,40}") {
+        let mut w = WireWriter::new();
+        w.put_u64(a);
+        w.put_f64(b);
+        w.put_bool(c);
+        w.put_str(&s);
+        let mut r = WireReader::new(w.finish());
+        prop_assert_eq!(r.get_u64().unwrap(), a);
+        let b2 = r.get_f64().unwrap();
+        prop_assert!(b2 == b || (b.is_nan() && b2.is_nan()));
+        prop_assert_eq!(r.get_bool().unwrap(), c);
+        prop_assert_eq!(r.get_str().unwrap(), s);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn wire_vectors_round_trip(v in proptest::collection::vec(any::<f64>(), 0..200)) {
+        let mut w = WireWriter::new();
+        w.put_f64_slice(&v);
+        let mut r = WireReader::new(w.finish());
+        let back = r.get_f64_vec().unwrap();
+        prop_assert_eq!(back.len(), v.len());
+        for (x, y) in back.iter().zip(&v) {
+            prop_assert!(x == y || (x.is_nan() && y.is_nan()));
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Decoding arbitrary bytes as various types must error, not panic.
+        let b = bytes::Bytes::from(bytes);
+        let _ = u64::from_bytes(b.clone());
+        let _ = String::from_bytes(b.clone());
+        let _ = Vec::<f64>::from_bytes(b.clone());
+        let _ = Vec::<(u32, String)>::from_bytes(b);
+    }
+
+    #[test]
+    fn equilibrium_moments_match_inputs(
+        rho in 0.5f64..2.0,
+        ux in -0.1f64..0.1,
+        uy in -0.1f64..0.1,
+        uz in -0.1f64..0.1,
+    ) {
+        for model in [LatticeModel::d3q15(), LatticeModel::d3q19()] {
+            let mut f = vec![0.0; model.q];
+            feq_all(&model, rho, [ux, uy, uz], &mut f);
+            let (r, u) = moments(&model, &f);
+            prop_assert!((r - rho).abs() < 1e-12);
+            prop_assert!((u[0] - ux).abs() < 1e-12);
+            prop_assert!((u[1] - uy).abs() < 1e-12);
+            prop_assert!((u[2] - uz).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn over_operator_is_associative(
+        a in proptest::array::uniform4(0.0f32..1.0),
+        b in proptest::array::uniform4(0.0f32..1.0),
+        c in proptest::array::uniform4(0.0f32..1.0),
+    ) {
+        // Premultiplied: colour channels must not exceed alpha.
+        let clamp = |mut p: [f32; 4]| {
+            for i in 0..3 {
+                p[i] = p[i].min(p[3]);
+            }
+            p
+        };
+        let (a, b, c) = (clamp(a), clamp(b), clamp(c));
+        let left = over_px(over_px(a, b), c);
+        let right = over_px(a, over_px(b, c));
+        for i in 0..4 {
+            prop_assert!((left[i] - right[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn partial_merge_is_commutative(
+        pa in proptest::collection::vec((proptest::array::uniform4(0.0f32..1.0), 0.0f32..10.0), 8),
+        pb in proptest::collection::vec((proptest::array::uniform4(0.0f32..1.0), 0.0f32..10.0), 8),
+    ) {
+        let build = |data: &[([f32; 4], f32)]| {
+            let mut p = PartialImage::new(4, 2);
+            for (i, (px, d)) in data.iter().enumerate() {
+                p.image.pixels[i] = *px;
+                // Distinct depths avoid the tie case where ordering is
+                // rank-determined.
+                p.depth[i] = d + i as f32 * 1e-3;
+            }
+            p
+        };
+        let a = build(&pa);
+        let b = build(&pb);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for i in 0..8 {
+            if (a.depth[i] - b.depth[i]).abs() > 1e-6 {
+                for k in 0..4 {
+                    prop_assert!((ab.image.pixels[i][k] - ba.image.pixels[i][k]).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioners_cover_arbitrary_tubes(
+        len in 8.0f64..24.0,
+        radius in 2.0f64..5.0,
+        k in 2usize..6,
+    ) {
+        let geo = VesselBuilder::straight_tube(len, radius).voxelise(1.0);
+        let graph = SiteGraph::from_geometry(&geo, Connectivity::Six);
+        let partitioners: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(NaiveBlock),
+            Box::new(MortonSfc),
+            Box::new(HilbertSfc),
+            Box::new(Rcb),
+            Box::new(MultilevelKWay::default()),
+        ];
+        for p in &partitioners {
+            let owner = p.partition(&graph, k);
+            prop_assert_eq!(owner.len(), graph.len());
+            prop_assert!(owner.iter().all(|&o| o < k), "{} out of range", p.name());
+            let q = quality(&graph, &owner, k);
+            prop_assert!(q.imbalance < 2.0, "{} imbalance {}", p.name(), q.imbalance);
+        }
+    }
+
+    #[test]
+    fn octree_cuts_tile_random_fields(
+        seed in 0u64..1000,
+        level in 0u8..5,
+    ) {
+        let geo = VesselBuilder::straight_tube(12.0, 3.0).voxelise(1.0);
+        let n = geo.fluid_count();
+        // Deterministic pseudo-random field from the seed.
+        let field: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let tree = FieldOctree::build(&geo, &field);
+        let level = level.min(tree.depth());
+        let cut = tree.cut_at_level(level);
+        let covered: u64 = cut.iter().map(|node| node.agg.count as u64).sum();
+        prop_assert_eq!(covered, n as u64);
+        // Aggregate mean at the root equals the field mean.
+        let root = &tree.nodes()[tree.root() as usize];
+        let mean: f64 = field.iter().sum::<f64>() / n as f64;
+        prop_assert!((root.agg.mean - mean).abs() < 1e-9);
+        // Reconstruction error bounded by the field range.
+        let err = tree.l2_error_at_level(&geo, &field, level);
+        prop_assert!(err >= 0.0 && err <= 2.0);
+    }
+
+    #[test]
+    fn allreduce_matches_sequential_fold(
+        values in proptest::collection::vec(-1e6f64..1e6, 2..6),
+    ) {
+        let expect: f64 = values.iter().sum();
+        let vals = values.clone();
+        let results = run_spmd(values.len(), move |comm| {
+            comm.all_reduce_f64(vals[comm.rank()], |a, b| a + b).unwrap()
+        });
+        for r in results {
+            prop_assert!((r - expect).abs() < 1e-6 * expect.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn exscan_matches_prefix_sums(
+        values in proptest::collection::vec(0u64..1000, 2..6),
+    ) {
+        let vals = values.clone();
+        let results = run_spmd(values.len(), move |comm| {
+            comm.exscan_u64(vals[comm.rank()]).unwrap()
+        });
+        let mut acc = 0u64;
+        for (r, v) in results.iter().zip(&values) {
+            prop_assert_eq!(*r, acc);
+            acc += v;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn isosurfaces_of_spheres_are_watertight(
+        cx in 6.0f64..14.0,
+        cy in 6.0f64..14.0,
+        cz in 6.0f64..14.0,
+        r in 2.0f64..5.0,
+    ) {
+        use hemelb::insitu::isosurface::marching_tetrahedra;
+        let dims = [20usize, 20, 20];
+        let mesh = marching_tetrahedra(dims, move |x, y, z| {
+            if x < 0 || y < 0 || z < 0
+                || x >= dims[0] as i64 || y >= dims[1] as i64 || z >= dims[2] as i64 {
+                return None;
+            }
+            let dx = x as f64 - cx;
+            let dy = y as f64 - cy;
+            let dz = z as f64 - cz;
+            Some((dx * dx + dy * dy + dz * dz).sqrt() - r)
+        }, 0.0);
+        prop_assert!(mesh.triangle_count() > 0);
+        // Sphere fully interior (margins guaranteed by the ranges above
+        // since centre ∈ [6,14] and r < 5 ⇒ surface within [1,19]).
+        prop_assert!(mesh.is_watertight());
+        // Area within 25% of the analytic value at this coarse grid.
+        let expect = 4.0 * std::f64::consts::PI * r * r;
+        prop_assert!((mesh.area() - expect).abs() / expect < 0.25);
+    }
+
+    #[test]
+    fn steering_commands_round_trip(kind in 0u8..10, a in any::<f64>(), b in any::<u32>()) {
+        use hemelb::steering::{FieldChoice, SteeringCommand};
+        let a = if a.is_finite() { a } else { 1.0 };
+        let cmd = match kind {
+            0 => SteeringCommand::SetCamera {
+                eye: [a, 1.0, 2.0],
+                target: [0.0, a, 0.0],
+                up: [0.0, 0.0, 1.0],
+                fov_y: 0.7,
+            },
+            1 => SteeringCommand::SetField(match b % 3 {
+                0 => FieldChoice::Density,
+                1 => FieldChoice::Speed,
+                _ => FieldChoice::Shear,
+            }),
+            2 => SteeringCommand::SetVisRate(b),
+            3 => SteeringCommand::SetRoi {
+                lo: [b % 100, 0, 1],
+                hi: [b % 100 + 5, 10, 11],
+            },
+            4 => SteeringCommand::SetInletPressure { id: b % 4, rho: a },
+            5 => SteeringCommand::Pause,
+            6 => SteeringCommand::Resume,
+            7 => SteeringCommand::RequestFrame,
+            8 => SteeringCommand::RequestObservables,
+            _ => SteeringCommand::Terminate,
+        };
+        let bytes = cmd.to_bytes();
+        prop_assert_eq!(SteeringCommand::from_bytes(bytes).unwrap(), cmd);
+    }
+}
+
+#[test]
+fn checkpoint_round_trip_under_random_corruption() {
+    use hemelb::core::{Solver, SolverConfig};
+    use std::sync::Arc;
+    let geo = Arc::new(VesselBuilder::straight_tube(12.0, 3.0).voxelise(1.0));
+    let cfg = SolverConfig::pressure_driven(1.01, 0.99);
+    let mut s = Solver::new(geo.clone(), cfg.clone());
+    s.step_n(7);
+    let dir = std::env::temp_dir().join(format!("hlb_prop_chkp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("st.chkp");
+    s.checkpoint(&path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Clean restore works.
+    let mut fresh = Solver::new(geo.clone(), cfg.clone());
+    fresh.restore(&path).unwrap();
+    assert_eq!(fresh.snapshot().rho, s.snapshot().rho);
+
+    // Any single flipped byte in the body is detected.
+    for k in [16usize, 24, pristine.len() / 2, pristine.len() - 1] {
+        let mut corrupt = pristine.clone();
+        corrupt[k] ^= 0x40;
+        std::fs::write(&path, &corrupt).unwrap();
+        let mut victim = Solver::new(geo.clone(), cfg.clone());
+        assert!(
+            victim.restore(&path).is_err(),
+            "corruption at byte {k} must be caught"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solver_interior_mass_conservation_property() {
+    // Not a proptest (solver runs are costly) but a sweep: for several
+    // tau values, a closed equilibrium state conserves mass exactly.
+    use hemelb::core::{Solver, SolverConfig};
+    use std::sync::Arc;
+    let geo = Arc::new(VesselBuilder::straight_tube(14.0, 3.0).voxelise(1.0));
+    for tau in [0.6, 0.8, 1.0, 1.4] {
+        let mut s = Solver::new(
+            geo.clone(),
+            SolverConfig::pressure_driven(1.0, 1.0).with_tau(tau),
+        );
+        let m0 = s.mass();
+        s.step_n(20);
+        assert!((s.mass() - m0).abs() < 1e-8, "tau={tau}");
+    }
+}

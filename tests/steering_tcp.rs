@@ -1,0 +1,80 @@
+//! The steering loop over a *real* TCP socket — the deployment shape of
+//! the original HemeLB steering client (an out-of-process viewer
+//! connecting to the simulation master over the network).
+
+use hemelb::core::SolverConfig;
+use hemelb::geometry::VesselBuilder;
+use hemelb::parallel::run_spmd;
+use hemelb::steering::{
+    run_closed_loop, ClosedLoopConfig, SteeringClient, SteeringCommand, TcpTransport, Transport,
+};
+use parking_lot::Mutex;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+#[test]
+fn closed_loop_over_tcp() {
+    let geo = Arc::new(VesselBuilder::straight_tube(16.0, 3.0).voxelise(1.0));
+
+    // The simulation master listens; the client connects.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let client_thread = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let client = SteeringClient::new(Box::new(TcpTransport::new(stream).expect("transport")));
+        // Steps 2–6 of the paper's loop, across a real socket.
+        let (frame, rtt) = client.request_frame().expect("frame over TCP");
+        assert_eq!(frame.width, 48);
+        assert_eq!(frame.rgb.len(), 48 * 36 * 3);
+        assert!(rtt.as_secs() < 60);
+        // Observables over TCP too.
+        let (obs, _) = client.request_observables().expect("observables");
+        assert!(obs.sites > 0);
+        client.send(&SteeringCommand::Terminate).unwrap();
+        while client.recv().is_ok() {}
+        frame
+    });
+
+    let (server_stream, _) = listener.accept().expect("accept");
+    let transport: Box<dyn Transport> =
+        Box::new(TcpTransport::new(server_stream).expect("server transport"));
+    let server_slot = Arc::new(Mutex::new(Some(transport)));
+
+    let geo2 = geo.clone();
+    let results = run_spmd(2, move |comm| {
+        let transport = if comm.is_master() {
+            server_slot.lock().take()
+        } else {
+            None
+        };
+        let owner: Vec<usize> = (0..geo2.fluid_count())
+            .map(|s| (s * comm.size() / geo2.fluid_count()).min(comm.size() - 1))
+            .collect();
+        run_closed_loop(
+            geo2.clone(),
+            owner,
+            SolverConfig::pressure_driven(1.005, 0.995),
+            comm,
+            transport,
+            &ClosedLoopConfig {
+                max_steps: u64::MAX / 2,
+                image: (48, 36),
+                initial_vis_rate: u32::MAX,
+                steps_per_cycle: 10,
+                vis_aware_repartition: false,
+            },
+        )
+        .unwrap()
+    });
+    let frame = client_thread.join().expect("client");
+    assert!(results[0].terminated_by_client);
+    assert!(results[0].frames_rendered >= 1);
+    // The TCP-shipped frame shows the vessel.
+    let non_white = frame
+        .rgb
+        .chunks(3)
+        .filter(|c| c[0] != 255 || c[1] != 255 || c[2] != 255)
+        .count();
+    assert!(non_white > 10, "vessel visible over TCP: {non_white}");
+}
