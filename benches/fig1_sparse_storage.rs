@@ -1,9 +1,9 @@
 //! E2 bench: voxelisation and sparse-vs-dense accounting (Fig. 1).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hemelb_bench::workloads::{self, Size};
 use hemelb::geometry::blocks::BlockDecomposition;
 use hemelb::geometry::VesselBuilder;
+use hemelb_bench::workloads::{self, Size};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1");

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hemelb::steering::{ImageFrame, SteeringCommand};
-use hemelb_bench::workloads::Size;
 use hemelb_bench::fig2;
+use hemelb_bench::workloads::Size;
 use hemelb_parallel::Wire;
 
 fn bench(c: &mut Criterion) {

@@ -1,12 +1,12 @@
 //! E5 bench: ray casting and sort-last compositing (Fig. 4a).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hemelb::geometry::Vec3;
 use hemelb::insitu::camera::Camera;
 use hemelb::insitu::compositing::{binary_swap, direct_send};
 use hemelb::insitu::field::Scalar;
 use hemelb::insitu::transfer::TransferFunction;
-use hemelb::insitu::volume::{render_full, Brick, render_brick};
-use hemelb::geometry::Vec3;
+use hemelb::insitu::volume::{render_brick, render_full, Brick};
 use hemelb::parallel::run_spmd;
 use hemelb_bench::workloads::{self, Size};
 

@@ -25,7 +25,10 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let path3 = path2.clone();
                     run_spmd(8, move |comm| {
-                        read_distributed(&path3, comm, readers).unwrap().my_sites.len()
+                        read_distributed(&path3, comm, readers)
+                            .unwrap()
+                            .my_sites
+                            .len()
                     })
                 })
             },

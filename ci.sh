@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate for hemelb-insitu-rs.
+#
+#   ./ci.sh         # format, lint, tier-1 build+test, determinism suite
+#   ./ci.sh --soak  # additionally run the 500-step / 8-thread soak
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+
+# Tier-1 (ROADMAP): release build + the root-package test suite.
+run cargo build --release
+run cargo test -q
+
+# Determinism suite: bit-exactness proptests + golden fixtures.
+run cargo test -q --test properties --test golden
+
+if [[ "${1:-}" == "--soak" ]]; then
+    run cargo test -q --test golden -- --ignored
+fi
+
+echo "==> ci.sh: all green"

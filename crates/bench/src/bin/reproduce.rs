@@ -9,7 +9,9 @@
 //! PPM images under `./out/`. `EXPERIMENTS.md` records a reference run.
 
 use hemelb_bench::workloads::Size;
-use hemelb_bench::{ablation, extract, fig1, fig2, fig3, fig4, multires, preprocess, repartition, scaling, table1};
+use hemelb_bench::{
+    ablation, extract, fig1, fig2, fig3, fig4, multires, preprocess, repartition, scaling, table1,
+};
 
 struct Args {
     what: String,
@@ -39,13 +41,10 @@ fn parse_args() -> Args {
             }
             "--ranks" => {
                 i += 1;
-                ranks = argv
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--ranks needs a number");
-                        std::process::exit(2);
-                    });
+                ranks = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--ranks needs a number");
+                    std::process::exit(2);
+                });
             }
             "--help" | "-h" => {
                 println!(

@@ -131,7 +131,11 @@ mod tests {
     #[test]
     fn extraction_reduces_and_finds_structure() {
         let r = run(Size::Tiny);
-        assert!(r.mesh_triangles > 50, "a surface exists: {}", r.mesh_triangles);
+        assert!(
+            r.mesh_triangles > 50,
+            "a surface exists: {}",
+            r.mesh_triangles
+        );
         assert!(r.coverage > 0.01, "visible render: {}", r.coverage);
         assert!(
             !r.features.features.is_empty(),

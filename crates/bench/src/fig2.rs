@@ -55,9 +55,7 @@ pub fn run(size: Size, configs: &[(usize, (u32, u32))], frames: usize) -> Fig2Re
     let mut rows = Vec::new();
     for &(ranks, image) in configs {
         let (client_end, server_end) = duplex_pair();
-        let server_slot = Arc::new(Mutex::new(Some(
-            Box::new(server_end) as Box<dyn Transport>
-        )));
+        let server_slot = Arc::new(Mutex::new(Some(Box::new(server_end) as Box<dyn Transport>)));
         let geo2 = geo.clone();
 
         let client_thread = std::thread::spawn(move || {
@@ -144,7 +142,10 @@ mod tests {
         let row = &result.rows[0];
         assert_eq!(row.rtts.len(), 3);
         assert!(row.frames >= 3);
-        assert!(row.steering_bytes > 3 * 32 * 24 * 3, "three RGB frames shipped");
+        assert!(
+            row.steering_bytes > 3 * 32 * 24 * 3,
+            "three RGB frames shipped"
+        );
         assert!(row.median_rtt() < 60.0, "interactive on any machine");
     }
 }

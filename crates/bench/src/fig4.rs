@@ -102,8 +102,7 @@ pub fn run_4b(size: Size, ranks: usize, n_seeds: usize, width: u32, height: u32)
             max_steps: 4000,
             min_speed: 1e-9,
         };
-        let (segments, _) =
-            trace_distributed(comm, &geo2, &field, &owner, &seeds, &cfg).unwrap();
+        let (segments, _) = trace_distributed(comm, &geo2, &field, &owner, &seeds, &cfg).unwrap();
         // Gather segments at rank 0 (encode: id, start, points).
         let mut w = WireWriter::new();
         w.put_usize(segments.len());

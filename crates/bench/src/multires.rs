@@ -82,11 +82,7 @@ pub fn run(size: Size) -> MultiresResult {
     let roi_interior_exact = mixed
         .nodes
         .iter()
-        .filter(|n| {
-            (0..3).all(|a| {
-                n.origin[a] >= roi.lo[a] && n.origin[a] + n.size <= roi.hi[a]
-            })
-        })
+        .filter(|n| (0..3).all(|a| n.origin[a] >= roi.lo[a] && n.origin[a] + n.size <= roi.hi[a]))
         .all(|n| n.size == 1);
 
     MultiresResult {

@@ -57,11 +57,7 @@ pub struct RepartitionResult {
 }
 
 fn migration(owner_a: &[usize], owner_b: &[usize]) -> f64 {
-    let moved = owner_a
-        .iter()
-        .zip(owner_b)
-        .filter(|(a, b)| a != b)
-        .count();
+    let moved = owner_a.iter().zip(owner_b).filter(|(a, b)| a != b).count();
     moved as f64 / owner_a.len() as f64
 }
 

@@ -14,7 +14,7 @@
 //!    the quantity that decides whether "scales well" holds.
 
 use crate::workloads::{self, Size};
-use hemelb_core::{DistSolver, SolverConfig};
+use hemelb_core::{DistSolver, ParallelSolver, Solver, SolverConfig};
 use hemelb_parallel::{run_spmd_with_stats, CostModel, MachineModel};
 use hemelb_partition::graph::{Connectivity, SiteGraph};
 use hemelb_partition::{quality, HilbertSfc, MultilevelKWay, NaiveBlock, Partitioner};
@@ -40,12 +40,33 @@ pub struct ScalingRow {
     pub sites_per_rank: f64,
 }
 
+/// One `(kernel, threads)` measurement of the on-rank collide–stream
+/// kernel: the serial reference against the chunk-parallel kernel at a
+/// few thread counts. `site_updates_per_sec` is the headline number;
+/// `bit_identical` records that the parallel state matched the serial
+/// one exactly (`f64::to_bits`) after the measured steps.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// "serial" or "threaded".
+    pub kernel: &'static str,
+    /// Rayon worker threads (1 for the serial row).
+    pub threads: usize,
+    /// Measured wall seconds per LB step.
+    pub seconds_per_step: f64,
+    /// Site updates per second (sites / seconds_per_step).
+    pub site_updates_per_sec: f64,
+    /// Whether the final state matched the serial reference bitwise.
+    pub bit_identical: bool,
+}
+
 /// The sweep result.
 pub struct ScalingResult {
     /// Total fluid sites in the workload.
     pub sites: usize,
     /// Measured rows.
     pub rows: Vec<ScalingRow>,
+    /// Serial-vs-threaded kernel comparison on one rank.
+    pub kernel_rows: Vec<KernelRow>,
     /// Projection to the paper's 32k-core scale.
     pub projection: Projection,
 }
@@ -108,6 +129,42 @@ pub fn run(size: Size, rank_counts: &[usize], steps: u64) -> ScalingResult {
         }
     }
 
+    // Serial vs thread-parallel kernel on one rank. On a single
+    // hardware core the threaded rows can only show overhead — the
+    // honest number either way is site-updates/sec; what must hold
+    // everywhere is bit-identical output.
+    let cfg = SolverConfig::pressure_driven(1.01, 0.99);
+    let mut kernel_rows = Vec::new();
+    let mut serial = Solver::new(geo.clone(), cfg.clone());
+    let t0 = Instant::now();
+    serial.step_n(steps);
+    let s_per_step = t0.elapsed().as_secs_f64() / steps as f64;
+    kernel_rows.push(KernelRow {
+        kernel: "serial",
+        threads: 1,
+        seconds_per_step: s_per_step,
+        site_updates_per_sec: geo.fluid_count() as f64 / s_per_step,
+        bit_identical: true,
+    });
+    for t in [1usize, 2, 4] {
+        let mut par = ParallelSolver::new(geo.clone(), cfg.clone(), t);
+        let t0 = Instant::now();
+        par.step_n(steps);
+        let s_per_step = t0.elapsed().as_secs_f64() / steps as f64;
+        let bit_identical = par
+            .raw_distributions()
+            .iter()
+            .zip(serial.raw_distributions())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        kernel_rows.push(KernelRow {
+            kernel: "threaded",
+            threads: t,
+            seconds_per_step: s_per_step,
+            site_updates_per_sec: geo.fluid_count() as f64 / s_per_step,
+            bit_identical,
+        });
+    }
+
     // Projection: surface-to-volume scaling of a cubic subdomain.
     // 81 M sites over 32 768 ranks → ~2 472 sites/rank → subdomain edge
     // ~13.5 cells → halo ≈ 6·edge² sites × Q_cross populations × 8 B.
@@ -136,6 +193,7 @@ pub fn run(size: Size, rank_counts: &[usize], steps: u64) -> ScalingResult {
     ScalingResult {
         sites: geo.fluid_count(),
         rows,
+        kernel_rows,
         projection,
     }
 }
@@ -169,6 +227,26 @@ impl fmt::Display for ScalingResult {
                 workloads::fmt_bytes(r.halo_bytes_per_step),
                 r.edge_cut,
                 r.imbalance,
+            )?;
+        }
+        writeln!(
+            f,
+            "on-rank kernel: serial vs chunk-parallel (bit-identical)"
+        )?;
+        writeln!(
+            f,
+            "{:<9} {:>7} {:>12} {:>16} {:>10}",
+            "kernel", "threads", "ms/step", "site-updates/s", "bit-exact"
+        )?;
+        for k in &self.kernel_rows {
+            writeln!(
+                f,
+                "{:<9} {:>7} {:>12.3} {:>16.0} {:>10}",
+                k.kernel,
+                k.threads,
+                k.seconds_per_step * 1e3,
+                k.site_updates_per_sec,
+                k.bit_identical,
             )?;
         }
         let p = &self.projection;
@@ -206,6 +284,12 @@ mod tests {
         // The projection must be in the regime the paper claims.
         assert!(result.projection.comm_fraction < 0.5);
         assert!(result.projection.comm_fraction > 0.0);
+        // Serial row + three threaded rows, all bit-identical.
+        assert_eq!(result.kernel_rows.len(), 4);
+        for k in &result.kernel_rows {
+            assert!(k.bit_identical, "threads={} diverged", k.threads);
+            assert!(k.site_updates_per_sec > 0.0);
+        }
     }
 
     #[test]

@@ -105,16 +105,16 @@ impl Table1Result {
         if lic.data_bytes == 0 {
             problems.push("LIC moved no halo data".into());
         }
-        if !(lines.rounds > lic.rounds) {
+        if lines.rounds <= lic.rounds {
             problems.push(format!(
                 "line integrals rounds {} not > LIC rounds {}",
                 lines.rounds, lic.rounds
             ));
         }
-        if !(particles.rounds > lic.rounds) {
+        if particles.rounds <= lic.rounds {
             problems.push("particle rounds not > LIC rounds".into());
         }
-        if !(lic.work_imbalance < lines.work_imbalance) {
+        if lic.work_imbalance >= lines.work_imbalance {
             problems.push(format!(
                 "LIC imbalance {} not < line imbalance {}",
                 lic.work_imbalance, lines.work_imbalance

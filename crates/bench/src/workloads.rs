@@ -165,6 +165,9 @@ mod tests {
                     .is_some()
             })
             .count();
-        assert!(in_fluid >= 5, "most seeds must be in the lumen: {in_fluid}/9");
+        assert!(
+            in_fluid >= 5,
+            "most seeds must be in the lumen: {in_fluid}/9"
+        );
     }
 }

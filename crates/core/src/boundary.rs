@@ -58,8 +58,8 @@ impl IoletBc {
             IoletBc::Pulsatile {
                 amplitude, period, ..
             } => {
-                let phase = 2.0 * std::f64::consts::PI * (t % period.max(1)) as f64
-                    / period.max(1) as f64;
+                let phase =
+                    2.0 * std::f64::consts::PI * (t % period.max(1)) as f64 / period.max(1) as f64;
                 1.0 + amplitude * phase.sin()
             }
             _ => 1.0,
@@ -102,7 +102,12 @@ pub fn wall_bounce_back(f_star_opp: f64) -> f64 {
 /// Ladd moving-wall bounce-back:
 /// `f_i = f*_opp + 2 w_i ρ₀ (c_i·u_w)/cs²` with ρ₀ = 1.
 #[inline]
-pub fn velocity_bounce_back(model: &LatticeModel, i: usize, u_wall: [f64; 3], f_star_opp: f64) -> f64 {
+pub fn velocity_bounce_back(
+    model: &LatticeModel,
+    i: usize,
+    u_wall: [f64; 3],
+    f_star_opp: f64,
+) -> f64 {
     f_star_opp + 2.0 * model.w[i] * model.ci_dot(i, u_wall) / CS2
 }
 
@@ -119,7 +124,8 @@ pub fn pressure_anti_bounce_back(
 ) -> f64 {
     let cu = model.ci_dot(i, u_site);
     let u2 = u_site[0] * u_site[0] + u_site[1] * u_site[1] + u_site[2] * u_site[2];
-    -f_star_opp + 2.0 * model.w[i] * rho_wall * (1.0 + cu * cu / (2.0 * CS2 * CS2) - u2 / (2.0 * CS2))
+    -f_star_opp
+        + 2.0 * model.w[i] * rho_wall * (1.0 + cu * cu / (2.0 * CS2 * CS2) - u2 / (2.0 * CS2))
 }
 
 #[cfg(test)]

@@ -249,8 +249,7 @@ mod tests {
             let owner: Vec<usize> = (0..geo2.fluid_count())
                 .map(|s| (s * comm.size() / geo2.fluid_count()).min(comm.size() - 1))
                 .collect();
-            let mut ds =
-                DistSolver::new(geo2.clone(), owner.clone(), cfg.clone(), comm).unwrap();
+            let mut ds = DistSolver::new(geo2.clone(), owner.clone(), cfg.clone(), comm).unwrap();
             ds.step_n(12).unwrap();
             ds.checkpoint(&dir2).unwrap();
             // Fresh solver restores mid-flight and finishes the run.

@@ -54,9 +54,9 @@ pub fn collide(
         }
         CollisionKind::Bgk => {
             let omega = 1.0 / tau;
-            for i in 0..model.q {
+            for (i, fi) in f.iter_mut().enumerate() {
                 let fe = feq(model, i, rho, u);
-                f[i] += omega * (fe - f[i]);
+                *fi += omega * (fe - *fi);
             }
         }
         CollisionKind::Trt { magic } => {
@@ -65,8 +65,8 @@ pub fn collide(
             let om_p = 1.0 / tau;
             let om_m = 1.0 / tau_minus;
             // scratch holds equilibria.
-            for i in 0..model.q {
-                scratch[i] = feq(model, i, rho, u);
+            for (i, s) in scratch.iter_mut().enumerate() {
+                *s = feq(model, i, rho, u);
             }
             for i in 0..model.q {
                 let o = model.opp[i];
@@ -107,7 +107,10 @@ mod tests {
         let (rho1, u1) = moments(&model, &f);
         assert!((rho1 - rho0).abs() < 1e-14, "mass conserved");
         for a in 0..3 {
-            assert!((u1[a] * rho1 - u0[a] * rho0).abs() < 1e-14, "momentum conserved");
+            assert!(
+                (u1[a] * rho1 - u0[a] * rho0).abs() < 1e-14,
+                "momentum conserved"
+            );
         }
     }
 
@@ -147,8 +150,8 @@ mod tests {
         let mut scratch = vec![0.0; model.q];
         collide(&model, CollisionKind::Bgk, 1.0, &mut f, &mut scratch);
         // With τ = 1 the post-collision state is exactly f_eq(ρ, u).
-        for i in 0..model.q {
-            assert!((f[i] - feq(&model, i, rho, u)).abs() < 1e-14);
+        for (i, &fi) in f.iter().enumerate() {
+            assert!((fi - feq(&model, i, rho, u)).abs() < 1e-14);
         }
     }
 
@@ -164,7 +167,13 @@ mod tests {
         let mut f2 = f1.clone();
         let mut scratch = vec![0.0; model.q];
         collide(&model, CollisionKind::Bgk, tau, &mut f1, &mut scratch);
-        collide(&model, CollisionKind::Trt { magic }, tau, &mut f2, &mut scratch);
+        collide(
+            &model,
+            CollisionKind::Trt { magic },
+            tau,
+            &mut f2,
+            &mut scratch,
+        );
         for i in 0..model.q {
             assert!((f1[i] - f2[i]).abs() < 1e-13, "dir {i}");
         }

@@ -12,13 +12,12 @@
 //! per-site arithmetic in the same order; only the storage and transport
 //! differ.
 
+use crate::equilibrium::feq_all;
 use crate::fields::FieldSnapshot;
 use crate::model::LatticeModel;
 use crate::solver::{boundary_rule, precompute_bc_velocities, SolverConfig};
-use crate::collision::collide;
-use crate::equilibrium::{feq_all, pi_neq, shear_rate_magnitude};
-use hemelb_geometry::SparseGeometry;
 use bytes::Bytes;
+use hemelb_geometry::SparseGeometry;
 use hemelb_parallel::{CommResult, Communicator, Tag, WireReader, WireWriter};
 use std::sync::Arc;
 
@@ -59,6 +58,52 @@ pub struct DistSolver<'a> {
     step: u64,
 }
 
+/// Pull-stream a span of a rank's local sites into `out` (the slice of
+/// `f_next` starting at local site `first`). The distributed twin of
+/// [`crate::kernel::stream_span`]: identical per-site arithmetic, plus
+/// the halo branch for cross-rank links. Reads only immutable
+/// previous-step state, so spans may run concurrently.
+#[allow(clippy::too_many_arguments)]
+fn stream_halo_span(
+    model: &LatticeModel,
+    cfg: &SolverConfig,
+    geo: &SparseGeometry,
+    locals: &[u32],
+    f_old: &[f64],
+    moments: &[(f64, [f64; 3])],
+    bc_velocity: &[[f64; 3]],
+    pull: &[u32],
+    halo: &[f64],
+    step: u64,
+    first: usize,
+    out: &mut [f64],
+) {
+    let q = model.q;
+    for k in 0..out.len() / q {
+        let l = first + k;
+        let kind = geo.kind(locals[l]);
+        for i in 0..q {
+            let entry = pull[l * q + i];
+            out[k * q + i] = if entry == BOUNDARY {
+                boundary_rule(
+                    model,
+                    cfg,
+                    kind,
+                    bc_velocity[l],
+                    i,
+                    f_old[l * q + model.opp[i]],
+                    moments[l],
+                    step,
+                )
+            } else if entry & HALO_FLAG != 0 {
+                halo[(entry & !HALO_FLAG) as usize]
+            } else {
+                f_old[entry as usize * q + i]
+            };
+        }
+    }
+}
+
 /// Compute the ascending list of global site ids owned by `rank`.
 pub fn locals_of(owner: &[usize], rank: usize) -> Vec<u32> {
     owner
@@ -82,7 +127,11 @@ impl<'a> DistSolver<'a> {
         cfg: SolverConfig,
         comm: &'a Communicator,
     ) -> CommResult<Self> {
-        assert_eq!(owner.len(), geo.fluid_count(), "owner map must cover all sites");
+        assert_eq!(
+            owner.len(),
+            geo.fluid_count(),
+            "owner map must cover all sites"
+        );
         assert!(
             owner.iter().all(|&o| o < comm.size()),
             "owner rank out of range"
@@ -176,16 +225,16 @@ impl<'a> DistSolver<'a> {
         let mut recv_plan = Vec::new();
         let mut remap = vec![0usize; n_halo];
         let mut next = 0usize;
-        for peer in 0..comm.size() {
-            if halo_slot_of[peer].is_empty() {
+        for (peer, slots) in halo_slot_of.iter().enumerate() {
+            if slots.is_empty() {
                 continue;
             }
             let start = next;
-            for &old in &halo_slot_of[peer] {
+            for &old in slots {
                 remap[old] = next;
                 next += 1;
             }
-            recv_plan.push((peer, start, halo_slot_of[peer].len()));
+            recv_plan.push((peer, start, slots.len()));
         }
         for entry in pull.iter_mut() {
             if *entry != BOUNDARY && *entry & HALO_FLAG != 0 {
@@ -268,19 +317,25 @@ impl<'a> DistSolver<'a> {
     }
 
     /// Advance one time step: collide, halo-exchange, stream.
+    ///
+    /// Collide and stream run through the chunked kernels in
+    /// [`crate::kernel`]: inside a rayon pool (the runner's
+    /// threads-per-rank knob) the site loops split across worker
+    /// threads, and with one thread they degenerate to the exact serial
+    /// loops — bit-identical either way.
     pub fn step(&mut self) -> CommResult<()> {
         let q = self.model.q;
         let nl = self.locals.len();
-        let mut scratch = vec![0.0; q];
 
         // Collide in place (f becomes f*).
-        for l in 0..nl {
-            let fs = &mut self.f[l * q..(l + 1) * q];
-            self.moments[l] = match &mut self.mrt {
-                Some(op) => op.collide(&self.model, self.cfg.tau, fs),
-                None => collide(&self.model, self.cfg.collision, self.cfg.tau, fs, &mut scratch),
-            };
-        }
+        crate::kernel::par_collide(
+            &self.model,
+            self.cfg.collision,
+            self.cfg.tau,
+            self.mrt.as_ref(),
+            &mut self.f,
+            &mut self.moments,
+        );
 
         // Halo exchange of requested post-collision populations.
         let outgoing: Vec<(usize, Bytes)> = self
@@ -303,28 +358,42 @@ impl<'a> DistSolver<'a> {
             }
         }
 
-        // Stream.
-        for l in 0..nl {
-            let kind = self.geo.kind(self.locals[l]);
-            for i in 0..q {
-                let entry = self.pull[l * q + i];
-                self.f_next[l * q + i] = if entry == BOUNDARY {
-                    boundary_rule(
-                        &self.model,
-                        &self.cfg,
-                        kind,
-                        self.bc_velocity[l],
-                        i,
-                        self.f[l * q + self.model.opp[i]],
-                        self.moments[l],
-                        self.step,
-                    )
-                } else if entry & HALO_FLAG != 0 {
-                    self.halo[(entry & !HALO_FLAG) as usize]
-                } else {
-                    self.f[entry as usize * q + i]
-                };
-            }
+        // Stream: disjoint chunks of f_next, all reading the immutable
+        // post-collision state (local f + halo) — race-free, bit-exact.
+        {
+            let model = &self.model;
+            let cfg = &self.cfg;
+            let geo = &*self.geo;
+            let locals = &self.locals[..];
+            let f_old = &self.f[..];
+            let moments = &self.moments[..];
+            let bc_velocity = &self.bc_velocity[..];
+            let pull = &self.pull[..];
+            let halo = &self.halo[..];
+            let step = self.step;
+            rayon::scope(|sc| {
+                let mut rest = self.f_next.as_mut_slice();
+                for (first, len) in crate::kernel::site_chunks(nl) {
+                    let (out, tail) = rest.split_at_mut(len * q);
+                    rest = tail;
+                    sc.spawn(move |_| {
+                        stream_halo_span(
+                            model,
+                            cfg,
+                            geo,
+                            locals,
+                            f_old,
+                            moments,
+                            bc_velocity,
+                            pull,
+                            halo,
+                            step,
+                            first,
+                            out,
+                        )
+                    });
+                }
+            });
         }
         std::mem::swap(&mut self.f, &mut self.f_next);
         self.step += 1;
@@ -415,12 +484,7 @@ impl<'a> DistSolver<'a> {
         // Rebuild the solver state for the new decomposition and install
         // the migrated distributions.
         let step = self.step;
-        let mut fresh = DistSolver::new(
-            self.geo.clone(),
-            new_owner,
-            self.cfg.clone(),
-            self.comm,
-        )?;
+        let mut fresh = DistSolver::new(self.geo.clone(), new_owner, self.cfg.clone(), self.comm)?;
         let mut g2l = vec![u32::MAX; self.geo.fluid_count()];
         for (l, &g) in fresh.locals.iter().enumerate() {
             g2l[g as usize] = l as u32;
@@ -432,7 +496,11 @@ impl<'a> DistSolver<'a> {
             fresh.f[l as usize * q..(l as usize + 1) * q].copy_from_slice(&fs);
             installed += 1;
         }
-        assert_eq!(installed, fresh.locals.len(), "every new-local site received data");
+        assert_eq!(
+            installed,
+            fresh.locals.len(),
+            "every new-local site received data"
+        );
         fresh.step = step;
         *self = fresh;
         Ok(moved)
@@ -441,19 +509,18 @@ impl<'a> DistSolver<'a> {
     /// Snapshot of this rank's sites only (indexed like
     /// [`DistSolver::local_sites`]).
     pub fn local_snapshot(&self) -> FieldSnapshot {
-        let q = self.model.q;
         let nl = self.locals.len();
-        let mut rho = Vec::with_capacity(nl);
-        let mut u = Vec::with_capacity(nl);
-        let mut shear = Vec::with_capacity(nl);
-        for l in 0..nl {
-            let fs = &self.f[l * q..(l + 1) * q];
-            let (r, v) = crate::equilibrium::moments(&self.model, fs);
-            let pi = pi_neq(&self.model, fs, r, v);
-            rho.push(r);
-            u.push(v);
-            shear.push(shear_rate_magnitude(pi, r, self.cfg.tau));
-        }
+        let mut rho = vec![0.0; nl];
+        let mut u = vec![[0.0; 3]; nl];
+        let mut shear = vec![0.0; nl];
+        crate::kernel::par_macroscopics(
+            &self.model,
+            self.cfg.tau,
+            &self.f,
+            &mut rho,
+            &mut u,
+            &mut shear,
+        );
         FieldSnapshot {
             step: self.step,
             rho,
@@ -604,6 +671,44 @@ mod tests {
     }
 
     #[test]
+    fn distributed_with_threads_per_rank_equals_serial_bitwise() {
+        // Hybrid decomposition: ranks × on-rank rayon workers. The
+        // chunked kernels keep every (p, t) combination bit-identical
+        // to the serial solver.
+        use hemelb_parallel::{run_spmd_opts, SpmdOptions};
+        let geo = demo_geo();
+        let cfg = SolverConfig::pressure_driven(1.01, 0.99);
+        let mut serial = Solver::new(geo.clone(), cfg.clone());
+        serial.step_n(20);
+        let reference = serial.snapshot();
+
+        for (p, t) in [(1, 4), (2, 2), (3, 3)] {
+            let geo2 = geo.clone();
+            let cfg2 = cfg.clone();
+            let out = run_spmd_opts(
+                p,
+                SpmdOptions {
+                    threads_per_rank: t,
+                },
+                move |comm| {
+                    let owner = even_owner(geo2.fluid_count(), comm.size());
+                    let mut ds = DistSolver::new(geo2.clone(), owner, cfg2.clone(), comm).unwrap();
+                    ds.step_n(20).unwrap();
+                    ds.gather_snapshot().unwrap()
+                },
+            );
+            let gathered = out.results[0].as_ref().expect("root gathers");
+            for s in 0..reference.rho.len() {
+                assert_eq!(
+                    gathered.rho[s], reference.rho[s],
+                    "rho at {s}, p={p}, t={t}"
+                );
+                assert_eq!(gathered.u[s], reference.u[s], "u at {s}, p={p}, t={t}");
+            }
+        }
+    }
+
+    #[test]
     fn halo_traffic_scales_with_cut_not_volume() {
         let geo = demo_geo();
         let cfg = SolverConfig::pressure_driven(1.01, 0.99);
@@ -668,7 +773,11 @@ mod tests {
             ds.local_snapshot()
         });
         assert_eq!(out.results[0].rho, reference.rho);
-        assert_eq!(out.summary.total.bytes(TagClass::Halo), 0, "no peers, no halo");
+        assert_eq!(
+            out.summary.total.bytes(TagClass::Halo),
+            0,
+            "no peers, no halo"
+        );
     }
 
     #[test]
@@ -684,10 +793,7 @@ mod tests {
             let n = geo2.fluid_count();
             let owner_a = even_owner(n, comm.size());
             // A completely different (reversed) decomposition.
-            let owner_b: Vec<usize> = owner_a
-                .iter()
-                .map(|&o| comm.size() - 1 - o)
-                .collect();
+            let owner_b: Vec<usize> = owner_a.iter().map(|&o| comm.size() - 1 - o).collect();
             let mut ds = DistSolver::new(geo2.clone(), owner_a, cfg.clone(), comm).unwrap();
             ds.step_n(10).unwrap();
             let moved = ds.repartition(owner_b.clone()).unwrap();

@@ -17,9 +17,9 @@ pub fn feq(model: &LatticeModel, i: usize, rho: f64, u: [f64; 3]) -> f64 {
 pub fn feq_all(model: &LatticeModel, rho: f64, u: [f64; 3], out: &mut [f64]) {
     debug_assert_eq!(out.len(), model.q);
     let u2 = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
-    for i in 0..model.q {
+    for (i, o) in out.iter_mut().enumerate() {
         let cu = model.ci_dot(i, u);
-        out[i] = model.w[i] * rho * (1.0 + cu / CS2 + cu * cu / (2.0 * CS2 * CS2) - u2 / (2.0 * CS2));
+        *o = model.w[i] * rho * (1.0 + cu / CS2 + cu * cu / (2.0 * CS2 * CS2) - u2 / (2.0 * CS2));
     }
 }
 
@@ -30,11 +30,11 @@ pub fn moments(model: &LatticeModel, f: &[f64]) -> (f64, [f64; 3]) {
     debug_assert_eq!(f.len(), model.q);
     let mut rho = 0.0;
     let mut mom = [0.0f64; 3];
-    for i in 0..model.q {
-        rho += f[i];
-        mom[0] += model.c[i][0] as f64 * f[i];
-        mom[1] += model.c[i][1] as f64 * f[i];
-        mom[2] += model.c[i][2] as f64 * f[i];
+    for (&fi, c) in f.iter().zip(&model.c) {
+        rho += fi;
+        mom[0] += c[0] as f64 * fi;
+        mom[1] += c[1] as f64 * fi;
+        mom[2] += c[2] as f64 * fi;
     }
     let u = if rho != 0.0 {
         [mom[0] / rho, mom[1] / rho, mom[2] / rho]
@@ -51,8 +51,8 @@ pub fn moments(model: &LatticeModel, f: &[f64]) -> (f64, [f64; 3]) {
 /// distributions").
 pub fn pi_neq(model: &LatticeModel, f: &[f64], rho: f64, u: [f64; 3]) -> [f64; 6] {
     let mut pi = [0.0f64; 6];
-    for i in 0..model.q {
-        let fi_neq = f[i] - feq(model, i, rho, u);
+    for (i, &fi) in f.iter().enumerate() {
+        let fi_neq = fi - feq(model, i, rho, u);
         let cx = model.c[i][0] as f64;
         let cy = model.c[i][1] as f64;
         let cz = model.c[i][2] as f64;
@@ -78,7 +78,8 @@ pub fn shear_rate_magnitude(pi: [f64; 6], rho: f64, tau: f64) -> f64 {
         pi[4] * scale,
         pi[5] * scale,
     ];
-    let ss = s[0] * s[0] + s[1] * s[1] + s[2] * s[2] + 2.0 * (s[3] * s[3] + s[4] * s[4] + s[5] * s[5]);
+    let ss =
+        s[0] * s[0] + s[1] * s[1] + s[2] * s[2] + 2.0 * (s[3] * s[3] + s[4] * s[4] + s[5] * s[5]);
     (2.0 * ss).sqrt()
 }
 

@@ -1,6 +1,12 @@
 //! Macroscopic field snapshots — the data the in situ pipeline consumes.
+//!
+//! The whole-snapshot reductions here run through rayon's parallel
+//! iterators, which evaluate items concurrently but fold **in index
+//! order** — so every method returns the same bits at any thread count,
+//! matching the solver kernels' determinism contract.
 
 use hemelb_geometry::{SiteKind, SparseGeometry};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Macroscopic fields over the fluid sites at one time step, indexed by
@@ -31,7 +37,7 @@ impl FieldSnapshot {
 
     /// Total mass `Σ ρ`.
     pub fn mass(&self) -> f64 {
-        self.rho.iter().sum()
+        self.rho.par_iter().map(|&r| r).sum()
     }
 
     /// Speed `|u|` at a site.
@@ -43,7 +49,11 @@ impl FieldSnapshot {
 
     /// Maximum speed over all sites (0 if empty).
     pub fn max_speed(&self) -> f64 {
-        (0..self.len()).map(|i| self.speed(i)).fold(0.0, f64::max)
+        (0..self.len())
+            .into_par_iter()
+            .map(|i| self.speed(i))
+            .reduce_with(f64::max)
+            .map_or(0.0, |m| f64::max(0.0, m))
     }
 
     /// Mean speed over all sites (0 if empty).
@@ -51,18 +61,24 @@ impl FieldSnapshot {
         if self.is_empty() {
             0.0
         } else {
-            (0..self.len()).map(|i| self.speed(i)).sum::<f64>() / self.len() as f64
+            let total: f64 = (0..self.len()).into_par_iter().map(|i| self.speed(i)).sum();
+            total / self.len() as f64
         }
     }
 
     /// Root-mean-square velocity difference against another snapshot of
     /// the same geometry — the convergence monitor.
     pub fn velocity_rms_change(&self, other: &FieldSnapshot) -> f64 {
-        assert_eq!(self.len(), other.len(), "snapshots must cover the same sites");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "snapshots must cover the same sites"
+        );
         if self.is_empty() {
             return 0.0;
         }
         let sum: f64 = (0..self.len())
+            .into_par_iter()
             .map(|i| {
                 let a = self.u[i];
                 let b = other.u[i];
@@ -77,6 +93,7 @@ impl FieldSnapshot {
     /// viscosity.
     pub fn wall_shear_stress(&self, geo: &SparseGeometry, nu: f64) -> Vec<f64> {
         (0..self.len())
+            .into_par_iter()
             .map(|i| {
                 if geo.kind(i as u32) == SiteKind::Wall {
                     self.rho[i] * nu * self.shear[i]
@@ -172,9 +189,9 @@ mod tests {
             shear: vec![2.0; n],
         };
         let wss = s.wall_shear_stress(&geo, 0.1);
-        for i in 0..n {
+        for (i, &w) in wss.iter().enumerate() {
             let expect_nonzero = geo.kind(i as u32) == hemelb_geometry::SiteKind::Wall;
-            assert_eq!(wss[i] > 0.0, expect_nonzero, "site {i}");
+            assert_eq!(w > 0.0, expect_nonzero, "site {i}");
         }
     }
 }

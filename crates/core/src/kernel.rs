@@ -1,0 +1,396 @@
+//! Shared collide/stream kernel spans and the rayon-parallel solver.
+//!
+//! The serial [`Solver`], the [`ParallelSolver`] here, and the
+//! distributed solver all execute the *same* per-site code path — the
+//! span primitives below. Pull streaming reads only the previous-step
+//! buffer and every site writes only its own `f_next` entries, so
+//! partitioning the site array into contiguous chunks and running them
+//! on worker threads is race-free **and** bit-exact by construction: no
+//! atomics, no reductions, no operation reordering. The determinism
+//! proptests in `tests/properties.rs` assert
+//! `serial == parallel(1) == parallel(4)` via `f64::to_bits`.
+
+use crate::boundary::IoletBc;
+use crate::collision::{collide, CollisionKind};
+use crate::equilibrium::{moments as site_moments, pi_neq, shear_rate_magnitude};
+use crate::fields::FieldSnapshot;
+use crate::model::LatticeModel;
+use crate::mrt::MrtOperator;
+use crate::solver::{boundary_rule, Solver, SolverConfig, LINK_BOUNDARY};
+use hemelb_geometry::SparseGeometry;
+use std::sync::Arc;
+
+/// Collide the sites in `f` (a span of `moments.len()` sites, site-major)
+/// in place, recording each site's pre-collision moments.
+///
+/// This is the one collide loop in the codebase: serial, thread-chunked
+/// and distributed steps all call it, which is what makes them
+/// bit-identical per site.
+pub(crate) fn collide_span(
+    model: &LatticeModel,
+    collision: CollisionKind,
+    tau: f64,
+    mut mrt: Option<&mut MrtOperator>,
+    f: &mut [f64],
+    moments: &mut [(f64, [f64; 3])],
+) {
+    let q = model.q;
+    debug_assert_eq!(f.len(), moments.len() * q);
+    let mut scratch = vec![0.0; q];
+    for (s, m) in moments.iter_mut().enumerate() {
+        let fs = &mut f[s * q..(s + 1) * q];
+        *m = match mrt.as_deref_mut() {
+            Some(op) => op.collide(model, tau, fs),
+            None => collide(model, collision, tau, fs, &mut scratch),
+        };
+    }
+}
+
+/// Pull-stream into `out`, a span of `f_next` beginning at global site
+/// `first_site`. Reads only the immutable previous-step state, so spans
+/// may run concurrently.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stream_span(
+    model: &LatticeModel,
+    cfg: &SolverConfig,
+    geo: &SparseGeometry,
+    f_old: &[f64],
+    moments: &[(f64, [f64; 3])],
+    bc_velocity: &[[f64; 3]],
+    pull: &[u32],
+    step: u64,
+    first_site: usize,
+    out: &mut [f64],
+) {
+    let q = model.q;
+    debug_assert_eq!(out.len() % q, 0);
+    for k in 0..out.len() / q {
+        let s = first_site + k;
+        let kind = geo.kind(s as u32);
+        for i in 0..q {
+            let src = pull[s * q + i];
+            out[k * q + i] = if src != LINK_BOUNDARY {
+                f_old[src as usize * q + i]
+            } else {
+                boundary_rule(
+                    model,
+                    cfg,
+                    kind,
+                    bc_velocity[s],
+                    i,
+                    f_old[s * q + model.opp[i]],
+                    moments[s],
+                    step,
+                )
+            };
+        }
+    }
+}
+
+/// Macroscopic fields of the span of sites starting at `first_site`:
+/// density, velocity and shear-rate magnitude, written into the
+/// corresponding output spans.
+pub(crate) fn macroscopics_span(
+    model: &LatticeModel,
+    tau: f64,
+    f: &[f64],
+    rho: &mut [f64],
+    u: &mut [[f64; 3]],
+    shear: &mut [f64],
+) {
+    let q = model.q;
+    debug_assert_eq!(f.len(), rho.len() * q);
+    for s in 0..rho.len() {
+        let fs = &f[s * q..(s + 1) * q];
+        let (r, v) = site_moments(model, fs);
+        let pi = pi_neq(model, fs, r, v);
+        rho[s] = r;
+        u[s] = v;
+        shear[s] = shear_rate_magnitude(pi, r, tau);
+    }
+}
+
+/// Split the site range `0..n` into one contiguous chunk per rayon
+/// worker. Returns `(first_site, len)` pairs covering the range in
+/// order; the chunking never affects results, only which thread computes
+/// which sites.
+pub(crate) fn site_chunks(n: usize) -> Vec<(usize, usize)> {
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = n.div_ceil(threads).max(1);
+    let mut out = Vec::with_capacity(threads);
+    let mut first = 0;
+    while first < n {
+        let len = chunk.min(n - first);
+        out.push((first, len));
+        first += len;
+    }
+    out
+}
+
+/// Chunk-parallel collide over the whole site array. Each worker gets a
+/// disjoint `(f, moments)` pair of spans and (for MRT) its own clone of
+/// the operator, whose only mutable state is scratch space.
+pub(crate) fn par_collide(
+    model: &LatticeModel,
+    collision: CollisionKind,
+    tau: f64,
+    mrt: Option<&MrtOperator>,
+    f: &mut [f64],
+    moments: &mut [(f64, [f64; 3])],
+) {
+    let q = model.q;
+    rayon::scope(|sc| {
+        let mut f_rest = f;
+        let mut m_rest = moments;
+        for (_, len) in site_chunks(m_rest.len()) {
+            let (f_chunk, f_tail) = f_rest.split_at_mut(len * q);
+            let (m_chunk, m_tail) = m_rest.split_at_mut(len);
+            f_rest = f_tail;
+            m_rest = m_tail;
+            let mut op = mrt.cloned();
+            sc.spawn(move |_| collide_span(model, collision, tau, op.as_mut(), f_chunk, m_chunk));
+        }
+    });
+}
+
+/// Chunk-parallel pull-stream over the whole site array: disjoint spans
+/// of `f_next` are written from the shared immutable previous state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn par_stream(
+    model: &LatticeModel,
+    cfg: &SolverConfig,
+    geo: &SparseGeometry,
+    f_old: &[f64],
+    moments: &[(f64, [f64; 3])],
+    bc_velocity: &[[f64; 3]],
+    pull: &[u32],
+    step: u64,
+    f_next: &mut [f64],
+) {
+    let q = model.q;
+    rayon::scope(|sc| {
+        let mut rest = f_next;
+        for (first, len) in site_chunks(moments.len()) {
+            let (out, tail) = rest.split_at_mut(len * q);
+            rest = tail;
+            sc.spawn(move |_| {
+                stream_span(
+                    model,
+                    cfg,
+                    geo,
+                    f_old,
+                    moments,
+                    bc_velocity,
+                    pull,
+                    step,
+                    first,
+                    out,
+                )
+            });
+        }
+    });
+}
+
+/// Chunk-parallel macroscopic-field extraction into pre-sized arrays.
+pub(crate) fn par_macroscopics(
+    model: &LatticeModel,
+    tau: f64,
+    f: &[f64],
+    rho: &mut [f64],
+    u: &mut [[f64; 3]],
+    shear: &mut [f64],
+) {
+    let q = model.q;
+    rayon::scope(|sc| {
+        let mut f_rest = f;
+        let mut rho_rest = rho;
+        let mut u_rest = u;
+        let mut sh_rest = shear;
+        for (_, len) in site_chunks(rho_rest.len()) {
+            let (f_c, f_t) = f_rest.split_at(len * q);
+            let (rho_c, rho_t) = rho_rest.split_at_mut(len);
+            let (u_c, u_t) = u_rest.split_at_mut(len);
+            let (sh_c, sh_t) = sh_rest.split_at_mut(len);
+            f_rest = f_t;
+            rho_rest = rho_t;
+            u_rest = u_t;
+            sh_rest = sh_t;
+            sc.spawn(move |_| macroscopics_span(model, tau, f_c, rho_c, u_c, sh_c));
+        }
+    });
+}
+
+/// The thread-parallel solver: the serial [`Solver`]'s state stepped by
+/// the chunked kernels above inside a dedicated rayon pool.
+///
+/// Because pull streaming reads only the old buffer and chunk writes are
+/// disjoint, the result is **bit-for-bit identical** to [`Solver`] at
+/// any thread count — asserted by the determinism suite and the golden
+/// fixtures under `tests/golden/`.
+pub struct ParallelSolver {
+    inner: Solver,
+    pool: rayon::ThreadPool,
+    threads: usize,
+}
+
+impl ParallelSolver {
+    /// Initialise at rest on `geo` with `threads` worker threads.
+    pub fn new(geo: Arc<SparseGeometry>, cfg: SolverConfig, threads: usize) -> Self {
+        Self::from_solver(Solver::new(geo, cfg), threads)
+    }
+
+    /// Wrap an existing solver (mid-run states carry over unchanged).
+    pub fn from_solver(inner: Solver, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        ParallelSolver {
+            inner,
+            pool,
+            threads,
+        }
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The wrapped serial solver (read-only access to geometry, config,
+    /// distributions, …).
+    pub fn solver(&self) -> &Solver {
+        &self.inner
+    }
+
+    /// Unwrap back into the serial solver, preserving the state.
+    pub fn into_inner(self) -> Solver {
+        self.inner
+    }
+
+    /// Completed steps.
+    pub fn step_count(&self) -> u64 {
+        self.inner.step_count()
+    }
+
+    /// Advance one time step (collide + stream), chunk-parallel.
+    pub fn step(&mut self) {
+        let s = &mut self.inner;
+        self.pool.install(|| {
+            par_collide(
+                &s.model,
+                s.cfg.collision,
+                s.cfg.tau,
+                s.mrt.as_ref(),
+                &mut s.f,
+                &mut s.moments,
+            );
+            par_stream(
+                &s.model,
+                &s.cfg,
+                &s.geo,
+                &s.f,
+                &s.moments,
+                &s.bc_velocity,
+                &s.pull,
+                s.step,
+                &mut s.f_next,
+            );
+        });
+        std::mem::swap(&mut s.f, &mut s.f_next);
+        s.step += 1;
+    }
+
+    /// Advance `count` steps.
+    pub fn step_n(&mut self, count: u64) {
+        for _ in 0..count {
+            self.step();
+        }
+    }
+
+    /// Macroscopic snapshot, extracted chunk-parallel. Bit-identical to
+    /// [`Solver::snapshot`] on the same state.
+    pub fn snapshot(&self) -> FieldSnapshot {
+        let s = &self.inner;
+        let n = s.geo.fluid_count();
+        let mut rho = vec![0.0; n];
+        let mut u = vec![[0.0; 3]; n];
+        let mut shear = vec![0.0; n];
+        self.pool
+            .install(|| par_macroscopics(&s.model, s.cfg.tau, &s.f, &mut rho, &mut u, &mut shear));
+        FieldSnapshot {
+            step: s.step,
+            rho,
+            u,
+            shear,
+        }
+    }
+
+    /// Total mass (delegates to the serial implementation).
+    pub fn mass(&self) -> f64 {
+        self.inner.mass()
+    }
+
+    /// Raw distributions, site-major.
+    pub fn raw_distributions(&self) -> &[f64] {
+        self.inner.raw_distributions()
+    }
+
+    /// Replace the BC of inlet `id` at runtime (steering).
+    pub fn set_inlet_bc(&mut self, id: usize, bc: IoletBc) {
+        self.inner.set_inlet_bc(id, bc);
+    }
+
+    /// Replace the BC of outlet `id` at runtime.
+    pub fn set_outlet_bc(&mut self, id: usize, bc: IoletBc) {
+        self.inner.set_outlet_bc(id, bc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::ModelKind;
+    use hemelb_geometry::VesselBuilder;
+
+    fn bit_eq(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let geo = Arc::new(VesselBuilder::straight_tube(16.0, 3.5).voxelise(1.0));
+        let cfg = SolverConfig::pressure_driven(1.01, 0.99);
+        let mut serial = Solver::new(geo.clone(), cfg.clone());
+        let mut par1 = ParallelSolver::new(geo.clone(), cfg.clone(), 1);
+        let mut par4 = ParallelSolver::new(geo, cfg, 4);
+        for _ in 0..25 {
+            serial.step();
+            par1.step();
+            par4.step();
+        }
+        assert!(bit_eq(serial.raw_distributions(), par1.raw_distributions()));
+        assert!(bit_eq(serial.raw_distributions(), par4.raw_distributions()));
+        let ss = serial.snapshot();
+        let ps = par4.snapshot();
+        assert!(bit_eq(&ss.rho, &ps.rho));
+        assert!(bit_eq(&ss.shear, &ps.shear));
+        for (a, b) in ss.u.iter().zip(&ps.u) {
+            assert!(bit_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_mrt_and_d3q19() {
+        let geo = Arc::new(VesselBuilder::straight_tube(12.0, 3.0).voxelise(1.0));
+        let cfg = SolverConfig::velocity_driven(0.03)
+            .with_model(ModelKind::D3Q19)
+            .with_collision(CollisionKind::Mrt { omega_ghost: 1.2 });
+        let mut serial = Solver::new(geo.clone(), cfg.clone());
+        let mut par = ParallelSolver::new(geo, cfg, 3);
+        serial.step_n(20);
+        par.step_n(20);
+        assert!(bit_eq(serial.raw_distributions(), par.raw_distributions()));
+    }
+}

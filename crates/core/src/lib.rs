@@ -34,6 +34,7 @@ pub mod collision;
 pub mod dist;
 pub mod equilibrium;
 pub mod fields;
+pub mod kernel;
 pub mod model;
 pub mod mrt;
 pub mod solver;
@@ -41,6 +42,7 @@ pub mod units;
 
 pub use dist::DistSolver;
 pub use fields::FieldSnapshot;
+pub use kernel::ParallelSolver;
 pub use model::LatticeModel;
 pub use solver::{Solver, SolverConfig};
 pub use units::UnitConverter;

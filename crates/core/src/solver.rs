@@ -5,8 +5,8 @@
 //! this bit-for-bit; tests assert the equality.
 
 use crate::boundary::{pressure_anti_bounce_back, velocity_bounce_back, wall_bounce_back, IoletBc};
-use crate::collision::{collide, CollisionKind};
-use crate::equilibrium::{feq_all, pi_neq, shear_rate_magnitude};
+use crate::collision::CollisionKind;
+use crate::equilibrium::feq_all;
 use crate::fields::FieldSnapshot;
 use crate::model::LatticeModel;
 use hemelb_geometry::{SiteKind, SparseGeometry};
@@ -163,6 +163,7 @@ pub(crate) fn precompute_bc_velocities(geo: &SparseGeometry, cfg: &SolverConfig)
 /// `f_star_opp` is the site's own post-collision opposite population,
 /// `rho_u` the site's pre-collision moments this step.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn boundary_rule(
     model: &LatticeModel,
     cfg: &SolverConfig,
@@ -193,24 +194,27 @@ pub(crate) fn boundary_rule(
 }
 
 /// The serial solver.
+///
+/// Fields are crate-visible so [`crate::kernel::ParallelSolver`] can
+/// step the same state with the chunked kernels.
 pub struct Solver {
-    geo: Arc<SparseGeometry>,
-    cfg: SolverConfig,
-    model: LatticeModel,
+    pub(crate) geo: Arc<SparseGeometry>,
+    pub(crate) cfg: SolverConfig,
+    pub(crate) model: LatticeModel,
     /// Current distributions, site-major `[site][direction]`.
-    f: Vec<f64>,
+    pub(crate) f: Vec<f64>,
     /// Double buffer for streaming.
-    f_next: Vec<f64>,
+    pub(crate) f_next: Vec<f64>,
     /// Pull table.
-    pull: Vec<u32>,
+    pub(crate) pull: Vec<u32>,
     /// Pre-collision moments of the current step, per site.
-    moments: Vec<(f64, [f64; 3])>,
+    pub(crate) moments: Vec<(f64, [f64; 3])>,
     /// Precomputed iolet velocities.
-    bc_velocity: Vec<[f64; 3]>,
+    pub(crate) bc_velocity: Vec<[f64; 3]>,
     /// MRT operator when `cfg.collision` is [`CollisionKind::Mrt`].
-    mrt: Option<crate::mrt::MrtOperator>,
+    pub(crate) mrt: Option<crate::mrt::MrtOperator>,
     /// Completed time steps.
-    step: u64,
+    pub(crate) step: u64,
 }
 
 impl Solver {
@@ -286,41 +290,33 @@ impl Solver {
     }
 
     /// Advance one time step (collide + stream).
+    ///
+    /// Both phases run through the span primitives in [`crate::kernel`],
+    /// the same per-site code the parallel and distributed solvers use —
+    /// which is what makes the three bit-identical.
     pub fn step(&mut self) {
-        let n = self.geo.fluid_count();
-        let q = self.model.q;
-        let mut scratch = vec![0.0; q];
-
         // Collide in place: f becomes f*.
-        for s in 0..n {
-            let fs = &mut self.f[s * q..(s + 1) * q];
-            self.moments[s] = match &mut self.mrt {
-                Some(op) => op.collide(&self.model, self.cfg.tau, fs),
-                None => collide(&self.model, self.cfg.collision, self.cfg.tau, fs, &mut scratch),
-            };
-        }
-
+        crate::kernel::collide_span(
+            &self.model,
+            self.cfg.collision,
+            self.cfg.tau,
+            self.mrt.as_mut(),
+            &mut self.f,
+            &mut self.moments,
+        );
         // Stream (pull) with boundary rules on missing links.
-        for s in 0..n {
-            let kind = self.geo.kind(s as u32);
-            for i in 0..q {
-                let src = self.pull[s * q + i];
-                self.f_next[s * q + i] = if src != LINK_BOUNDARY {
-                    self.f[src as usize * q + i]
-                } else {
-                    boundary_rule(
-                        &self.model,
-                        &self.cfg,
-                        kind,
-                        self.bc_velocity[s],
-                        i,
-                        self.f[s * q + self.model.opp[i]],
-                        self.moments[s],
-                        self.step,
-                    )
-                };
-            }
-        }
+        crate::kernel::stream_span(
+            &self.model,
+            &self.cfg,
+            &self.geo,
+            &self.f,
+            &self.moments,
+            &self.bc_velocity,
+            &self.pull,
+            self.step,
+            0,
+            &mut self.f_next,
+        );
         std::mem::swap(&mut self.f, &mut self.f_next);
         self.step += 1;
     }
@@ -335,18 +331,17 @@ impl Solver {
     /// Macroscopic snapshot of the current state.
     pub fn snapshot(&self) -> FieldSnapshot {
         let n = self.geo.fluid_count();
-        let q = self.model.q;
-        let mut rho = Vec::with_capacity(n);
-        let mut u = Vec::with_capacity(n);
-        let mut shear = Vec::with_capacity(n);
-        for s in 0..n {
-            let fs = &self.f[s * q..(s + 1) * q];
-            let (r, v) = crate::equilibrium::moments(&self.model, fs);
-            let pi = pi_neq(&self.model, fs, r, v);
-            rho.push(r);
-            u.push(v);
-            shear.push(shear_rate_magnitude(pi, r, self.cfg.tau));
-        }
+        let mut rho = vec![0.0; n];
+        let mut u = vec![[0.0; 3]; n];
+        let mut shear = vec![0.0; n];
+        crate::kernel::macroscopics_span(
+            &self.model,
+            self.cfg.tau,
+            &self.f,
+            &mut rho,
+            &mut u,
+            &mut shear,
+        );
         FieldSnapshot {
             step: self.step,
             rho,
@@ -439,7 +434,11 @@ mod tests {
         // Mean x-velocity must be positive (inlet at x=0).
         let mean_ux: f64 = snap.u.iter().map(|u| u[0]).sum::<f64>() / snap.len() as f64;
         assert!(mean_ux > 1e-4, "flow should develop, got {mean_ux}");
-        assert!(snap.validity_report().is_empty(), "{:?}", snap.validity_report());
+        assert!(
+            snap.validity_report().is_empty(),
+            "{:?}",
+            snap.validity_report()
+        );
     }
 
     #[test]
@@ -464,8 +463,8 @@ mod tests {
 
     #[test]
     fn trt_matches_flow_direction_of_bgk() {
-        let cfg = SolverConfig::pressure_driven(1.01, 0.99)
-            .with_collision(CollisionKind::trt_magic());
+        let cfg =
+            SolverConfig::pressure_driven(1.01, 0.99).with_collision(CollisionKind::trt_magic());
         let mut s = tube_solver(cfg);
         s.step_n(150);
         let snap = s.snapshot();
@@ -562,8 +561,7 @@ mod tests {
         for _ in 0..period {
             s.step();
             let snap = s.snapshot();
-            let mean_ux: f64 =
-                snap.u.iter().map(|u| u[0]).sum::<f64>() / snap.len() as f64;
+            let mean_ux: f64 = snap.u.iter().map(|u| u[0]).sum::<f64>() / snap.len() as f64;
             series.push(mean_ux);
         }
         let max = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

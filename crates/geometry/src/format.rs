@@ -242,15 +242,8 @@ pub fn read_header(r: &mut impl Read) -> io::Result<SgmyHeader> {
         )));
     }
     // Header size: fixed part + iolets + level-1 table.
-    let data_offset = 4
-        + 4
-        + 3 * 8
-        + 8
-        + 8
-        + 8
-        + n_iolets * (1 + 7 * 8)
-        + 8
-        + block_count as u64 * 4;
+    let data_offset =
+        4 + 4 + 3 * 8 + 8 + 8 + 8 + n_iolets * (1 + 7 * 8) + 8 + block_count as u64 * 4;
     Ok(SgmyHeader {
         shape,
         block_size,
@@ -383,7 +376,11 @@ mod tests {
         assert_eq!(header.shape, geo.shape());
         assert_eq!(header.iolets.len(), 2);
         assert_eq!(
-            header.fluid_per_block.iter().map(|&c| c as u64).sum::<u64>(),
+            header
+                .fluid_per_block
+                .iter()
+                .map(|&c| c as u64)
+                .sum::<u64>(),
             header.fluid_total
         );
     }

@@ -144,7 +144,11 @@ impl VesselBuilder {
         let margin = 2.0;
         let mut vb = VesselBuilder::new(
             Vec3::new(-margin, -margin, -minor - margin),
-            Vec3::new(major + minor + margin, major + minor + margin, minor + margin),
+            Vec3::new(
+                major + minor + margin,
+                major + minor + margin,
+                minor + margin,
+            ),
         );
         vb.lumen.add(TorusArc {
             centre,
@@ -227,6 +231,7 @@ impl VesselBuilder {
         let mut leaves: Vec<(Vec3, Vec3, f64)> = Vec::new(); // (end, dir, radius)
 
         // Depth-first growth.
+        #[allow(clippy::too_many_arguments)]
         fn grow(
             p: Vec3,
             dir: Vec3,
@@ -246,7 +251,7 @@ impl VesselBuilder {
             }
             // Branch in the plane spanned by dir and an alternating
             // normal, ±35°.
-            let axis = if generation % 2 == 0 {
+            let axis = if generation.is_multiple_of(2) {
                 dir.any_orthogonal()
             } else {
                 dir.cross(dir.any_orthogonal()).normalised()
@@ -375,8 +380,7 @@ mod tests {
 
     #[test]
     fn bifurcation_has_one_inlet_two_outlets() {
-        let geo =
-            VesselBuilder::bifurcation(16.0, 14.0, 4.0, 0.5).voxelise(1.0);
+        let geo = VesselBuilder::bifurcation(16.0, 14.0, 4.0, 0.5).voxelise(1.0);
         let inlet_ids: std::collections::HashSet<u16> = geo
             .kinds()
             .iter()

@@ -55,8 +55,10 @@ pub fn direct_send(comm: &Communicator, mine: PartialImage) -> CommResult<Option
     let n = mine.image.pixels.len();
     if comm.is_master() {
         let mut acc = mine;
-        for _ in 1..comm.size() {
-            let (_, payload) = comm.recv_any(T_DIRECT)?;
+        // Per-source receives: deterministic merge order, and repeated
+        // frames cannot mix (FIFO per `(src, tag)`), unlike `recv_any`.
+        for src in 1..comm.size() {
+            let payload = comm.recv(src, T_DIRECT)?;
             merge_range(&mut acc, payload)?;
         }
         Ok(Some(acc.image))
@@ -85,9 +87,15 @@ pub fn binary_swap(comm: &Communicator, mine: PartialImage) -> CommResult<Option
         let partner = me ^ bit;
         let half = (range.end - range.start) / 2;
         let (keep, send) = if me & bit == 0 {
-            (range.start..range.start + half, range.start + half..range.end)
+            (
+                range.start..range.start + half,
+                range.start + half..range.end,
+            )
         } else {
-            (range.start + half..range.end, range.start..range.start + half)
+            (
+                range.start + half..range.end,
+                range.start..range.start + half,
+            )
         };
         let tag = Tag(T_SWAP.0 + round);
         comm.send(partner, tag, encode_range(&acc, send))?;
@@ -102,8 +110,8 @@ pub fn binary_swap(comm: &Communicator, mine: PartialImage) -> CommResult<Option
     if comm.is_master() {
         let mut final_img = Image::new(acc.image.width, acc.image.height);
         final_img.pixels[range.clone()].copy_from_slice(&acc.image.pixels[range.clone()]);
-        for _ in 1..p {
-            let (_, payload) = comm.recv_any(T_GATHER)?;
+        for src in 1..p {
+            let payload = comm.recv(src, T_GATHER)?;
             let mut r = WireReader::new(payload);
             let start = r.get_usize()?;
             let len = r.get_usize()?;
@@ -156,8 +164,8 @@ mod tests {
             });
             let img = results[0].as_ref().expect("master gets the image");
             assert_eq!(img.pixels, reference(p, 16, 20).pixels, "p={p}");
-            for r in 1..p {
-                assert!(results[r].is_none());
+            for res in results.iter().take(p).skip(1) {
+                assert!(res.is_none());
             }
         }
     }

@@ -39,20 +39,14 @@ pub fn vorticity(geo: &SparseGeometry, snap: &FieldSnapshot) -> Vec<[f64; 3]> {
             let plus = geo.site_at(xi + dx, yi + dy, zi + dz);
             let minus = geo.site_at(xi - dx, yi - dy, zi - dz);
             match (plus, minus) {
-                (Some(p), Some(m)) => {
-                    (snap.u[p as usize][comp] - snap.u[m as usize][comp]) / 2.0
-                }
+                (Some(p), Some(m)) => (snap.u[p as usize][comp] - snap.u[m as usize][comp]) / 2.0,
                 (Some(p), None) => snap.u[p as usize][comp] - snap.u[s as usize][comp],
                 (None, Some(m)) => snap.u[s as usize][comp] - snap.u[m as usize][comp],
                 (None, None) => 0.0,
             }
         };
         // ω_x = ∂u_z/∂y − ∂u_y/∂z, etc.
-        out[s as usize] = [
-            d(2, 1) - d(1, 2),
-            d(0, 2) - d(2, 0),
-            d(1, 0) - d(0, 1),
-        ];
+        out[s as usize] = [d(2, 1) - d(1, 2), d(0, 2) - d(2, 0), d(1, 0) - d(0, 1)];
     }
     out
 }
@@ -166,7 +160,7 @@ pub fn swirling_regions(
             });
         }
     }
-    features.sort_by(|a, b| b.sites.cmp(&a.sites));
+    features.sort_by_key(|f| std::cmp::Reverse(f.sites));
     FeatureReport {
         threshold,
         features,
@@ -242,7 +236,11 @@ mod tests {
     fn swirling_region_found_where_planted() {
         // Rotation only inside a ball at the tube centre; rest at rest.
         let geo = tube();
-        let centre = [10.0, (geo.shape()[1] as f64 - 1.0) / 2.0, (geo.shape()[2] as f64 - 1.0) / 2.0];
+        let centre = [
+            10.0,
+            (geo.shape()[1] as f64 - 1.0) / 2.0,
+            (geo.shape()[2] as f64 - 1.0) / 2.0,
+        ];
         let snap = snapshot_with(&geo, |p| {
             let dx = p[0] as f64 - centre[0];
             let dy = p[1] as f64 - centre[1];

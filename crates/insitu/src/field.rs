@@ -34,7 +34,11 @@ impl<'a> SampledField<'a> {
     /// # Panics
     /// Panics if the snapshot does not cover the geometry.
     pub fn new(geo: &'a SparseGeometry, snap: &'a FieldSnapshot) -> Self {
-        assert_eq!(geo.fluid_count(), snap.len(), "snapshot must match geometry");
+        assert_eq!(
+            geo.fluid_count(),
+            snap.len(),
+            "snapshot must match geometry"
+        );
         SampledField { geo, snap }
     }
 
@@ -157,7 +161,11 @@ mod tests {
         let f = SampledField::new(&geo, &snap);
         // Deep inside the tube, interpolation of a linear-in-x field is
         // exact (all 8 neighbours are fluid).
-        let p = Vec3::new(8.3, geo.shape()[1] as f64 / 2.0, geo.shape()[2] as f64 / 2.0);
+        let p = Vec3::new(
+            8.3,
+            geo.shape()[1] as f64 / 2.0,
+            geo.shape()[2] as f64 / 2.0,
+        );
         let u = f.velocity_at(p).unwrap();
         assert!((u[0] - 0.083).abs() < 1e-9, "{}", u[0]);
         assert!(u[1].abs() < 1e-12);
@@ -185,7 +193,9 @@ mod tests {
         let (geo, snap) = setup();
         let f = SampledField::new(&geo, &snap);
         assert!(f.velocity_at(Vec3::new(-50.0, 0.0, 0.0)).is_none());
-        assert!(f.scalar_at(Vec3::new(1e6, 0.0, 0.0), Scalar::Speed).is_none());
+        assert!(f
+            .scalar_at(Vec3::new(1e6, 0.0, 0.0), Scalar::Speed)
+            .is_none());
     }
 
     #[test]

@@ -60,8 +60,8 @@ impl Image {
         let mut out = Vec::with_capacity(self.pixels.len() * 3);
         for p in &self.pixels {
             let a = p[3].clamp(0.0, 1.0);
-            for c in 0..3 {
-                let v = p[c] + (1.0 - a);
+            for &pc in p.iter().take(3) {
+                let v = pc + (1.0 - a);
                 out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
             }
         }

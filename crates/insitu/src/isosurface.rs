@@ -101,36 +101,35 @@ where
     // share vertices (needed for the watertightness invariant).
     let mut edge_vertex: HashMap<(i64, i64, i64, i64, i64, i64), u32> = HashMap::new();
 
-    let mut vertex_on_edge =
-        |mesh: &mut TriangleMesh,
-         (ax, ay, az): (i64, i64, i64),
-         va: f64,
-         (bx, by, bz): (i64, i64, i64),
-         vb: f64|
-         -> u32 {
-            let key = if (ax, ay, az) <= (bx, by, bz) {
-                (ax, ay, az, bx, by, bz)
-            } else {
-                (bx, by, bz, ax, ay, az)
-            };
-            if let Some(&idx) = edge_vertex.get(&key) {
-                return idx;
-            }
-            let t = if (vb - va).abs() < 1e-300 {
-                0.5
-            } else {
-                ((iso - va) / (vb - va)).clamp(0.0, 1.0)
-            };
-            let p = Vec3::new(
-                ax as f64 + (bx - ax) as f64 * t,
-                ay as f64 + (by - ay) as f64 * t,
-                az as f64 + (bz - az) as f64 * t,
-            );
-            let idx = mesh.vertices.len() as u32;
-            mesh.vertices.push(p);
-            edge_vertex.insert(key, idx);
-            idx
+    let mut vertex_on_edge = |mesh: &mut TriangleMesh,
+                              (ax, ay, az): (i64, i64, i64),
+                              va: f64,
+                              (bx, by, bz): (i64, i64, i64),
+                              vb: f64|
+     -> u32 {
+        let key = if (ax, ay, az) <= (bx, by, bz) {
+            (ax, ay, az, bx, by, bz)
+        } else {
+            (bx, by, bz, ax, ay, az)
         };
+        if let Some(&idx) = edge_vertex.get(&key) {
+            return idx;
+        }
+        let t = if (vb - va).abs() < 1e-300 {
+            0.5
+        } else {
+            ((iso - va) / (vb - va)).clamp(0.0, 1.0)
+        };
+        let p = Vec3::new(
+            ax as f64 + (bx - ax) as f64 * t,
+            ay as f64 + (by - ay) as f64 * t,
+            az as f64 + (bz - az) as f64 * t,
+        );
+        let idx = mesh.vertices.len() as u32;
+        mesh.vertices.push(p);
+        edge_vertex.insert(key, idx);
+        idx
+    };
 
     for x in 0..dims[0] as i64 - 1 {
         for y in 0..dims[1] as i64 - 1 {
@@ -237,8 +236,7 @@ pub fn render_mesh(mesh: &TriangleMesh, cam: &Camera, colour: [f32; 3]) -> Image
         let n = (b - a).cross(c - a).normalised();
         let shade = (n.dot(light).abs() * 0.8 + 0.2) as f32;
 
-        let (Some(pa), Some(pb), Some(pc)) =
-            (cam.project(a), cam.project(b), cam.project(c))
+        let (Some(pa), Some(pb), Some(pc)) = (cam.project(a), cam.project(b), cam.project(c))
         else {
             continue;
         };
@@ -265,7 +263,8 @@ pub fn render_mesh(mesh: &TriangleMesh, cam: &Camera, colour: [f32; 3]) -> Image
                 let idx = (py as u32 * cam.width + px as u32) as usize;
                 if depth < zbuf[idx] {
                     zbuf[idx] = depth;
-                    img.pixels[idx] = [colour[0] * shade, colour[1] * shade, colour[2] * shade, 1.0];
+                    img.pixels[idx] =
+                        [colour[0] * shade, colour[1] * shade, colour[2] * shade, 1.0];
                 }
             }
         }
@@ -278,7 +277,11 @@ mod tests {
     use super::*;
 
     /// A sphere SDF sampled on a grid: the canonical closed level set.
-    fn sphere_field(dims: [usize; 3], centre: [f64; 3], r: f64) -> impl Fn(i64, i64, i64) -> Option<f64> {
+    fn sphere_field(
+        dims: [usize; 3],
+        centre: [f64; 3],
+        r: f64,
+    ) -> impl Fn(i64, i64, i64) -> Option<f64> {
         move |x, y, z| {
             if x < 0
                 || y < 0
@@ -348,13 +351,17 @@ mod tests {
         let dims = [20usize, 20, 20];
         let full = marching_tetrahedra(dims, sphere_field(dims, [9.5, 9.5, 9.5], 5.0), 0.0);
         let base = sphere_field(dims, [9.5, 9.5, 9.5], 5.0);
-        let half = marching_tetrahedra(dims, move |x, y, z| {
-            if x > 9 {
-                None
-            } else {
-                base(x, y, z)
-            }
-        }, 0.0);
+        let half = marching_tetrahedra(
+            dims,
+            move |x, y, z| {
+                if x > 9 {
+                    None
+                } else {
+                    base(x, y, z)
+                }
+            },
+            0.0,
+        );
         assert!(half.triangle_count() > 0);
         assert!(!half.is_watertight());
         let ratio = half.area() / full.area();

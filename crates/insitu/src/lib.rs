@@ -40,6 +40,6 @@ pub mod volume;
 pub use camera::Camera;
 pub use field::SampledField;
 pub use image::Image;
-pub use pipeline::{Pipeline, StageStats};
+pub use pipeline::{compare_solver_backends, BackendComparison, Pipeline, StageStats};
 pub use report::TechniqueReport;
 pub use transfer::TransferFunction;

@@ -77,8 +77,8 @@ impl VelocitySlice {
         let mut wsum = 0.0f32;
         for dx in 0..2i64 {
             for dy in 0..2i64 {
-                let w = (if dx == 0 { 1.0 - fx } else { fx })
-                    * (if dy == 0 { 1.0 - fy } else { fy });
+                let w =
+                    (if dx == 0 { 1.0 - fx } else { fx }) * (if dy == 0 { 1.0 - fy } else { fy });
                 if w <= 0.0 {
                     continue;
                 }
@@ -222,7 +222,10 @@ pub fn lic_distributed(
     let mut outgoing = Vec::new();
     let mut expect = Vec::new();
     for (neigh, cols) in [
-        (me.checked_sub(1), mine.start..(mine.start + halo_width).min(mine.end)),
+        (
+            me.checked_sub(1),
+            mine.start..(mine.start + halo_width).min(mine.end),
+        ),
         (
             (me + 1 < p).then_some(me + 1),
             mine.end.saturating_sub(halo_width).max(mine.start)..mine.end,
@@ -328,8 +331,7 @@ mod tests {
         let a = noise(3, 7, 1);
         assert_eq!(a, noise(3, 7, 1));
         assert_ne!(a, noise(3, 8, 1));
-        let mean: f32 =
-            (0..1000).map(|i| noise(i, i * 3 + 1, 9)).sum::<f32>() / 1000.0;
+        let mean: f32 = (0..1000).map(|i| noise(i, i * 3 + 1, 9)).sum::<f32>() / 1000.0;
         assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
     }
 
@@ -393,9 +395,7 @@ mod tests {
         let s = slice_of_tube();
         let cfg = LicConfig::default();
         let ny = s.ny;
-        let out = run_spmd_with_stats(4, move |comm| {
-            lic_distributed(comm, &s, &cfg).unwrap().1
-        });
+        let out = run_spmd_with_stats(4, move |comm| lic_distributed(comm, &s, &cfg).unwrap().1);
         let vis_bytes = out.summary.total.bytes(TagClass::Visualisation);
         // Each interior rank exchanges ≤ 2 halos of halo_width × ny × 8 B
         // plus the final gather. Bound generously.

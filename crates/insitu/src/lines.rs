@@ -59,12 +59,16 @@ pub fn trace_streamline(field: &SampledField<'_>, seed: Vec3, cfg: &TraceConfig)
     let mut line = vec![seed];
     let mut p = seed;
     for _ in 0..cfg.max_steps {
-        let Some(vel) = field.velocity_at(p) else { break };
+        let Some(vel) = field.velocity_at(p) else {
+            break;
+        };
         let speed = (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]).sqrt();
         if speed < cfg.min_speed {
             break;
         }
-        let Some(q) = rk4_step(&v, p, cfg.h) else { break };
+        let Some(q) = rk4_step(&v, p, cfg.h) else {
+            break;
+        };
         line.push(q);
         // Stop once the containing cell leaves the fluid (interpolation
         // can still succeed slightly outside; the distributed tracer
@@ -214,6 +218,9 @@ pub fn owner_of_point(geo: &SparseGeometry, owner: &[usize], p: Vec3) -> Option<
         .map(|s| owner[s as usize])
 }
 
+/// One recorded line segment: `(line id, step-of-first-vertex, vertices)`.
+pub type LineSegment = (u32, u32, Vec<Vec3>);
+
 /// Distributed steady streamline tracing with particle hand-off.
 /// Collective; every rank passes the full seed list. Returns this rank's
 /// recorded segments `(line id, step-of-first-vertex, vertices)` and its
@@ -226,10 +233,10 @@ pub fn trace_distributed(
     owner: &[usize],
     seeds: &[Vec3],
     cfg: &TraceConfig,
-) -> CommResult<(Vec<(u32, u32, Vec<Vec3>)>, TraceStats)> {
+) -> CommResult<(Vec<LineSegment>, TraceStats)> {
     let me = comm.rank();
     let mut stats = TraceStats::default();
-    let mut segments: Vec<(u32, u32, Vec<Vec3>)> = Vec::new();
+    let mut segments: Vec<LineSegment> = Vec::new();
 
     // Seeds I own (seeds outside any fluid cell are dropped, like
     // seeds placed in the vessel wall in practice).
@@ -256,13 +263,17 @@ pub fn trace_distributed(
                     break;
                 }
                 let p = Vec3::from(part.pos);
-                let Some(vel) = field.velocity_at(p) else { break };
+                let Some(vel) = field.velocity_at(p) else {
+                    break;
+                };
                 let speed = (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]).sqrt();
                 if speed < cfg.min_speed {
                     break;
                 }
                 let v = |q: Vec3| field.velocity_at(q);
-                let Some(next) = rk4_step(&v, p, cfg.h) else { break };
+                let Some(next) = rk4_step(&v, p, cfg.h) else {
+                    break;
+                };
                 part.pos = next.to_array();
                 part.steps += 1;
                 stats.steps_computed += 1;

@@ -74,8 +74,7 @@ impl TechniqueReport {
         flops_per_work: u64,
     ) -> TechniqueReport {
         let max = *work_per_rank.iter().max().unwrap_or(&0) as f64;
-        let mean =
-            work_per_rank.iter().sum::<u64>() as f64 / work_per_rank.len().max(1) as f64;
+        let mean = work_per_rank.iter().sum::<u64>() as f64 / work_per_rank.len().max(1) as f64;
         TechniqueReport {
             technique: technique.to_string(),
             ranks: work_per_rank.len(),
@@ -166,15 +165,15 @@ pub fn measure_volume(inputs: &TechniqueInputs) -> TechniqueReport {
         let (lo, hi) = field.scalar_range(Scalar::Speed);
         let tf = TransferFunction::heat(lo, hi.max(lo + 1e-9));
         let step = 0.5;
-        let (partial, samples) =
-            match Brick::from_sites(&inp.geo, &inp.snap, Scalar::Speed, &mine) {
-                Some(brick) => {
-                    let p = render_brick(&brick, &cam, &tf, step);
-                    let samples = estimate_samples(&brick, &cam, step);
-                    (p, samples)
-                }
-                None => (crate::image::PartialImage::new(cam.width, cam.height), 0),
-            };
+        let (partial, samples) = match Brick::from_sites(&inp.geo, &inp.snap, Scalar::Speed, &mine)
+        {
+            Some(brick) => {
+                let p = render_brick(&brick, &cam, &tf, step);
+                let samples = estimate_samples(&brick, &cam, step);
+                (p, samples)
+            }
+            None => (crate::image::PartialImage::new(cam.width, cam.height), 0),
+        };
         binary_swap(comm, partial).unwrap();
         samples
     });
@@ -202,8 +201,7 @@ pub fn measure_lines(inputs: &TechniqueInputs) -> TechniqueReport {
     let out = run_spmd_with_stats(inputs.ranks, move |comm| {
         let field = SampledField::new(&inp.geo, &inp.snap);
         let (_, stats) =
-            trace_distributed(comm, &inp.geo, &field, &inp.owner, &inp.seeds, &inp.trace)
-                .unwrap();
+            trace_distributed(comm, &inp.geo, &field, &inp.owner, &inp.seeds, &inp.trace).unwrap();
         (stats.steps_computed, stats.rounds)
     });
     let rounds = out.results.iter().map(|r| r.1).max().unwrap_or(0);
@@ -273,7 +271,13 @@ mod tests {
         let cy = (geo.shape()[1] as f64 - 1.0) / 2.0;
         let cz = (geo.shape()[2] as f64 - 1.0) / 2.0;
         let seeds: Vec<Vec3> = (0..16)
-            .map(|i| Vec3::new(2.0, cy + ((i % 4) as f64 - 1.5), cz + ((i / 4) as f64 - 1.5)))
+            .map(|i| {
+                Vec3::new(
+                    2.0,
+                    cy + ((i % 4) as f64 - 1.5),
+                    cz + ((i / 4) as f64 - 1.5),
+                )
+            })
             .collect();
         TechniqueInputs {
             geo: Arc::new(geo),
@@ -319,7 +323,11 @@ mod tests {
         assert_eq!(lic.rounds, 1);
         // Line integrals / particles pay repeated rounds on the critical
         // path, and move data every round.
-        assert!(lines.rounds > lic.rounds, "hand-off generations: {}", lines.rounds);
+        assert!(
+            lines.rounds > lic.rounds,
+            "hand-off generations: {}",
+            lines.rounds
+        );
         assert!(particles.rounds as usize >= 200, "one round per step");
         assert!(lines.data_bytes > 0);
         assert!(particles.data_bytes > 0);

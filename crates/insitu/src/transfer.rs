@@ -99,8 +99,8 @@ mod tests {
         let tf = TransferFunction::heat(2.0, 4.0);
         assert_eq!(tf.classify(2.0), tf.stops[0]);
         let last = tf.classify(4.0);
-        for i in 0..4 {
-            assert!((last[i] - tf.stops[3][i]).abs() < 1e-6);
+        for (l, s) in last.iter().zip(&tf.stops[3]) {
+            assert!((l - s).abs() < 1e-6);
         }
     }
 

@@ -72,12 +72,7 @@ pub struct DistStreaklines<'a> {
 impl<'a> DistStreaklines<'a> {
     /// Create with no particles yet; releases start with the first
     /// [`DistStreaklines::step`].
-    pub fn new(
-        comm: &'a Communicator,
-        owner: &'a [usize],
-        seeds: Vec<Vec3>,
-        h: f64,
-    ) -> Self {
+    pub fn new(comm: &'a Communicator, owner: &'a [usize], seeds: Vec<Vec3>, h: f64) -> Self {
         DistStreaklines {
             comm,
             owner,

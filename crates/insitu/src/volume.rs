@@ -117,7 +117,8 @@ impl Brick {
         {
             return None;
         }
-        let v = self.values[(bx as usize * self.dims[1] + by as usize) * self.dims[2] + bz as usize];
+        let v =
+            self.values[(bx as usize * self.dims[1] + by as usize) * self.dims[2] + bz as usize];
         if v.is_nan() {
             None
         } else {
@@ -162,19 +163,15 @@ impl Brick {
 /// Ray-cast one brick into a partial image. `step` is the march step in
 /// cells (0.5 is a good default). Embarrassingly parallel over pixels —
 /// the "ease of parallelisation: easy" cell of Table I.
-pub fn render_brick(
-    brick: &Brick,
-    cam: &Camera,
-    tf: &TransferFunction,
-    step: f64,
-) -> PartialImage {
+pub fn render_brick(brick: &Brick, cam: &Camera, tf: &TransferFunction, step: f64) -> PartialImage {
     assert!(step > 0.0);
     let (blo, bhi) = brick.bounds();
     let width = cam.width;
     let mut out = PartialImage::new(cam.width, cam.height);
 
     // Parallel over rows; each row is written independently.
-    let rows: Vec<(u32, Vec<([f32; 4], f32)>)> = (0..cam.height)
+    type RenderedRow = (u32, Vec<([f32; 4], f32)>);
+    let rows: Vec<RenderedRow> = (0..cam.height)
         .into_par_iter()
         .map(|py| {
             let mut row = Vec::with_capacity(width as usize);
@@ -315,10 +312,12 @@ mod tests {
         let full = render_full(&geo, &snap, Scalar::Density, &cam, &tf, 0.5);
 
         let mid = geo.shape()[0] as u32 / 2;
-        let left: Vec<u32> =
-            (0..geo.fluid_count() as u32).filter(|&s| geo.position(s)[0] < mid).collect();
-        let right: Vec<u32> =
-            (0..geo.fluid_count() as u32).filter(|&s| geo.position(s)[0] >= mid).collect();
+        let left: Vec<u32> = (0..geo.fluid_count() as u32)
+            .filter(|&s| geo.position(s)[0] < mid)
+            .collect();
+        let right: Vec<u32> = (0..geo.fluid_count() as u32)
+            .filter(|&s| geo.position(s)[0] >= mid)
+            .collect();
         let bl = Brick::from_sites(&geo, &snap, Scalar::Density, &left).unwrap();
         let br = Brick::from_sites(&geo, &snap, Scalar::Density, &right).unwrap();
         let mut pl = render_brick(&bl, &cam, &tf, 0.5);

@@ -40,7 +40,9 @@ pub fn local_cut(
     for (&g, &v) in local_sites.iter().zip(field) {
         let p = geo.position(g);
         let key = [p[0] / cell_size, p[1] / cell_size, p[2] / cell_size];
-        let e = cells.entry(key).or_insert((0, 0.0, f64::INFINITY, f64::NEG_INFINITY));
+        let e = cells
+            .entry(key)
+            .or_insert((0, 0.0, f64::INFINITY, f64::NEG_INFINITY));
         e.0 += 1;
         e.1 += v;
         e.2 = e.2.min(v);
@@ -112,8 +114,10 @@ pub fn distributed_level_cut(
     if comm.is_master() {
         let mut merged: HashMap<[u32; 3], Aggregates> =
             mine.into_iter().map(|c| (c.cell, c.agg)).collect();
-        for _ in 1..comm.size() {
-            let (_, data) = comm.recv_any(T_CUT)?;
+        // Per-source receives keep repeated cuts round-safe and the merge
+        // order deterministic (see `Communicator::gather`).
+        for src in 1..comm.size() {
+            let data = comm.recv(src, T_CUT)?;
             let mut r = WireReader::new(data);
             let n = r.get_usize()?;
             for _ in 0..n {
@@ -179,8 +183,7 @@ mod tests {
                 let mine: Vec<u32> = (0..geo2.fluid_count() as u32)
                     .filter(|&s| owner[s as usize] == comm.rank())
                     .collect();
-                let local_field: Vec<f64> =
-                    mine.iter().map(|&g| field2[g as usize]).collect();
+                let local_field: Vec<f64> = mine.iter().map(|&g| field2[g as usize]).collect();
                 distributed_level_cut(comm, &geo2, &mine, &local_field, 4)
                     .unwrap()
                     .0

@@ -171,7 +171,11 @@ mod tests {
         let shape = geo.shape();
         let small_roi = Roi {
             lo: [0, 0, 0],
-            hi: [8.min(shape[0] as u32), 8.min(shape[1] as u32), 8.min(shape[2] as u32)],
+            hi: [
+                8.min(shape[0] as u32),
+                8.min(shape[1] as u32),
+                8.min(shape[2] as u32),
+            ],
         };
         let mixed = RoiCut::build(&t, small_roi, 1, t.depth());
         let uniform = t.cut_at_level(t.depth());

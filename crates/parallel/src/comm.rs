@@ -6,7 +6,12 @@
 //!
 //! * sends are asynchronous and never block (buffered channels);
 //! * receives match on `(source, tag)` and are FIFO within a match;
-//! * messages arriving before they are wanted are buffered locally.
+//! * messages arriving before they are wanted are buffered locally;
+//! * collectives receive **per source rank**, never "from anyone":
+//!   FIFO `(source, tag)` matching then guarantees that back-to-back
+//!   invocations of the same collective cannot mix rounds, even when
+//!   some ranks race ahead (a rank completes a collective as soon as
+//!   *its* messages arrived, not when everyone's have).
 //!
 //! Every send is recorded in the rank's [`CommStats`] under the
 //! [`TagClass`](crate::stats::TagClass) derived from the tag, which is how
@@ -150,7 +155,8 @@ impl Communicator {
                 self.stats
                     .borrow_mut()
                     .record_send(tag.class(), env.payload.len());
-                tx.send(env).map_err(|_| CommError::Disconnected { peer: dst })
+                tx.send(env)
+                    .map_err(|_| CommError::Disconnected { peer: dst })
             }
         }
     }
@@ -372,14 +378,21 @@ impl Communicator {
 
     /// Gather each rank's payload at `root`; returns `Some(vec)` indexed
     /// by rank at the root, `None` elsewhere.
+    ///
+    /// The root receives per source rank (not `recv_any`): `(src, tag)`
+    /// matching is FIFO, so back-to-back gathers stay **round-safe** even
+    /// though non-root ranks return as soon as their send is buffered — a
+    /// fast rank's next-round message can never be consumed as this
+    /// round's.
     pub fn gather(&self, root: usize, payload: Bytes) -> CommResult<Option<Vec<Bytes>>> {
         self.note_sync();
         if self.rank == root {
             let mut out: Vec<Option<Bytes>> = vec![None; self.size];
             out[root] = Some(payload);
-            for _ in 0..self.size - 1 {
-                let (src, data) = self.recv_any(T_GATHER)?;
-                out[src] = Some(data);
+            for (src, slot) in out.iter_mut().enumerate() {
+                if src != root {
+                    *slot = Some(self.recv(src, T_GATHER)?);
+                }
             }
             Ok(Some(
                 out.into_iter()
@@ -555,14 +568,16 @@ impl Communicator {
                 self.send(dst, T_ALLTOALL, payload)?;
             }
         }
-        for _ in 0..self.size - 1 {
-            let (src, data) = self.recv_any(T_ALLTOALL)?;
-            if incoming[src].is_some() {
-                return Err(CommError::CollectiveMismatch {
-                    reason: format!("duplicate all_to_all message from rank {src}"),
-                });
+        // Receive per source rank, never `recv_any`: an `all_to_all`
+        // completes locally once this rank has its own messages, so a
+        // fast peer may already be sending the *next* invocation's
+        // payloads. Per-source `(src, tag)` FIFO matching keeps those
+        // future messages buffered instead of letting them corrupt (and
+        // deadlock) the current round.
+        for (src, slot) in incoming.iter_mut().enumerate() {
+            if src != self.rank {
+                *slot = Some(self.recv(src, T_ALLTOALL)?);
             }
-            incoming[src] = Some(data);
         }
         Ok(incoming
             .into_iter()
@@ -684,7 +699,8 @@ mod tests {
     fn allreduce_vec_elementwise_max() {
         let results = run_spmd(3, |comm| {
             let r = comm.rank() as f64;
-            comm.all_reduce_f64_vec(vec![r, -r, r * r], f64::max).unwrap()
+            comm.all_reduce_f64_vec(vec![r, -r, r * r], f64::max)
+                .unwrap()
         });
         for r in &results {
             assert_eq!(*r, vec![2.0, 0.0, 4.0]);

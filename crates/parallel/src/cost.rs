@@ -135,9 +135,16 @@ mod tests {
     #[test]
     fn exascale_shifts_balance_toward_communication() {
         // Same workload: 1e9 flops, 1e8 bytes, 1e4 messages.
-        let xe6 = CostModel::for_machine(MachineModel::CrayXe6).critical_path(1_0000, 100_000_000, 1_000_000_000);
-        let exa = CostModel::for_machine(MachineModel::ExascaleProjection)
-            .critical_path(1_0000, 100_000_000, 1_000_000_000);
+        let xe6 = CostModel::for_machine(MachineModel::CrayXe6).critical_path(
+            1_0000,
+            100_000_000,
+            1_000_000_000,
+        );
+        let exa = CostModel::for_machine(MachineModel::ExascaleProjection).critical_path(
+            1_0000,
+            100_000_000,
+            1_000_000_000,
+        );
         // On the exascale projection, data movement takes a strictly larger
         // share of the total — the paper's central premise.
         assert!(exa.data_movement_fraction() > xe6.data_movement_fraction());

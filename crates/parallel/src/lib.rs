@@ -52,7 +52,7 @@ pub mod wire;
 pub use comm::{Communicator, World};
 pub use cost::{CostModel, MachineModel, ProjectedCost};
 pub use error::{CommError, CommResult};
-pub use runner::{run_spmd, run_spmd_with_stats, SpmdOutput};
+pub use runner::{run_spmd, run_spmd_opts, run_spmd_with_stats, SpmdOptions, SpmdOutput};
 pub use stats::{CommStats, StatsSummary, TagClass};
 pub use tag::Tag;
 pub use wire::{Wire, WireReader, WireWriter};

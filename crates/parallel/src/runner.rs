@@ -29,6 +29,29 @@ where
     run_spmd_with_stats(size, f).results
 }
 
+/// Hybrid-execution options for an SPMD run.
+///
+/// The paper's co-design target is MPI ranks × on-node threads; here the
+/// analogue is rank-threads × a rayon pool per rank. With
+/// `threads_per_rank > 1` every rank closure runs inside its own rayon
+/// pool, so the chunk-parallel collide/stream kernels in `hemelb-core`
+/// split each rank's site loop across that many workers. Results are
+/// bit-identical at any setting (pull streaming + disjoint chunk
+/// writes), so the knob trades nothing but scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmdOptions {
+    /// Rayon worker threads installed for each rank closure (≥ 1).
+    pub threads_per_rank: usize,
+}
+
+impl Default for SpmdOptions {
+    fn default() -> Self {
+        SpmdOptions {
+            threads_per_rank: 1,
+        }
+    }
+}
+
 /// Like [`run_spmd`] but also returns communication statistics — the
 /// measurement entry point used by every experiment in this repository.
 pub fn run_spmd_with_stats<T, F>(size: usize, f: F) -> SpmdOutput<T>
@@ -36,6 +59,17 @@ where
     T: Send,
     F: Fn(&Communicator) -> T + Send + Sync,
 {
+    run_spmd_opts(size, SpmdOptions::default(), f)
+}
+
+/// Run `f` on `size` ranks with explicit [`SpmdOptions`]; each rank
+/// closure executes inside a rayon pool of `threads_per_rank` workers.
+pub fn run_spmd_opts<T, F>(size: usize, opts: SpmdOptions, f: F) -> SpmdOutput<T>
+where
+    T: Send,
+    F: Fn(&Communicator) -> T + Send + Sync,
+{
+    let threads = opts.threads_per_rank.max(1);
     let comms = World::communicators(size);
     let f = &f;
     let mut pairs: Vec<(T, CommStats)> = Vec::with_capacity(size);
@@ -44,7 +78,11 @@ where
             .into_iter()
             .map(|comm| {
                 scope.spawn(move || {
-                    let result = f(&comm);
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .expect("rank thread pool");
+                    let result = pool.install(|| f(&comm));
                     let stats = comm.stats();
                     (result, stats)
                 })
@@ -83,6 +121,21 @@ mod tests {
     fn results_are_indexed_by_rank() {
         let results = run_spmd(6, |comm| comm.rank() * comm.rank());
         assert_eq!(results, vec![0, 1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn threads_per_rank_installs_a_pool() {
+        let out = run_spmd_opts(
+            2,
+            SpmdOptions {
+                threads_per_rank: 3,
+            },
+            |_| rayon::current_num_threads(),
+        );
+        assert_eq!(out.results, vec![3, 3]);
+        // Default options keep the historical single-thread behaviour.
+        let out = run_spmd_with_stats(2, |_| rayon::current_num_threads());
+        assert_eq!(out.results, vec![1, 1]);
     }
 
     #[test]

@@ -127,6 +127,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the ordering of the bases IS the invariant
     fn ranges_are_ordered_and_disjoint() {
         assert!(Tag::COLLECTIVE_BASE < Tag::HALO_BASE);
         assert!(Tag::HALO_BASE < Tag::GEOMETRY_BASE);

@@ -496,10 +496,7 @@ mod tests {
         w.put_u64(1);
         w.put_u8(0);
         let b = w.finish();
-        assert!(matches!(
-            u64::from_bytes(b),
-            Err(CommError::Decode { .. })
-        ));
+        assert!(matches!(u64::from_bytes(b), Err(CommError::Decode { .. })));
     }
 
     #[test]

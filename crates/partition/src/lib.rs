@@ -84,7 +84,7 @@ mod tests {
             Box::new(NaiveBlock),
             Box::new(MortonSfc),
             Box::new(HilbertSfc),
-            Box::new(Rcb::default()),
+            Box::new(Rcb),
             Box::new(MultilevelKWay::default()),
         ];
         for p in &partitioners {

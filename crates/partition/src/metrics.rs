@@ -73,7 +73,11 @@ pub fn quality(graph: &SiteGraph, owner: &[usize], k: usize) -> PartitionQuality
         edge_cut: edge_cut / 2,
         comm_volume,
         max_comm_volume: part_volume.into_iter().max().unwrap_or(0),
-        max_neighbours: part_neighbours.into_iter().map(|s| s.len()).max().unwrap_or(0),
+        max_neighbours: part_neighbours
+            .into_iter()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(0),
     }
 }
 

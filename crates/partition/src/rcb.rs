@@ -24,7 +24,13 @@ impl Partitioner for Rcb {
     }
 }
 
-fn bisect(graph: &SiteGraph, ids: &mut [u32], first_part: usize, parts: usize, owner: &mut [usize]) {
+fn bisect(
+    graph: &SiteGraph,
+    ids: &mut [u32],
+    first_part: usize,
+    parts: usize,
+    owner: &mut [usize],
+) {
     if parts == 1 {
         for &v in ids.iter() {
             owner[v as usize] = first_part;
@@ -108,10 +114,7 @@ mod tests {
         let mut sorted = ranges.clone();
         sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for w in sorted.windows(2) {
-            assert!(
-                w[1].0 >= w[0].1 - 1.0,
-                "slabs should barely overlap: {w:?}"
-            );
+            assert!(w[1].0 >= w[0].1 - 1.0, "slabs should barely overlap: {w:?}");
         }
     }
 

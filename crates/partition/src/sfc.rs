@@ -196,9 +196,7 @@ mod tests {
             }
         }
         for w in by_index.windows(2) {
-            let d: u32 = (0..3)
-                .map(|a| w[0][a].abs_diff(w[1][a]))
-                .sum();
+            let d: u32 = (0..3).map(|a| w[0][a].abs_diff(w[1][a])).sum();
             assert_eq!(d, 1, "{:?} -> {:?}", w[0], w[1]);
         }
     }

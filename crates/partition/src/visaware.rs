@@ -107,9 +107,7 @@ pub fn rebalance(
             // freed capacity. Without this, the compute cap freezes the
             // diffusion after one boundary layer.
             let mean1 = total1 / k as f64;
-            let making_room = w2v == 0.0
-                && loads2[src] < total2 / k as f64
-                && loads1[src] > mean1;
+            let making_room = w2v == 0.0 && loads2[src] < total2 / k as f64 && loads1[src] > mean1;
             let mut best: Option<(usize, f64)> = None;
             for &dst in &touched {
                 if loads1[dst] + w1v > max1 || loads2[dst] + w2v > max2 {
@@ -120,13 +118,10 @@ pub fn rebalance(
                 // damaging move; otherwise require non-worsening cut and
                 // strictly less loaded destination — or a make-room move
                 // to a compute-lighter part.
-                let acceptable = if src_overloaded {
-                    true
-                } else if making_room && loads1[dst] + w1v < loads1[src] {
-                    true
-                } else {
-                    gain > 0.0 || (gain == 0.0 && loads2[dst] + w2v < loads2[src])
-                };
+                let acceptable = src_overloaded
+                    || (making_room && loads1[dst] + w1v < loads1[src])
+                    || gain > 0.0
+                    || (gain == 0.0 && loads2[dst] + w2v < loads2[src]);
                 if !acceptable {
                     continue;
                 }
@@ -221,7 +216,11 @@ pub fn striped_multiconstraint(graph: &SiteGraph, k: usize, block: usize) -> Vec
 /// by their projected footprint (uniform here) times a view-dependent
 /// mask. Real weights come from the renderer; this one exists so the
 /// partition crate can be exercised standalone.
-pub fn synthetic_view_weights(graph: &SiteGraph, view_dir: [f64; 3], visible_fraction: f64) -> Vec<f64> {
+pub fn synthetic_view_weights(
+    graph: &SiteGraph,
+    view_dir: [f64; 3],
+    visible_fraction: f64,
+) -> Vec<f64> {
     // Project each site onto the view direction; the nearest
     // `visible_fraction` of sites get weight 1, the rest 0 (occluded /
     // out of frustum).

@@ -149,11 +149,8 @@ pub fn run_closed_loop(
             let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2])
                 .sqrt()
                 .max(1e-12);
-            let w2 = synthetic_view_weights(
-                &graph,
-                [dir[0] / norm, dir[1] / norm, dir[2] / norm],
-                0.3,
-            );
+            let w2 =
+                synthetic_view_weights(&graph, [dir[0] / norm, dir[1] / norm, dir[2] / norm], 0.3);
             let graph = graph.with_secondary_weights(w2);
             let out = rebalance(&graph, solver.owner(), comm.size(), 0.10, 20);
             outcome.sites_migrated += solver.repartition(out.owner)? as u64;
@@ -209,10 +206,8 @@ pub fn run_closed_loop(
                     max_wss = max_wss.max(snap.rho[i] * nu * snap.shear[i]);
                 }
             }
-            let sums = comm.all_reduce_f64_vec(
-                vec![sites as f64, sum_rho, sum_speed],
-                |a, b| a + b,
-            )?;
+            let sums =
+                comm.all_reduce_f64_vec(vec![sites as f64, sum_rho, sum_speed], |a, b| a + b)?;
             let maxes = comm.all_reduce_f64_vec(vec![max_speed, max_wss], f64::max)?;
             if let Some(server) = &server {
                 let n = sums[0].max(1.0);
@@ -230,8 +225,7 @@ pub fn run_closed_loop(
 
         // Steps 5–6: render and return the image when due.
         let due = state.frame_requested
-            || (!state.paused
-                && outcome.steps_done >= last_frame_step + state.vis_rate as u64);
+            || (!state.paused && outcome.steps_done >= last_frame_step + state.vis_rate as u64);
         if due {
             state.frame_requested = false;
             last_frame_step = outcome.steps_done;
@@ -528,10 +522,8 @@ mod tests {
         // gives the same fields (bitwise) despite the migration.
         let geo3 = geo.clone();
         let reference = {
-            let mut s = hemelb_core::Solver::new(
-                geo3.clone(),
-                SolverConfig::pressure_driven(1.01, 0.99),
-            );
+            let mut s =
+                hemelb_core::Solver::new(geo3.clone(), SolverConfig::pressure_driven(1.01, 0.99));
             s.step_n(steps);
             s.snapshot()
         };
@@ -552,9 +544,13 @@ mod tests {
         let client_thread = std::thread::spawn(move || {
             let client = SteeringClient::new(Box::new(client_end));
             // Steps 2–3 of the loop: connect + send vis parameters.
-            client.send(&SteeringCommand::SetVisRate(1_000_000)).unwrap();
             client
-                .send(&SteeringCommand::SetField(crate::protocol::FieldChoice::Density))
+                .send(&SteeringCommand::SetVisRate(1_000_000))
+                .unwrap();
+            client
+                .send(&SteeringCommand::SetField(
+                    crate::protocol::FieldChoice::Density,
+                ))
                 .unwrap();
             // Ask for a frame explicitly and wait for it (steps 4–6).
             let (img, rtt) = client.request_frame().unwrap();
@@ -567,12 +563,7 @@ mod tests {
                 .unwrap();
             client.send(&SteeringCommand::Terminate).unwrap();
             // Drain whatever else arrives until the server goes away.
-            loop {
-                match client.recv() {
-                    Ok(_) => continue,
-                    Err(_) => break,
-                }
-            }
+            while client.recv().is_ok() {}
             img
         });
 
@@ -600,7 +591,11 @@ mod tests {
         });
         let img = client_thread.join().unwrap();
         // The vessel must actually be visible in the returned frame.
-        let non_white = img.rgb.chunks(3).filter(|c| c[0] != 255 || c[1] != 255 || c[2] != 255).count();
+        let non_white = img
+            .rgb
+            .chunks(3)
+            .filter(|c| c[0] != 255 || c[1] != 255 || c[2] != 255)
+            .count();
         assert!(non_white > 10, "frame should show the vessel: {non_white}");
         for r in &results {
             assert!(r.terminated_by_client, "client sent Terminate");

@@ -31,6 +31,6 @@ pub mod transport;
 
 pub use client::SteeringClient;
 pub use closedloop::{run_closed_loop, ClosedLoopConfig, ClosedLoopOutcome};
-pub use protocol::{FieldChoice, ImageFrame, ObservableReport, SteeringCommand, StatusReport};
+pub use protocol::{FieldChoice, ImageFrame, ObservableReport, StatusReport, SteeringCommand};
 pub use server::SteeringServer;
 pub use transport::{duplex_pair, InMemoryTransport, TcpTransport, Transport};

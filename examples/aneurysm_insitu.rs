@@ -107,7 +107,12 @@ fn main() {
                 u.push(a);
             }
             let shear = r.get_f64_vec().unwrap();
-            hemelb::core::FieldSnapshot { step, rho, u, shear }
+            hemelb::core::FieldSnapshot {
+                step,
+                rho,
+                u,
+                shear,
+            }
         };
         let field = SampledField::new(&geo2, &full);
         let cy = (shape[1] as f64 - 1.0) / 2.0;
@@ -158,9 +163,7 @@ fn main() {
     }
     let lines = stitch_segments(all_segments, n_seeds);
     let drawn = lines.iter().filter(|l| l.len() > 1).count();
-    println!(
-        "traced {drawn}/{n_seeds} streamlines with {handoffs} cross-rank hand-offs"
-    );
+    println!("traced {drawn}/{n_seeds} streamlines with {handoffs} cross-rank hand-offs");
 
     println!(
         "communication: halo {} | vis data {} | compositing {}",

@@ -14,7 +14,7 @@ use hemelb::geometry::VesselBuilder;
 use hemelb::parallel::{run_spmd_with_stats, TagClass};
 use hemelb::partition::graph::{Connectivity, SiteGraph};
 use hemelb::partition::{
-    quality, HilbertSfc, MortonSfc, MultilevelKWay, NaiveBlock, Rcb, Partitioner,
+    quality, HilbertSfc, MortonSfc, MultilevelKWay, NaiveBlock, Partitioner, Rcb,
 };
 use std::sync::Arc;
 
@@ -37,11 +37,16 @@ fn main() {
 
     // 2. Distributed load with a subset of reading cores (§IV-B).
     println!("\nreading-core sweep (16 ranks):");
-    println!("{:>8} {:>22} {:>18}", "readers", "max file B per rank", "forwarded");
+    println!(
+        "{:>8} {:>22} {:>18}",
+        "readers", "max file B per rank", "forwarded"
+    );
     for readers in [1usize, 2, 4, 8, 16] {
         let path2 = path.clone();
         let out = run_spmd_with_stats(16, move |comm| {
-            read_distributed(&path2, comm, readers).unwrap().file_bytes_read
+            read_distributed(&path2, comm, readers)
+                .unwrap()
+                .file_bytes_read
         });
         println!(
             "{:>8} {:>22} {:>18}",

@@ -51,12 +51,10 @@ fn main() {
     let out = run_spmd_with_stats(RANKS, move |comm| {
         let owner: Vec<usize> = (0..geo2.fluid_count() as u32)
             .map(|s| {
-                (geo2.position(s)[0] as usize * comm.size() / geo2.shape()[0])
-                    .min(comm.size() - 1)
+                (geo2.position(s)[0] as usize * comm.size() / geo2.shape()[0]).min(comm.size() - 1)
             })
             .collect();
-        let mut solver =
-            DistSolver::new(geo2.clone(), owner.clone(), cfg.clone(), comm).unwrap();
+        let mut solver = DistSolver::new(geo2.clone(), owner.clone(), cfg.clone(), comm).unwrap();
 
         // Streak-line seeds: a 3×3 rake around the centroid of the
         // actual inlet sites (the geometry sits offset inside its padded
@@ -97,8 +95,7 @@ fn main() {
             for _ in 0..20 {
                 streaks.step(&geo2, &field).unwrap();
             }
-            let mean: f64 = (0..full.len()).map(|i| full.speed(i)).sum::<f64>()
-                / full.len() as f64;
+            let mean: f64 = (0..full.len()).map(|i| full.speed(i)).sum::<f64>() / full.len() as f64;
             mean_speeds.push(mean);
             let _ = burst;
         }
@@ -182,5 +179,10 @@ fn broadcast_snapshot(
     }
     let shear = r.get_f64_vec().unwrap();
     let _ = geo;
-    hemelb::core::FieldSnapshot { step, rho, u, shear }
+    hemelb::core::FieldSnapshot {
+        step,
+        rho,
+        u,
+        shear,
+    }
 }

@@ -37,9 +37,7 @@ fn main() {
     let mut solver = Solver::new(geo.clone(), cfg);
     let (converged, steps, residual) = solver.run_to_steady_state(1e-9, 100, 20_000);
     let snap = solver.snapshot();
-    println!(
-        "solved: converged={converged} after {steps} steps (residual {residual:.2e})"
-    );
+    println!("solved: converged={converged} after {steps} steps (residual {residual:.2e})");
     println!(
         "flow: max speed {:.4} lattice units = {:.3} m/s physical",
         snap.max_speed(),

@@ -14,10 +14,10 @@
 use hemelb::core::SolverConfig;
 use hemelb::geometry::VesselBuilder;
 use hemelb::parallel::run_spmd;
+use hemelb::steering::protocol::ServerMessage;
 use hemelb::steering::{
     duplex_pair, run_closed_loop, ClosedLoopConfig, SteeringClient, SteeringCommand, Transport,
 };
-use hemelb::steering::protocol::ServerMessage;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -31,9 +31,7 @@ fn main() {
     );
 
     let (client_end, server_end) = duplex_pair();
-    let server_slot = Arc::new(Mutex::new(Some(
-        Box::new(server_end) as Box<dyn Transport>
-    )));
+    let server_slot = Arc::new(Mutex::new(Some(Box::new(server_end) as Box<dyn Transport>)));
 
     // The scripted steering client.
     let client_thread = std::thread::spawn(move || {
@@ -95,8 +93,7 @@ fn main() {
         };
         let owner: Vec<usize> = (0..geo2.fluid_count() as u32)
             .map(|s| {
-                (geo2.position(s)[0] as usize * comm.size() / geo2.shape()[0])
-                    .min(comm.size() - 1)
+                (geo2.position(s)[0] as usize * comm.size() / geo2.shape()[0]).min(comm.size() - 1)
             })
             .collect();
         run_closed_loop(

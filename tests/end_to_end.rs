@@ -152,12 +152,12 @@ fn kway_partition_reduces_halo_traffic_vs_naive() {
 
 #[test]
 fn insitu_rendering_from_distributed_state_matches_serial_reference() {
+    use hemelb::geometry::Vec3;
     use hemelb::insitu::camera::Camera;
     use hemelb::insitu::compositing::direct_send;
     use hemelb::insitu::field::Scalar;
     use hemelb::insitu::transfer::TransferFunction;
     use hemelb::insitu::volume::{render_brick, render_full, Brick};
-    use hemelb::geometry::Vec3;
 
     let geo = Arc::new(VesselBuilder::straight_tube(18.0, 4.0).voxelise(1.0));
     let cfg = SolverConfig::pressure_driven(1.01, 0.99);
@@ -213,8 +213,7 @@ fn insitu_rendering_from_distributed_state_matches_serial_reference() {
 #[test]
 fn steered_run_reacts_to_pressure_change() {
     use hemelb::steering::{
-        duplex_pair, run_closed_loop, ClosedLoopConfig, SteeringClient, SteeringCommand,
-        Transport,
+        duplex_pair, run_closed_loop, ClosedLoopConfig, SteeringClient, SteeringCommand, Transport,
     };
     use parking_lot::Mutex;
 

@@ -9,8 +9,26 @@ use hemelb::steering::{
     run_closed_loop, ClosedLoopConfig, SteeringClient, SteeringCommand, TcpTransport, Transport,
 };
 use parking_lot::Mutex;
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Connect with bounded retries: on a loaded CI host the accept loop may
+/// not be scheduled instantly, and a refused first SYN must not fail the
+/// test. Port 0 (kernel-assigned) is still used for the bind itself.
+fn connect_with_retry(addr: SocketAddr) -> TcpStream {
+    let mut last_err = None;
+    for attempt in 0..50 {
+        match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+            Ok(stream) => return stream,
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(Duration::from_millis(10 * (attempt + 1)));
+            }
+        }
+    }
+    panic!("connect to {addr} failed after bounded retries: {last_err:?}");
+}
 
 #[test]
 fn closed_loop_over_tcp() {
@@ -21,7 +39,7 @@ fn closed_loop_over_tcp() {
     let addr = listener.local_addr().expect("addr");
 
     let client_thread = std::thread::spawn(move || {
-        let stream = TcpStream::connect(addr).expect("connect");
+        let stream = connect_with_retry(addr);
         let client = SteeringClient::new(Box::new(TcpTransport::new(stream).expect("transport")));
         // Steps 2–6 of the paper's loop, across a real socket.
         let (frame, rtt) = client.request_frame().expect("frame over TCP");
@@ -36,7 +54,27 @@ fn closed_loop_over_tcp() {
         frame
     });
 
-    let (server_stream, _) = listener.accept().expect("accept");
+    // Bounded-retry accept so a dead client cannot hang the suite.
+    listener.set_nonblocking(true).expect("nonblocking");
+    let server_stream = {
+        let mut accepted = None;
+        for _ in 0..500 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    accepted = Some(stream);
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => panic!("accept failed: {e}"),
+            }
+        }
+        accepted.expect("no client connected within the retry budget")
+    };
+    server_stream
+        .set_nonblocking(false)
+        .expect("blocking stream");
     let transport: Box<dyn Transport> =
         Box::new(TcpTransport::new(server_stream).expect("server transport"));
     let server_slot = Arc::new(Mutex::new(Some(transport)));

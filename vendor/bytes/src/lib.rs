@@ -1,0 +1,301 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no network access and no crates.io cache, so
+//! the workspace vendors the minimal API surface it actually uses:
+//! [`Bytes`] (a cheaply clonable, sliceable, immutable byte buffer),
+//! [`BytesMut`] (a growable builder that freezes into `Bytes`) and the
+//! [`Buf`]/[`BufMut`] cursor traits with little-endian accessors.
+//!
+//! Semantics match the real crate for this subset: `Bytes::clone` is O(1)
+//! and shares storage, `split_to` advances the view without copying, and
+//! all scalar accessors are explicit little-endian.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable immutable byte buffer (view into shared storage).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// A buffer over a static byte slice (copied once; the real crate
+    /// borrows, but callers only rely on the value semantics).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Split off and return the first `n` bytes, advancing `self` past
+    /// them. Panics if `n > len`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of range");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+
+    /// Copy the view into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn take_le<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.len() >= N, "buffer underflow");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.start..self.start + N]);
+        self.start += N;
+        out
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Self {
+        Bytes::from(v.as_bytes().to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// Read cursor over a byte source; all scalar reads are little-endian
+/// and advance the cursor. Reads past the end panic (callers bound-check
+/// with [`Buf::remaining`] first, as the wire layer here does).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+    /// Read a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take_le::<1>()[0]
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_le())
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_le())
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_le())
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take_le())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_le())
+    }
+}
+
+/// Growable byte sink; all scalar writes are little-endian.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Append a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32);
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+    /// Append a byte slice.
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+/// A growable buffer that freezes into an immutable [`Bytes`].
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Freeze into an immutable shared buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.vec.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, v: &[u8]) {
+        self.vec.extend_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_i64_le(-9);
+        w.put_f32_le(1.25);
+        w.put_f64_le(-0.5);
+        w.put_slice(b"xy");
+        let mut b = w.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), u64::MAX - 1);
+        assert_eq!(b.get_i64_le(), -9);
+        assert_eq!(b.get_f32_le(), 1.25);
+        assert_eq!(b.get_f64_le(), -0.5);
+        assert_eq!(&b[..], b"xy");
+    }
+
+    #[test]
+    fn split_to_shares_storage() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        assert_eq!(b.remaining(), 3);
+    }
+
+    #[test]
+    fn clone_is_a_view() {
+        let b = Bytes::from_static(b"abcdef");
+        let mut c = b.clone();
+        let _ = c.split_to(3);
+        assert_eq!(&b[..], b"abcdef", "original view unaffected");
+        assert_eq!(&c[..], b"def");
+    }
+}

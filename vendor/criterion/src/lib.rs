@@ -1,0 +1,311 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the subset the workspace's `[[bench]]` targets use:
+//! `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`Throughput::Elements`], and [`BenchmarkId`].
+//!
+//! Measurement is deliberately simple: each benchmark runs one warm-up
+//! call, then `sample_size` timed samples bounded by a wall-clock budget,
+//! and reports the median time per iteration (plus derived throughput
+//! when set). Substring filtering via `cargo bench -- <filter>` works;
+//! other CLI flags are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation: converts measured time into rate units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering,
+/// displayed as `name/param`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new<N: Into<String>, P: std::fmt::Display>(name: N, param: P) -> Self {
+        let mut id = name.into();
+        let _ = write!(id, "/{param}");
+        BenchmarkId { id }
+    }
+
+    /// Build an id carrying only a parameter rendering.
+    pub fn from_parameter<P: std::fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { id: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, collecting up to `sample_size` samples within the
+    /// wall-clock budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            budget: self.criterion.budget,
+        };
+        f(&mut b);
+        report(&full, &b.samples, self.throughput);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (reporting happens per-benchmark; this is a
+    /// semantic no-op kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name}: no samples collected");
+        return;
+    }
+    let mut ns: Vec<u128> = samples.iter().map(|d| d.as_nanos()).collect();
+    ns.sort_unstable();
+    let median = ns[ns.len() / 2];
+    let (lo, hi) = (ns[0], ns[ns.len() - 1]);
+    let mut line = format!(
+        "{name}: median {} (min {}, max {}, n={})",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi),
+        ns.len()
+    );
+    if let Some(t) = throughput {
+        if median > 0 {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let rate = count as f64 * 1e9 / median as f64;
+            let _ = write!(line, ", {rate:.3e} {unit}");
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    filters: Vec<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: Vec::new(),
+            budget: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Read a substring filter from the command line (anything that is
+    /// not a `-`-prefixed flag), matching `cargo bench -- <filter>`.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f))
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        self.benchmark_group(name.clone())
+            .bench_function(BenchmarkId { id: name }, |b| f(b));
+        self
+    }
+}
+
+/// Define a benchmark group function from `fn(&mut Criterion)` entries.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            filters: Vec::new(),
+            budget: Duration::from_millis(50),
+        };
+        let mut hits = 0u32;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("noop", |b| {
+                b.iter(|| {
+                    hits += 1;
+                    black_box(1 + 1)
+                })
+            });
+            g.finish();
+        }
+        // warm-up + up to 3 samples
+        assert!(hits >= 2);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filters: vec!["other".into()],
+            budget: Duration::from_millis(50),
+        };
+        let mut ran = false;
+        c.benchmark_group("grp")
+            .bench_with_input(BenchmarkId::new("case", 4), &4, |b, &_p| {
+                b.iter(|| ran = true)
+            });
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

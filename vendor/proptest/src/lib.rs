@@ -1,0 +1,655 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (both `arg: Type` and `arg in strategy` forms,
+//! with an optional `#![proptest_config(..)]` header), [`prop_assert!`] /
+//! [`prop_assert_eq!`], range and [`strategy::any`] strategies,
+//! [`collection::vec`], [`array::uniform4`], tuple strategies, and a
+//! printable-string strategy for `\PC{m,n}`-style patterns.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * **No shrinking** — a failing case reports the exact generated input
+//!   instead of a minimised one.
+//! * **Deterministic by default** — the generator seed is fixed (override
+//!   with `PROPTEST_SEED`, case count with `PROPTEST_CASES`), so CI
+//!   failures reproduce locally without a persistence file.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and primitive strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: fmt::Debug;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Strategy generating the full value space of `T` (see [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The `any::<T>()` entry point: arbitrary values of `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any(PhantomData)
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adaptor.
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategies {
+        ($($t:ty => $bits:ty, $from:path),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = rng.next_f64();
+                    let v = self.start as f64 + u * (self.end as f64 - self.start as f64);
+                    v as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                    assert!(lo <= hi, "empty range strategy");
+                    (lo + rng.next_f64() * (hi - lo)) as $t
+                }
+            }
+
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    // Raw bit patterns: exercises NaN, infinities and
+                    // subnormals, which the wire round-trip tests expect.
+                    $from(rng.next_u64() as $bits)
+                }
+            }
+        )*};
+    }
+
+    float_strategies!(f64 => u64, f64::from_bits, f32 => u32, f32::from_bits);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<char> {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('?')
+        }
+    }
+
+    /// String-pattern strategy: a `&'static str` used where the real
+    /// crate accepts a regex. Only the shape the workspace uses is
+    /// honoured — a character class followed by an optional `{m,n}`
+    /// repetition — generating printable strings of a length in
+    /// `[m, n]`. Unknown patterns fall back to length `0..=8`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_repetition(self).unwrap_or((0, 8));
+            let len = lo + (rng.next_u64() as usize) % (hi - lo + 1);
+            // Mostly printable ASCII with occasional multibyte chars so
+            // UTF-8 framing is exercised.
+            (0..len)
+                .map(|_| {
+                    let r = rng.next_u64();
+                    if r.is_multiple_of(13) {
+                        ['é', 'λ', '→', '雷'][(r / 13 % 4) as usize]
+                    } else {
+                        char::from(0x20 + (r % 0x5F) as u8)
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn parse_repetition(pattern: &str) -> Option<(usize, usize)> {
+        let open = pattern.rfind('{')?;
+        let close = pattern.rfind('}')?;
+        let body = pattern.get(open + 1..close)?;
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($n:ident),+))+) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose elements come from `elem` and whose length
+    /// lies in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + (rng.next_u64() as usize) % span;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    macro_rules! uniform_arrays {
+        ($($name:ident, $ty:ident, $k:expr;)+) => {$(
+            /// Strategy producing arrays whose elements share one
+            /// element strategy.
+            pub struct $ty<S>(S);
+
+            /// Generate `[T; N]` from `N` draws of `strategy`.
+            pub fn $name<S: Strategy>(strategy: S) -> $ty<S> {
+                $ty(strategy)
+            }
+
+            impl<S: Strategy> Strategy for $ty<S> {
+                type Value = [S::Value; $k];
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    std::array::from_fn(|_| self.0.generate(rng))
+                }
+            }
+        )+};
+    }
+
+    uniform_arrays! {
+        uniform2, Uniform2, 2;
+        uniform3, Uniform3, 3;
+        uniform4, Uniform4, 4;
+    }
+}
+
+/// Deterministic case runner.
+pub mod test_runner {
+    use crate::strategy::Strategy;
+
+    /// Default seed (overridable via `PROPTEST_SEED`).
+    const DEFAULT_SEED: u64 = 0x4845_4D45_4C42_5253; // "HEMELBRS"
+
+    /// SplitMix64 generator feeding every strategy.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded construction.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Per-block configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Failure signal returned by `prop_assert!` and friends.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property does not hold; the message explains why.
+        Fail(String),
+        /// The input should not count toward the case budget.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Construct a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    fn env_u64(name: &str) -> Option<u64> {
+        let raw = std::env::var(name).ok()?;
+        let raw = raw.trim();
+        if let Some(hex) = raw.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            raw.parse().ok()
+        }
+    }
+
+    /// Drive one property: generate `cfg.cases` inputs from `strategy`
+    /// and require `test` to return `Ok` on each. Panics with the seed,
+    /// case index and generated input on the first failure.
+    pub fn run<S, F>(cfg: ProptestConfig, strategy: S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let seed = env_u64("PROPTEST_SEED").unwrap_or(DEFAULT_SEED);
+        let cases = env_u64("PROPTEST_CASES")
+            .map(|c| c as u32)
+            .unwrap_or(cfg.cases);
+        let mut rng = TestRng::new(seed);
+        for case in 0..cases {
+            let value = strategy.generate(&mut rng);
+            let repr = format!("{value:?}");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+                Ok(Err(TestCaseError::Fail(msg))) => panic!(
+                    "property failed at case {case}/{cases} \
+                     (seed {seed:#x}): {msg}\n    input: {repr}"
+                ),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!(
+                        "property panicked at case {case}/{cases} \
+                         (seed {seed:#x}): {msg}\n    input: {repr}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Define property tests over generated inputs.
+///
+/// Supports an optional `#![proptest_config(expr)]` header followed by
+/// `#[test] fn name(args) { body }` items whose arguments are either
+/// `ident in strategy` or `ident: Type` (shorthand for
+/// `ident in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_parse! { ($cfg) [$($params)*] [] $body }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse {
+    (($cfg:expr) [] [$(($id:ident, $strat:expr))*] $body:block) => {
+        $crate::test_runner::run(
+            $cfg,
+            ($($strat,)*),
+            |($($id,)*)| {
+                $body
+                ::core::result::Result::Ok(())
+            },
+        )
+    };
+    (($cfg:expr) [$id:ident in $strat:expr, $($rest:tt)*] [$($acc:tt)*] $body:block) => {
+        $crate::__proptest_parse! { ($cfg) [$($rest)*] [$($acc)* ($id, $strat)] $body }
+    };
+    (($cfg:expr) [$id:ident in $strat:expr] [$($acc:tt)*] $body:block) => {
+        $crate::__proptest_parse! { ($cfg) [] [$($acc)* ($id, $strat)] $body }
+    };
+    (($cfg:expr) [$id:ident : $ty:ty, $($rest:tt)*] [$($acc:tt)*] $body:block) => {
+        $crate::__proptest_parse! {
+            ($cfg) [$($rest)*] [$($acc)* ($id, $crate::strategy::any::<$ty>())] $body
+        }
+    };
+    (($cfg:expr) [$id:ident : $ty:ty] [$($acc:tt)*] $body:block) => {
+        $crate::__proptest_parse! {
+            ($cfg) [] [$($acc)* ($id, $crate::strategy::any::<$ty>())] $body
+        }
+    };
+}
+
+/// Assert a property inside a `proptest!` body; failure aborts the case
+/// with the generated input attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: {:?}",
+            l
+        );
+    }};
+}
+
+/// Discard the current case without failing (counts as a pass here —
+/// the shim has no rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn arbitrary_args_and_strategy_args(a: u64, flag: bool, x in 0.5f64..2.0, s in "\\PC{0,40}") {
+            prop_assert!((0.5..2.0 + 1e-9).contains(&x));
+            prop_assert!(s.chars().count() <= 40);
+            prop_assert_eq!(a.wrapping_add(0), a);
+            let _ = flag;
+        }
+
+        #[test]
+        fn collections_and_arrays(
+            v in crate::collection::vec(any::<f64>(), 0..200),
+            quad in crate::array::uniform4(0.0f32..1.0),
+            pairs in crate::collection::vec((crate::array::uniform4(0.0f32..1.0), 0.0f32..10.0), 8),
+        ) {
+            prop_assert!(v.len() < 200);
+            for q in quad {
+                prop_assert!((0.0..=1.0).contains(&q));
+            }
+            prop_assert_eq!(pairs.len(), 8);
+        }
+
+        #[test]
+        fn trailing_comma_and_int_ranges(
+            k in 2usize..6,
+            b in 0u8..5,
+        ) {
+            prop_assert!((2..6).contains(&k));
+            prop_assert!(b < 5, "b={} escaped its range", b);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_block_compiles(n in 0u32..10) {
+            prop_assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = (0u64..1000, crate::collection::vec(0.0f64..1.0, 3));
+        let a = strat.generate(&mut TestRng::new(9));
+        let b = strat.generate(&mut TestRng::new(9));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_input() {
+        crate::test_runner::run(
+            crate::test_runner::ProptestConfig::with_cases(8),
+            (0u32..10,),
+            |(n,)| {
+                prop_assert!(n > 100, "n was {}", n);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let doubled = (1u32..5).prop_map(|n| n * 2);
+        let v = doubled.generate(&mut TestRng::new(3));
+        assert!(v % 2 == 0 && (2..10).contains(&v));
+    }
+}

@@ -1,0 +1,546 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the subset this workspace uses — [`scope`] fork-join,
+//! indexed parallel iterators over ranges and slices, and a
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`] thread-count override —
+//! implemented with `std::thread::scope` and **contiguous, in-order
+//! chunking**. There is no work stealing: item `i`'s result always lands
+//! at position `i`, so `collect`/`sum` are bit-deterministic for any
+//! thread count, which is exactly the property the LB kernel's
+//! determinism tests pin down.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::thread;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel operations will use on this thread:
+/// the innermost [`ThreadPool::install`] override, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Builder for a [`ThreadPool`] (the stand-in pool carries only a thread
+/// count; threads are scoped per operation, not persistent).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type mirroring rayon's build error (construction here is
+/// infallible, so it is never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the pool's thread count (0 means "automatic", like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.num_threads {
+            Some(0) | None => thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A logical pool: parallel operations run inside [`ThreadPool::install`]
+/// split across this pool's thread count.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's thread count governing parallel
+    /// operations it performs.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|c| {
+            let prev = c.replace(Some(self.threads));
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+}
+
+/// Fork-join scope mirroring `rayon::scope`: spawned closures may borrow
+/// from the enclosing stack frame and all complete before `scope`
+/// returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task on its own scoped OS thread.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Create a fork-join scope; returns when every spawned task finished.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Evaluate `f(i)` for `i in 0..n` across `current_num_threads()`
+/// scoped threads in contiguous chunks, collecting results in index
+/// order. The backbone of every parallel iterator below.
+fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = current_num_threads().clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Indexed parallel iterator: a known length and a `Sync` per-index
+/// producer. All adaptors preserve index order.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produce the item at `i` (`i < par_len()`).
+    fn par_item(&self, i: usize) -> Self::Item;
+
+    /// Map each item through `f` in parallel.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Run `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_indexed(self.par_len(), |i| f(self.par_item(i)));
+    }
+
+    /// Evaluate in parallel and collect in index order.
+    fn collect<C>(self) -> C
+    where
+        C: From<Vec<Self::Item>>,
+    {
+        C::from(run_indexed(self.par_len(), |i| self.par_item(i)))
+    }
+
+    /// Evaluate in parallel, then fold left-to-right in index order
+    /// (deterministic for any thread count).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        run_indexed(self.par_len(), |i| self.par_item(i))
+            .into_iter()
+            .sum()
+    }
+
+    /// Largest item by `PartialOrd` (index order tie-break), `None` when
+    /// empty.
+    fn reduce_with<F>(self, op: F) -> Option<Self::Item>
+    where
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        run_indexed(self.par_len(), |i| self.par_item(i))
+            .into_iter()
+            .reduce(op)
+    }
+}
+
+/// `map` adaptor.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_item(&self, i: usize) -> R {
+        (self.f)(self.base.par_item(i))
+    }
+}
+
+/// `enumerate` adaptor.
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_item(&self, i: usize) -> (usize, P::Item) {
+        (i, self.base.par_item(i))
+    }
+}
+
+/// Conversion into a parallel iterator (ranges, vectors).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangePar<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+            fn par_len(&self) -> usize {
+                self.len
+            }
+            fn par_item(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangePar<$t>;
+            fn into_par_iter(self) -> RangePar<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangePar { start: self.start, len }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u32, u64, usize, i32, i64);
+
+/// Parallel iterator over a vector (by value).
+pub struct VecPar<T> {
+    // Items are produced by cloning out of the shared backing store;
+    // bounded by Clone, which matches how the workspace uses it.
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync + Clone> ParallelIterator for VecPar<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+    fn par_item(&self, i: usize) -> T {
+        self.items[i].clone()
+    }
+}
+
+impl<T: Send + Sync + Clone> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecPar<T>;
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar { items: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn par_item(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Parallel iterator over non-overlapping chunks of `&[T]`.
+pub struct SliceChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceChunks<'a, T> {
+    type Item = &'a [T];
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn par_item(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// Shared-slice parallel views.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over elements.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+    /// Parallel iterator over `chunk_size`-sized chunks (last may be
+    /// short). Panics if `chunk_size == 0`.
+    fn par_chunks(&self, chunk_size: usize) -> SliceChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> SliceChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        SliceChunks {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Parallel mutation over non-overlapping chunks of `&mut [T]`.
+///
+/// Unlike the read-side iterators this drives eagerly (mutable chunks
+/// cannot be produced from `&self`), so only consuming adaptors exist.
+pub struct SliceChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> SliceChunksMut<'a, T> {
+    /// Run `f` over every chunk, chunks distributed contiguously across
+    /// `current_num_threads()` threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Send + Sync,
+    {
+        self.enumerate_for_each(|_, chunk| f(chunk));
+    }
+
+    /// Like [`Self::for_each`] but passes the chunk index.
+    pub fn enumerate_for_each<F>(self, f: F)
+    where
+        F: Fn(usize, &mut [T]) + Send + Sync,
+    {
+        let n_chunks = self.slice.len().div_ceil(self.size);
+        let threads = current_num_threads().clamp(1, n_chunks.max(1));
+        if threads <= 1 || n_chunks <= 1 {
+            for (i, chunk) in self.slice.chunks_mut(self.size).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        // Contiguous runs of chunks per thread so each worker owns one
+        // disjoint subslice.
+        let per = n_chunks.div_ceil(threads);
+        let f = &f;
+        thread::scope(|s| {
+            let mut rest = self.slice;
+            let mut first_chunk = 0usize;
+            while !rest.is_empty() {
+                let take = (per * self.size).min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let base = first_chunk;
+                let size = self.size;
+                s.spawn(move || {
+                    for (k, chunk) in head.chunks_mut(size).enumerate() {
+                        f(base + k, chunk);
+                    }
+                });
+                first_chunk += per;
+            }
+        });
+    }
+}
+
+/// Mutable-slice parallel views.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel mutation over `chunk_size`-sized chunks. Panics if
+    /// `chunk_size == 0`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> SliceChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> SliceChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        SliceChunksMut {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        let expect: Vec<u64> = (0u64..1000).map(|i| i * i).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sum_is_bit_deterministic_across_thread_counts() {
+        // Left-to-right fold must be identical no matter the thread count.
+        let serial: f64 = (0u32..10_000).map(|i| (i as f64).sin()).sum();
+        for t in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+            let par: f64 = pool.install(|| {
+                (0u32..10_000)
+                    .into_par_iter()
+                    .map(|i| (i as f64).sin())
+                    .sum()
+            });
+            assert_eq!(par.to_bits(), serial.to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_covers_every_element_once() {
+        let mut data = vec![0u32; 1003];
+        data.par_chunks_mut(64).enumerate_for_each(|ci, chunk| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = (ci * 64 + k) as u32;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u32);
+        }
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let mut parts = vec![0u8; 4];
+        {
+            let mut iter = parts.chunks_mut(1);
+            let (a, b, c, d) = (
+                iter.next().unwrap(),
+                iter.next().unwrap(),
+                iter.next().unwrap(),
+                iter.next().unwrap(),
+            );
+            scope(|s| {
+                s.spawn(move |_| a[0] = 1);
+                s.spawn(move |_| b[0] = 2);
+                s.spawn(move |_| c[0] = 3);
+                d[0] = 4;
+            });
+        }
+        assert_eq!(parts, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn enumerate_and_for_each() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        (0u64..100).into_par_iter().enumerate().for_each(|(i, v)| {
+            assert_eq!(i as u64, v);
+            total.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4950);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and report
+//! types but never invokes a serializer (all transport uses the local
+//! `Wire` encoding), so this crate provides the names only: no-op derive
+//! macros re-exported from [`serde_derive`] and blanket-implemented
+//! marker traits, enough for `use serde::{Deserialize, Serialize}` and
+//! `T: Serialize` bounds to compile.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of serde's `Serialize` trait (blanket-implemented;
+/// the workspace never calls serializer methods).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of serde's `Deserialize` trait.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

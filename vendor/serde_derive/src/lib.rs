@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde
+//! stand-in. The workspace only *annotates* types with these derives (it
+//! never calls a serializer — all wire traffic goes through the
+//! hand-rolled `Wire` encoding in `hemelb-parallel`), so the derives
+//! expand to nothing. The `serde` helper attribute is declared so
+//! field-level `#[serde(...)]` annotations, should they appear, stay
+//! accepted.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]`, emit nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]`, emit nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
