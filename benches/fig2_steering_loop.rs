@@ -35,6 +35,18 @@ fn bench(c: &mut Criterion) {
         b.iter(|| fig2::run(Size::Tiny, &[(2, (32, 24))], 1))
     });
     g.finish();
+
+    // Observability row: the steering round-trip latency distribution
+    // of one measured sweep, printed alongside the criterion numbers.
+    let result = fig2::run(Size::Tiny, &[(2, (32, 24))], 5);
+    let h = result.rows[0].rtt_histogram();
+    println!(
+        "fig2/observability: steering RTT over {} rounds: p50 {}, p95 {}, max {}",
+        h.count(),
+        hemelb::obs::fmt_secs(h.p50()),
+        hemelb::obs::fmt_secs(h.p95()),
+        hemelb::obs::fmt_secs(h.max()),
+    );
 }
 
 criterion_group!(benches, bench);

@@ -21,6 +21,9 @@ run cargo test -q
 # Determinism suite: bit-exactness proptests + golden fixtures.
 run cargo test -q --test properties --test golden
 
+# Observability: phase timings recorded end to end, JSON export lossless.
+run cargo test -q --test obs_smoke
+
 if [[ "${1:-}" == "--soak" ]]; then
     run cargo test -q --test golden -- --ignored
 fi

@@ -1,7 +1,7 @@
 //! `reproduce` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|ablation|all]
+//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|ablation|all]
 //!           [--size tiny|small|medium] [--ranks N]
 //! ```
 //!
@@ -10,7 +10,8 @@
 
 use hemelb_bench::workloads::Size;
 use hemelb_bench::{
-    ablation, extract, fig1, fig2, fig3, fig4, multires, preprocess, repartition, scaling, table1,
+    ablation, extract, fig1, fig2, fig3, fig4, multires, obs, preprocess, repartition, scaling,
+    table1,
 };
 
 struct Args {
@@ -48,7 +49,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|ablation|all] [--size tiny|small|medium] [--ranks N]"
+                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|ablation|all] [--size tiny|small|medium] [--ranks N]"
                 );
                 std::process::exit(0);
             }
@@ -138,6 +139,11 @@ fn main() {
         ran = true;
         println!("=== E11: in situ feature extraction (isosurface + vortices) ===");
         println!("{}", extract::run(args.size));
+    }
+    if run_all || args.what == "obs" {
+        ran = true;
+        println!("=== E12: observability (phase timings, wait by class, steering RTT) ===");
+        println!("{}", obs::run(args.size, args.ranks, 5));
     }
     if run_all || args.what == "ablation" {
         ran = true;

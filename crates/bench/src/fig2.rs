@@ -40,6 +40,16 @@ impl Fig2Row {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         v[v.len() / 2]
     }
+
+    /// The round-trip latency distribution as an observability
+    /// histogram (for p50/p95/p99 quantiles).
+    pub fn rtt_histogram(&self) -> hemelb_obs::Histogram {
+        let mut h = hemelb_obs::Histogram::new();
+        for &s in &self.rtts {
+            h.record(s);
+        }
+        h
+    }
 }
 
 /// The sweep result.
@@ -113,17 +123,20 @@ impl fmt::Display for Fig2Result {
         )?;
         writeln!(
             f,
-            "{:>6} {:>10} {:>12} {:>14} {:>12}",
-            "ranks", "image", "median RTT", "steering sent", "frames"
+            "{:>6} {:>10} {:>12} {:>10} {:>10} {:>14} {:>12}",
+            "ranks", "image", "median RTT", "p50", "p95", "steering sent", "frames"
         )?;
         for r in &self.rows {
+            let h = r.rtt_histogram();
             writeln!(
                 f,
-                "{:>6} {:>4}x{:<5} {:>10.2} ms {:>14} {:>12}",
+                "{:>6} {:>4}x{:<5} {:>10.2} ms {:>10} {:>10} {:>14} {:>12}",
                 r.ranks,
                 r.image.0,
                 r.image.1,
                 r.median_rtt() * 1e3,
+                hemelb_obs::fmt_secs(h.p50()),
+                hemelb_obs::fmt_secs(h.p95()),
                 workloads::fmt_bytes(r.steering_bytes),
                 r.frames,
             )?;

@@ -16,6 +16,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod multires;
+pub mod obs;
 pub mod preprocess;
 pub mod repartition;
 pub mod scaling;

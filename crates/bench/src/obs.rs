@@ -1,0 +1,195 @@
+//! Experiment E12 — the observability report: per-phase timings of the
+//! full steering loop (collide/stream/halo-wait, render/composite,
+//! steering poll/broadcast/ship), per-rank and fleet-aggregated, plus
+//! per-tag-class communication wait time and the client-side steering
+//! round-trip latency distribution.
+//!
+//! This is the co-design instrument of the paper in miniature: before
+//! deciding where in situ work may run, you need to know where each
+//! rank's step time actually goes and how long the steering loop takes
+//! end to end.
+
+use crate::workloads::{self, Size};
+use hemelb_core::SolverConfig;
+use hemelb_obs::{fmt_secs, ObsReport};
+use hemelb_parallel::{run_spmd_opts, SpmdOptions};
+use hemelb_steering::{
+    duplex_pair, run_closed_loop, ClosedLoopConfig, SteeringClient, SteeringCommand, Transport,
+};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Everything E12 measures in one closed-loop run.
+pub struct ObsResult {
+    /// Ranks in the run.
+    pub ranks: usize,
+    /// Simulation steps completed.
+    pub steps: u64,
+    /// Frames the client requested.
+    pub frames: usize,
+    /// Per-rank observability reports (rank-stamped).
+    pub per_rank: Vec<ObsReport>,
+    /// Fleet-wide aggregate (phases and counters summed over ranks).
+    pub merged: ObsReport,
+    /// Communication wait seconds by tag class, summed over ranks.
+    pub wait_by_class: Vec<(&'static str, f64)>,
+    /// The steering client's own report (`steer.rtt` = end-to-end
+    /// round-trip latency).
+    pub client: ObsReport,
+}
+
+/// Run E12: drive a closed loop on `ranks` ranks, with a client issuing
+/// `frames` frame requests, and collect every layer's observability
+/// report.
+pub fn run(size: Size, ranks: usize, frames: usize) -> ObsResult {
+    let geo = workloads::aneurysm(size);
+    let (client_end, server_end) = duplex_pair();
+    let server_slot = Arc::new(Mutex::new(Some(Box::new(server_end) as Box<dyn Transport>)));
+    let geo2 = geo.clone();
+
+    let client_thread = std::thread::spawn(move || {
+        let client = SteeringClient::new(Box::new(client_end));
+        for _ in 0..frames {
+            client.request_frame().expect("frame round trip");
+        }
+        client.send(&SteeringCommand::Terminate).ok();
+        while client.recv().is_ok() {}
+        client.obs_report()
+    });
+
+    let ranks = ranks.max(2);
+    let output = run_spmd_opts(ranks, SpmdOptions::default(), move |comm| {
+        let transport = if comm.is_master() {
+            server_slot.lock().take()
+        } else {
+            None
+        };
+        run_closed_loop(
+            geo2.clone(),
+            workloads::slab_owner(&geo2, comm.size()),
+            SolverConfig::pressure_driven(1.01, 0.99),
+            comm,
+            transport,
+            &ClosedLoopConfig {
+                max_steps: u64::MAX / 2,
+                image: (64, 48),
+                initial_vis_rate: u32::MAX, // frames only on request
+                steps_per_cycle: 5,
+                vis_aware_repartition: false,
+            },
+        )
+        .expect("closed loop")
+    });
+    let client = client_thread.join().expect("client thread");
+
+    ObsResult {
+        ranks,
+        steps: output.results[0].steps_done,
+        frames,
+        merged: output.merged_obs(),
+        wait_by_class: output.summary.wait_by_class(),
+        per_rank: output.obs,
+        client,
+    }
+}
+
+impl ObsResult {
+    /// The fleet-wide report as JSON (machine-readable export).
+    pub fn json(&self) -> String {
+        self.merged.to_json()
+    }
+}
+
+impl fmt::Display for ObsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Observability: {} ranks, {} steps, {} requested frames",
+            self.ranks, self.steps, self.frames
+        )?;
+        writeln!(f, "\nPer-phase timings, summed over ranks:")?;
+        write!(f, "{}", self.merged.render_table())?;
+
+        writeln!(f, "\nPer-rank phase totals:")?;
+        let phases = [
+            "lb.collide",
+            "lb.stream",
+            "lb.halo-wait",
+            "vis.render",
+            "vis.composite",
+        ];
+        write!(f, "{:>6}", "rank")?;
+        for p in phases {
+            write!(f, " {p:>14}")?;
+        }
+        writeln!(f)?;
+        for report in &self.per_rank {
+            write!(
+                f,
+                "{:>6}",
+                report.rank.map_or_else(|| "?".into(), |r| r.to_string())
+            )?;
+            for p in phases {
+                let total = report.phases.get(p).map_or(0.0, |s| s.total_secs);
+                write!(f, " {:>14}", fmt_secs(total))?;
+            }
+            writeln!(f)?;
+        }
+
+        writeln!(f, "\nCommunication wait by tag class (all ranks):")?;
+        for (label, secs) in &self.wait_by_class {
+            writeln!(f, "  {:>12}: {}", label, fmt_secs(*secs))?;
+        }
+
+        match self.client.phases.get("steer.rtt") {
+            Some(rtt) => writeln!(
+                f,
+                "\nSteering round trip: {} rounds, p50 {}, p95 {}, p99 {}, max {}",
+                rtt.calls,
+                fmt_secs(rtt.hist.p50()),
+                fmt_secs(rtt.hist.p95()),
+                fmt_secs(rtt.hist.p99()),
+                fmt_secs(rtt.hist.max()),
+            )?,
+            None => writeln!(f, "\nSteering round trip: no rounds recorded")?,
+        }
+        writeln!(f, "\nJSON: {}", self.json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observability_report_covers_every_layer() {
+        let r = run(Size::Tiny, 2, 3);
+        // The LB phases, the vis phases and the steering phases all show
+        // up with real time in them.
+        for phase in [
+            "lb.collide",
+            "lb.stream",
+            "lb.halo-wait",
+            "sim.step",
+            "vis.render",
+            "vis.composite",
+            "steer.broadcast",
+        ] {
+            let p = r
+                .merged
+                .phases
+                .get(phase)
+                .unwrap_or_else(|| panic!("missing phase {phase}"));
+            assert!(p.calls > 0, "{phase} never ran");
+        }
+        assert!(r.merged.phases["lb.collide"].total_secs > 0.0);
+        // The client's RTT histogram saw each requested frame.
+        assert!(r.client.phases["steer.rtt"].calls >= 3);
+        // Halo traffic implies nonzero recorded wait classes.
+        assert!(r.wait_by_class.iter().any(|(l, _)| *l == "halo"));
+        // The JSON export round-trips.
+        let parsed = ObsReport::from_json(&r.json()).expect("valid JSON");
+        assert_eq!(parsed.phases.len(), r.merged.phases.len());
+    }
+}

@@ -328,6 +328,7 @@ impl<'a> DistSolver<'a> {
         let nl = self.locals.len();
 
         // Collide in place (f becomes f*).
+        let span = self.comm.with_obs(|o| o.begin());
         crate::kernel::par_collide(
             &self.model,
             self.cfg.collision,
@@ -336,8 +337,10 @@ impl<'a> DistSolver<'a> {
             &mut self.f,
             &mut self.moments,
         );
+        self.comm.with_obs(|o| span.end(o, "lb.collide"));
 
         // Halo exchange of requested post-collision populations.
+        let span = self.comm.with_obs(|o| o.begin());
         let outgoing: Vec<(usize, Bytes)> = self
             .send_plan
             .iter()
@@ -349,8 +352,14 @@ impl<'a> DistSolver<'a> {
                 (*peer, w.finish())
             })
             .collect();
+        self.comm.with_obs(|o| span.end(o, "lb.halo-pack"));
+        // The exchange span is the per-step halo wait: sends are
+        // buffered, so its time is dominated by blocking on peers'
+        // post-collision data.
+        let span = self.comm.with_obs(|o| o.begin());
         let expect_from: Vec<usize> = self.recv_plan.iter().map(|(peer, _, _)| *peer).collect();
         let received = self.comm.exchange(T_HALO, &outgoing, &expect_from)?;
+        self.comm.with_obs(|o| span.end(o, "lb.halo-wait"));
         for ((_, start, count), payload) in self.recv_plan.iter().zip(received) {
             let mut r = WireReader::new(payload);
             for slot in 0..*count {
@@ -371,6 +380,7 @@ impl<'a> DistSolver<'a> {
             let pull = &self.pull[..];
             let halo = &self.halo[..];
             let step = self.step;
+            let span = self.comm.with_obs(|o| o.begin());
             rayon::scope(|sc| {
                 let mut rest = self.f_next.as_mut_slice();
                 for (first, len) in crate::kernel::site_chunks(nl) {
@@ -394,6 +404,7 @@ impl<'a> DistSolver<'a> {
                     });
                 }
             });
+            self.comm.with_obs(|o| span.end(o, "lb.stream"));
         }
         std::mem::swap(&mut self.f, &mut self.f_next);
         self.step += 1;
@@ -418,6 +429,7 @@ impl<'a> DistSolver<'a> {
     /// never having repartitioned (asserted in tests). Returns the
     /// number of sites this rank shipped away.
     pub fn repartition(&mut self, new_owner: Vec<usize>) -> CommResult<usize> {
+        let span = self.comm.with_obs(|o| o.begin());
         assert_eq!(new_owner.len(), self.geo.fluid_count());
         assert!(new_owner.iter().all(|&o| o < self.comm.size()));
         let me = self.comm.rank();
@@ -503,6 +515,7 @@ impl<'a> DistSolver<'a> {
         );
         fresh.step = step;
         *self = fresh;
+        self.comm.with_obs(|o| span.end(o, "lb.repartition"));
         Ok(moved)
     }
 
@@ -513,6 +526,7 @@ impl<'a> DistSolver<'a> {
         let mut rho = vec![0.0; nl];
         let mut u = vec![[0.0; 3]; nl];
         let mut shear = vec![0.0; nl];
+        let span = self.comm.with_obs(|o| o.begin());
         crate::kernel::par_macroscopics(
             &self.model,
             self.cfg.tau,
@@ -521,6 +535,7 @@ impl<'a> DistSolver<'a> {
             &mut u,
             &mut shear,
         );
+        self.comm.with_obs(|o| span.end(o, "lb.macroscopics"));
         FieldSnapshot {
             step: self.step,
             rho,

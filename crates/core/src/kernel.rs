@@ -278,6 +278,7 @@ impl ParallelSolver {
     pub fn step(&mut self) {
         let s = &mut self.inner;
         self.pool.install(|| {
+            let span = s.obs.borrow().begin();
             par_collide(
                 &s.model,
                 s.cfg.collision,
@@ -286,6 +287,8 @@ impl ParallelSolver {
                 &mut s.f,
                 &mut s.moments,
             );
+            span.end(&mut s.obs.borrow_mut(), "lb.collide");
+            let span = s.obs.borrow().begin();
             par_stream(
                 &s.model,
                 &s.cfg,
@@ -297,6 +300,7 @@ impl ParallelSolver {
                 s.step,
                 &mut s.f_next,
             );
+            span.end(&mut s.obs.borrow_mut(), "lb.stream");
         });
         std::mem::swap(&mut s.f, &mut s.f_next);
         s.step += 1;
@@ -317,8 +321,11 @@ impl ParallelSolver {
         let mut rho = vec![0.0; n];
         let mut u = vec![[0.0; 3]; n];
         let mut shear = vec![0.0; n];
-        self.pool
-            .install(|| par_macroscopics(&s.model, s.cfg.tau, &s.f, &mut rho, &mut u, &mut shear));
+        self.pool.install(|| {
+            let span = s.obs.borrow().begin();
+            par_macroscopics(&s.model, s.cfg.tau, &s.f, &mut rho, &mut u, &mut shear);
+            span.end(&mut s.obs.borrow_mut(), "lb.macroscopics");
+        });
         FieldSnapshot {
             step: s.step,
             rho,

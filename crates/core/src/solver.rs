@@ -10,7 +10,9 @@ use crate::equilibrium::feq_all;
 use crate::fields::FieldSnapshot;
 use crate::model::LatticeModel;
 use hemelb_geometry::{SiteKind, SparseGeometry};
+use hemelb_obs::{ObsReport, Recorder};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Which velocity set to instantiate.
@@ -215,6 +217,11 @@ pub struct Solver {
     pub(crate) mrt: Option<crate::mrt::MrtOperator>,
     /// Completed time steps.
     pub(crate) step: u64,
+    /// Per-phase observability recorder (`lb.collide`, `lb.stream`,
+    /// `lb.macroscopics`). Interior-mutable so `snapshot(&self)` can
+    /// record; never touched inside the per-site kernels, so the
+    /// instrumentation cannot perturb results.
+    pub(crate) obs: RefCell<Recorder>,
 }
 
 impl Solver {
@@ -246,7 +253,26 @@ impl Solver {
             cfg,
             model,
             step: 0,
+            obs: RefCell::new(Recorder::new()),
         }
+    }
+
+    /// Run `f` with this solver's observability recorder borrowed
+    /// mutably (e.g. to add custom counters or reset between phases).
+    pub fn with_obs<R>(&self, f: impl FnOnce(&mut Recorder) -> R) -> R {
+        f(&mut self.obs.borrow_mut())
+    }
+
+    /// Snapshot the solver's observability report (phase timings for
+    /// collide, stream and macroscopic extraction).
+    pub fn obs_report(&self) -> ObsReport {
+        self.obs.borrow().report()
+    }
+
+    /// Disable (or re-enable) phase timing; disabled recording is a
+    /// single-branch no-op per step.
+    pub fn set_obs_enabled(&self, on: bool) {
+        self.obs.borrow_mut().set_enabled(on);
     }
 
     /// The geometry this solver runs on.
@@ -296,6 +322,7 @@ impl Solver {
     /// which is what makes the three bit-identical.
     pub fn step(&mut self) {
         // Collide in place: f becomes f*.
+        let span = self.obs.borrow().begin();
         crate::kernel::collide_span(
             &self.model,
             self.cfg.collision,
@@ -304,7 +331,9 @@ impl Solver {
             &mut self.f,
             &mut self.moments,
         );
+        span.end(&mut self.obs.borrow_mut(), "lb.collide");
         // Stream (pull) with boundary rules on missing links.
+        let span = self.obs.borrow().begin();
         crate::kernel::stream_span(
             &self.model,
             &self.cfg,
@@ -317,6 +346,7 @@ impl Solver {
             0,
             &mut self.f_next,
         );
+        span.end(&mut self.obs.borrow_mut(), "lb.stream");
         std::mem::swap(&mut self.f, &mut self.f_next);
         self.step += 1;
     }
@@ -334,6 +364,7 @@ impl Solver {
         let mut rho = vec![0.0; n];
         let mut u = vec![[0.0; 3]; n];
         let mut shear = vec![0.0; n];
+        let span = self.obs.borrow().begin();
         crate::kernel::macroscopics_span(
             &self.model,
             self.cfg.tau,
@@ -342,6 +373,7 @@ impl Solver {
             &mut u,
             &mut shear,
         );
+        span.end(&mut self.obs.borrow_mut(), "lb.macroscopics");
         FieldSnapshot {
             step: self.step,
             rho,
@@ -592,6 +624,27 @@ mod tests {
             (gap - half).abs() < period as i64 / 4,
             "crest/trough separation {gap} should be near {half}"
         );
+    }
+
+    #[test]
+    fn phase_timings_are_recorded_per_step() {
+        let mut s = tube_solver(SolverConfig::pressure_driven(1.01, 0.99));
+        s.step_n(7);
+        s.snapshot();
+        let report = s.obs_report();
+        assert_eq!(report.phases["lb.collide"].calls, 7);
+        assert_eq!(report.phases["lb.stream"].calls, 7);
+        assert_eq!(report.phases["lb.macroscopics"].calls, 1);
+        assert!(report.phases["lb.collide"].total_secs > 0.0);
+
+        // Disabled recording is a no-op but physics is untouched.
+        let mut quiet = tube_solver(SolverConfig::pressure_driven(1.01, 0.99));
+        quiet.set_obs_enabled(false);
+        quiet.step_n(7);
+        assert!(quiet.obs_report().phases.is_empty());
+        for (a, b) in s.raw_distributions().iter().zip(quiet.raw_distributions()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "obs must not perturb physics");
+        }
     }
 
     #[test]

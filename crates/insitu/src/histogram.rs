@@ -21,6 +21,11 @@ pub struct Histogram {
     pub underflow: u64,
     /// Samples at or above `hi`.
     pub overflow: u64,
+    /// NaN samples. Kept out of every bin: NaN compares false against
+    /// both edges, so before this counter existed a NaN sample fell
+    /// through `(NaN * bins) as usize == 0` and silently inflated the
+    /// lowest bin — exactly the bin clinicians read for low-WSS area.
+    pub nan: u64,
 }
 
 impl Histogram {
@@ -36,12 +41,17 @@ impl Histogram {
             bins: vec![0; bins],
             underflow: 0,
             overflow: 0,
+            nan: 0,
         }
     }
 
-    /// Record one sample.
+    /// Record one sample. NaN goes to the [`Histogram::nan`] counter,
+    /// below-range to `underflow`, at-or-above-range to `overflow`;
+    /// none of the three touches the bins.
     pub fn record(&mut self, v: f64) {
-        if v < self.lo {
+        if v.is_nan() {
+            self.nan += 1;
+        } else if v < self.lo {
             self.underflow += 1;
         } else if v >= self.hi {
             self.overflow += 1;
@@ -59,9 +69,9 @@ impl Histogram {
         }
     }
 
-    /// Total recorded samples (including under/overflow).
+    /// Total recorded samples (including under/overflow and NaN).
     pub fn total(&self) -> u64 {
-        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow + self.nan
     }
 
     /// Merge another histogram of identical binning into this one.
@@ -77,6 +87,7 @@ impl Histogram {
         }
         self.underflow += other.underflow;
         self.overflow += other.overflow;
+        self.nan += other.nan;
     }
 
     /// The value below which `q` (0..1) of the in-range samples fall
@@ -123,9 +134,10 @@ impl Histogram {
     /// Collective: merge every rank's histogram; all ranks receive the
     /// global result (bin counts fit exactly in f64 up to 2^53).
     pub fn all_reduce(&self, comm: &Communicator) -> CommResult<Histogram> {
-        let mut packed: Vec<f64> = Vec::with_capacity(self.bins.len() + 2);
+        let mut packed: Vec<f64> = Vec::with_capacity(self.bins.len() + 3);
         packed.push(self.underflow as f64);
         packed.push(self.overflow as f64);
+        packed.push(self.nan as f64);
         packed.extend(self.bins.iter().map(|&c| c as f64));
         let merged = comm.all_reduce_f64_vec(packed, |a, b| a + b)?;
         Ok(Histogram {
@@ -133,7 +145,8 @@ impl Histogram {
             hi: self.hi,
             underflow: merged[0] as u64,
             overflow: merged[1] as u64,
-            bins: merged[2..].iter().map(|&c| c as u64).collect(),
+            nan: merged[2] as u64,
+            bins: merged[3..].iter().map(|&c| c as u64).collect(),
         })
     }
 
@@ -175,6 +188,56 @@ mod tests {
         assert_eq!(h.bins[9], 1);
         assert_eq!(h.bins[5], 1);
         assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn nan_samples_never_touch_the_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(f64::NAN);
+        h.record(-f64::NAN);
+        h.record(0.5);
+        assert_eq!(h.nan, 2);
+        assert_eq!(h.bins[0], 1, "only the real sample lands in bin 0");
+        assert_eq!(h.underflow, 0);
+        assert_eq!(h.overflow, 0);
+        assert_eq!(h.total(), 3);
+        // Quantiles are computed over in-range samples only, so NaNs
+        // cannot shift them.
+        assert_eq!(h.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn infinities_go_to_under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.bins.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn nan_counts_merge_and_all_reduce() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        a.record(f64::NAN);
+        b.record(f64::NAN);
+        b.record(0.3);
+        a.merge(&b);
+        assert_eq!(a.nan, 2);
+
+        let results = run_spmd(3, |comm| {
+            let mut h = Histogram::new(0.0, 1.0, 4);
+            h.record(f64::NAN);
+            h.record(2.0); // overflow
+            h.record(0.1);
+            h.all_reduce(comm).unwrap()
+        });
+        for r in &results {
+            assert_eq!(r.nan, 3);
+            assert_eq!(r.overflow, 3);
+            assert_eq!(r.bins[0], 3);
+        }
     }
 
     #[test]

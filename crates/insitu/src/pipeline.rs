@@ -5,8 +5,13 @@
 //! The pipeline is generic over the payload so concrete pipelines (the
 //! volume path, the LIC path, …) share the instrumentation: per-stage
 //! wall time and payload size, which is what experiment E4 reports.
+//!
+//! Stage timing runs through the observability layer ([`hemelb_obs`]):
+//! every stage execution is a recorded span, so besides the cumulative
+//! [`StageStats`] the pipeline exports a full [`hemelb_obs::ObsReport`]
+//! with per-stage latency histograms (p50/p95/p99/max) and a timeline.
 
-use std::time::Instant;
+use hemelb_obs::{ObsReport, Recorder};
 
 /// Instrumentation record for one stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +39,7 @@ type Stage<T> = (String, Box<dyn FnMut(T) -> T>, StageStats);
 /// A linear pipeline of named stages over payload `T`.
 pub struct Pipeline<T> {
     stages: Vec<Stage<T>>,
+    recorder: Recorder,
 }
 
 impl<T> Default for Pipeline<T> {
@@ -45,7 +51,10 @@ impl<T> Default for Pipeline<T> {
 impl<T> Pipeline<T> {
     /// An empty pipeline.
     pub fn new() -> Self {
-        Pipeline { stages: Vec::new() }
+        Pipeline {
+            stages: Vec::new(),
+            recorder: Recorder::new(),
+        }
     }
 
     /// Append a stage.
@@ -77,9 +86,10 @@ impl<T> Pipeline<T> {
     pub fn run(&mut self, input: T) -> T {
         let mut data = input;
         for (_, f, stats) in self.stages.iter_mut() {
-            let t0 = Instant::now();
+            let span = self.recorder.begin();
             data = f(data);
-            stats.seconds += t0.elapsed().as_secs_f64();
+            let secs = span.end(&mut self.recorder, &stats.name);
+            stats.seconds += secs;
             stats.calls += 1;
         }
         data
@@ -89,6 +99,18 @@ impl<T> Pipeline<T> {
     pub fn stats(&self) -> Vec<&StageStats> {
         self.stages.iter().map(|(_, _, s)| s).collect()
     }
+
+    /// Full observability report: one phase per stage, with the latency
+    /// distribution of individual stage executions.
+    pub fn obs_report(&self) -> ObsReport {
+        self.recorder.report()
+    }
+
+    /// The pipeline's recorder (e.g. to add custom counters or disable
+    /// recording).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
 }
 
 impl<T: Sized2> Pipeline<T> {
@@ -97,9 +119,10 @@ impl<T: Sized2> Pipeline<T> {
     pub fn run_tracked(&mut self, input: T) -> T {
         let mut data = input;
         for (_, f, stats) in self.stages.iter_mut() {
-            let t0 = Instant::now();
+            let span = self.recorder.begin();
             data = f(data);
-            stats.seconds += t0.elapsed().as_secs_f64();
+            let secs = span.end(&mut self.recorder, &stats.name);
+            stats.seconds += secs;
             stats.calls += 1;
             stats.last_bytes = Some(data.approx_bytes());
         }
@@ -165,7 +188,9 @@ where
     F: Fn() -> Pipeline<hemelb_core::FieldSnapshot>,
 {
     assert!(snapshot_every > 0);
-    let t0 = Instant::now();
+    let mut rec = Recorder::new();
+
+    let span = rec.begin();
     let mut serial = hemelb_core::Solver::new(geo.clone(), cfg.clone());
     let mut serial_pipe = make_pipeline();
     let mut serial_frames = Vec::new();
@@ -173,9 +198,9 @@ where
         serial.step_n(snapshot_every);
         serial_frames.push(serial_pipe.run(serial.snapshot()));
     }
-    let serial_seconds = t0.elapsed().as_secs_f64();
+    let serial_seconds = span.end(&mut rec, "backend.serial");
 
-    let t1 = Instant::now();
+    let span = rec.begin();
     let mut par = hemelb_core::ParallelSolver::new(geo.clone(), cfg.clone(), threads);
     let mut par_pipe = make_pipeline();
     let mut par_frames = Vec::new();
@@ -183,7 +208,7 @@ where
         par.step_n(snapshot_every);
         par_frames.push(par_pipe.run(par.snapshot()));
     }
-    let parallel_seconds = t1.elapsed().as_secs_f64();
+    let parallel_seconds = span.end(&mut rec, "backend.parallel");
 
     let bit_identical = serial_frames.len() == par_frames.len()
         && serial_frames

@@ -24,8 +24,10 @@ use crate::tag::Tag;
 use crate::wire::{Wire, WireReader, WireWriter};
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use hemelb_obs::{ObsReport, Recorder};
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// One in-flight message.
 #[derive(Debug, Clone)]
@@ -77,6 +79,7 @@ impl World {
                     inbox: rx,
                     pending: RefCell::new(VecDeque::new()),
                     stats: RefCell::new(CommStats::new()),
+                    obs: RefCell::new(Recorder::new()),
                 }
             })
             .collect()
@@ -96,6 +99,10 @@ pub struct Communicator {
     /// Messages received from the channel but not yet matched.
     pending: RefCell<VecDeque<Envelope>>,
     stats: RefCell<CommStats>,
+    /// Per-rank observability recorder: higher layers (solver phases,
+    /// steering loop, pipelines) record named spans here so one report
+    /// per rank covers the whole stack.
+    obs: RefCell<Recorder>,
 }
 
 impl Communicator {
@@ -129,6 +136,26 @@ impl Communicator {
         self.stats.borrow_mut().record_sync();
     }
 
+    /// Run `f` with this rank's observability recorder borrowed mutably.
+    /// The recorder is shared by every layer running on this rank, so
+    /// phase names should be namespaced (`lb.collide`, `steer.poll`, …).
+    pub fn with_obs<R>(&self, f: impl FnOnce(&mut Recorder) -> R) -> R {
+        f(&mut self.obs.borrow_mut())
+    }
+
+    /// Snapshot this rank's observability report, stamped with the rank.
+    pub fn obs_report(&self) -> ObsReport {
+        let mut r = self.obs.borrow().report();
+        r.rank = Some(self.rank);
+        r
+    }
+
+    /// Disable (or re-enable) the observability recorder for this rank;
+    /// a disabled recorder turns every span into a single-branch no-op.
+    pub fn set_obs_enabled(&self, on: bool) {
+        self.obs.borrow_mut().set_enabled(on);
+    }
+
     // ----- point to point ------------------------------------------------
 
     /// Send `payload` to `dst` under `tag`. Never blocks.
@@ -152,11 +179,15 @@ impl Communicator {
                 Ok(())
             }
             Some(tx) => {
-                self.stats
-                    .borrow_mut()
-                    .record_send(tag.class(), env.payload.len());
-                tx.send(env)
-                    .map_err(|_| CommError::Disconnected { peer: dst })
+                let len = env.payload.len();
+                let t0 = Instant::now();
+                let result = tx
+                    .send(env)
+                    .map_err(|_| CommError::Disconnected { peer: dst });
+                let mut stats = self.stats.borrow_mut();
+                stats.record_send(tag.class(), len);
+                stats.record_send_time(tag.class(), t0.elapsed().as_secs_f64());
+                result
             }
         }
     }
@@ -183,16 +214,24 @@ impl Communicator {
                 return Ok(pending.remove(pos).expect("position valid").payload);
             }
         }
-        loop {
-            let env = self
-                .inbox
-                .recv()
-                .map_err(|_| CommError::Disconnected { peer: src })?;
+        // Nothing buffered: the rest of this call is genuine wait time,
+        // attributed to the tag's class (the halo-wait / composite-wait
+        // split the observability layer reports).
+        let t0 = Instant::now();
+        let result = loop {
+            let env = match self.inbox.recv() {
+                Ok(env) => env,
+                Err(_) => break Err(CommError::Disconnected { peer: src }),
+            };
             if env.src == src && env.tag == tag {
-                return Ok(env.payload);
+                break Ok(env.payload);
             }
             self.pending.borrow_mut().push_back(env);
-        }
+        };
+        self.stats
+            .borrow_mut()
+            .record_recv_wait(tag.class(), t0.elapsed().as_secs_f64());
+        result
     }
 
     /// Blocking receive of the next message under `tag` from *any* source.
@@ -205,16 +244,21 @@ impl Communicator {
                 return Ok((env.src, env.payload));
             }
         }
-        loop {
-            let env = self
-                .inbox
-                .recv()
-                .map_err(|_| CommError::Disconnected { peer: usize::MAX })?;
+        let t0 = Instant::now();
+        let result = loop {
+            let env = match self.inbox.recv() {
+                Ok(env) => env,
+                Err(_) => break Err(CommError::Disconnected { peer: usize::MAX }),
+            };
             if env.tag == tag {
-                return Ok((env.src, env.payload));
+                break Ok((env.src, env.payload));
             }
             self.pending.borrow_mut().push_back(env);
-        }
+        };
+        self.stats
+            .borrow_mut()
+            .record_recv_wait(tag.class(), t0.elapsed().as_secs_f64());
+        result
     }
 
     /// Non-blocking receive from `src` under `tag`.

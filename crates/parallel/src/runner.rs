@@ -2,10 +2,11 @@
 
 use crate::comm::{Communicator, World};
 use crate::stats::{CommStats, StatsSummary};
+use hemelb_obs::ObsReport;
 use std::thread;
 
 /// The result of an SPMD run: per-rank return values plus the per-rank
-/// communication records and their aggregate.
+/// communication records, observability reports and their aggregates.
 #[derive(Debug)]
 pub struct SpmdOutput<T> {
     /// `results[r]` is what rank `r`'s closure returned.
@@ -14,6 +15,18 @@ pub struct SpmdOutput<T> {
     pub stats: Vec<CommStats>,
     /// Aggregate over all ranks.
     pub summary: StatsSummary,
+    /// `obs[r]` is rank `r`'s observability report (phase timings,
+    /// counters, timeline) as recorded through its communicator.
+    pub obs: Vec<ObsReport>,
+}
+
+impl<T> SpmdOutput<T> {
+    /// Fleet-wide observability aggregate: per-phase stats and counters
+    /// summed over every rank (timelines stay per rank in
+    /// [`SpmdOutput::obs`]).
+    pub fn merged_obs(&self) -> ObsReport {
+        ObsReport::merged(&self.obs)
+    }
 }
 
 /// Run `f` on `size` ranks (one OS thread each) and collect the per-rank
@@ -72,7 +85,7 @@ where
     let threads = opts.threads_per_rank.max(1);
     let comms = World::communicators(size);
     let f = &f;
-    let mut pairs: Vec<(T, CommStats)> = Vec::with_capacity(size);
+    let mut triples: Vec<(T, CommStats, ObsReport)> = Vec::with_capacity(size);
     thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
@@ -84,13 +97,14 @@ where
                         .expect("rank thread pool");
                     let result = pool.install(|| f(&comm));
                     let stats = comm.stats();
-                    (result, stats)
+                    let obs = comm.obs_report();
+                    (result, stats, obs)
                 })
             })
             .collect();
         for (rank, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(pair) => pairs.push(pair),
+                Ok(triple) => triples.push(triple),
                 Err(payload) => {
                     let msg = payload
                         .downcast_ref::<String>()
@@ -102,12 +116,20 @@ where
             }
         }
     });
-    let (results, stats): (Vec<T>, Vec<CommStats>) = pairs.into_iter().unzip();
+    let mut results = Vec::with_capacity(size);
+    let mut stats = Vec::with_capacity(size);
+    let mut obs = Vec::with_capacity(size);
+    for (r, s, o) in triples {
+        results.push(r);
+        stats.push(s);
+        obs.push(o);
+    }
     let summary = StatsSummary::from_ranks(&stats);
     SpmdOutput {
         results,
         stats,
         summary,
+        obs,
     }
 }
 
@@ -166,6 +188,46 @@ mod tests {
         }
         assert_eq!(out.summary.total.total_bytes(), 48);
         assert!((out.summary.byte_imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obs_reports_are_collected_and_merge() {
+        let out = run_spmd_with_stats(3, |comm| {
+            comm.with_obs(|rec| {
+                rec.record_secs("lb.collide", 0.001 * (comm.rank() + 1) as f64);
+                rec.count("steps", 10);
+            });
+        });
+        assert_eq!(out.obs.len(), 3);
+        for (r, report) in out.obs.iter().enumerate() {
+            assert_eq!(report.rank, Some(r));
+            assert_eq!(report.phases["lb.collide"].calls, 1);
+        }
+        let merged = out.merged_obs();
+        assert_eq!(merged.phases["lb.collide"].calls, 3);
+        assert_eq!(merged.counters["steps"], 30);
+        assert!((merged.phases["lb.collide"].total_secs - 0.006).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recv_wait_time_is_attributed_to_the_tag_class() {
+        let out = run_spmd_with_stats(2, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                comm.send(1, Tag::halo(0), 64u64.to_bytes()).unwrap();
+            } else {
+                comm.recv(0, Tag::halo(0)).unwrap();
+            }
+        });
+        use crate::stats::TagClass;
+        let waiter = &out.stats[1];
+        assert!(
+            waiter.recv_wait_secs(TagClass::Halo) >= 0.015,
+            "rank 1 blocked ~20ms on the halo recv, recorded {}",
+            waiter.recv_wait_secs(TagClass::Halo)
+        );
+        assert_eq!(waiter.recv_wait_secs(TagClass::Steering), 0.0);
+        assert!(out.stats[0].send_secs(TagClass::Halo) >= 0.0);
     }
 
     #[test]

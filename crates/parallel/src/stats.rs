@@ -79,10 +79,18 @@ impl TagClass {
 /// Counters are cumulative over the life of a rank; callers that need
 /// per-phase figures snapshot with [`CommStats::clone`] and subtract with
 /// [`CommStats::delta_since`].
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Besides message/byte volume this also accounts *time*: per-class
+/// wall seconds spent blocked inside `recv` (`recv_wait_secs`) and
+/// spent in `send` (`send_secs`), the complement the observability
+/// layer needs to turn Table I's "communication cost" from a volume
+/// column into a latency budget.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CommStats {
     msgs: [u64; 8],
     bytes: [u64; 8],
+    recv_wait: [f64; 8],
+    send_time: [f64; 8],
     /// Number of blocking collective entries (synchronisation points).
     pub sync_points: u64,
 }
@@ -107,6 +115,18 @@ impl CommStats {
         self.sync_points += 1;
     }
 
+    /// Record wall seconds spent blocked in a `recv` of `class`.
+    #[inline]
+    pub fn record_recv_wait(&mut self, class: TagClass, secs: f64) {
+        self.recv_wait[class.index()] += secs;
+    }
+
+    /// Record wall seconds spent inside a `send` of `class`.
+    #[inline]
+    pub fn record_send_time(&mut self, class: TagClass, secs: f64) {
+        self.send_time[class.index()] += secs;
+    }
+
     /// Messages sent in `class`.
     #[inline]
     pub fn msgs(&self, class: TagClass) -> u64 {
@@ -117,6 +137,28 @@ impl CommStats {
     #[inline]
     pub fn bytes(&self, class: TagClass) -> u64 {
         self.bytes[class.index()]
+    }
+
+    /// Wall seconds spent blocked in `recv` for `class`.
+    #[inline]
+    pub fn recv_wait_secs(&self, class: TagClass) -> f64 {
+        self.recv_wait[class.index()]
+    }
+
+    /// Wall seconds spent inside `send` for `class`.
+    #[inline]
+    pub fn send_secs(&self, class: TagClass) -> f64 {
+        self.send_time[class.index()]
+    }
+
+    /// Total seconds spent blocked in `recv` across all classes.
+    pub fn total_recv_wait_secs(&self) -> f64 {
+        self.recv_wait.iter().sum()
+    }
+
+    /// Total seconds spent in `send` across all classes.
+    pub fn total_send_secs(&self) -> f64 {
+        self.send_time.iter().sum()
     }
 
     /// Total messages sent across all classes.
@@ -140,6 +182,8 @@ impl CommStats {
             out.bytes[i] = self.bytes[i]
                 .checked_sub(earlier.bytes[i])
                 .expect("stats snapshots out of order");
+            out.recv_wait[i] = (self.recv_wait[i] - earlier.recv_wait[i]).max(0.0);
+            out.send_time[i] = (self.send_time[i] - earlier.send_time[i]).max(0.0);
         }
         out.sync_points = self
             .sync_points
@@ -154,6 +198,8 @@ impl CommStats {
         for i in 0..8 {
             out.msgs[i] += other.msgs[i];
             out.bytes[i] += other.bytes[i];
+            out.recv_wait[i] += other.recv_wait[i];
+            out.send_time[i] += other.send_time[i];
         }
         out.sync_points += other.sync_points;
         out
@@ -212,6 +258,16 @@ impl StatsSummary {
             .map(|c| (c.label(), self.total.bytes(*c)))
             .collect()
     }
+
+    /// Recv-wait seconds per class as `(label, secs)` pairs for classes
+    /// that saw any traffic or wait time.
+    pub fn wait_by_class(&self) -> Vec<(&'static str, f64)> {
+        TagClass::ALL
+            .iter()
+            .filter(|c| self.total.msgs(**c) > 0 || self.total.recv_wait_secs(**c) > 0.0)
+            .map(|c| (c.label(), self.total.recv_wait_secs(*c)))
+            .collect()
+    }
 }
 
 impl fmt::Display for StatsSummary {
@@ -227,7 +283,17 @@ impl fmt::Display for StatsSummary {
             self.total.sync_points,
         )?;
         for (label, bytes) in self.bytes_by_class() {
-            writeln!(f, "  {label:>10}: {bytes} B")?;
+            let wait = self.total.recv_wait_secs(
+                *TagClass::ALL
+                    .iter()
+                    .find(|c| c.label() == label)
+                    .expect("label comes from TagClass::ALL"),
+            );
+            writeln!(
+                f,
+                "  {label:>10}: {bytes} B  (recv-wait {:.3} ms)",
+                wait * 1e3
+            )?;
         }
         Ok(())
     }
@@ -280,6 +346,38 @@ mod tests {
         let sum = StatsSummary::from_ranks(&[CommStats::new(), CommStats::new()]);
         assert_eq!(sum.byte_imbalance, 1.0);
         assert_eq!(sum.total.total_bytes(), 0);
+    }
+
+    #[test]
+    fn wait_time_accounting() {
+        let mut s = CommStats::new();
+        s.record_recv_wait(TagClass::Halo, 0.5);
+        s.record_recv_wait(TagClass::Halo, 0.25);
+        s.record_send_time(TagClass::Steering, 0.1);
+        assert_eq!(s.recv_wait_secs(TagClass::Halo), 0.75);
+        assert_eq!(s.send_secs(TagClass::Steering), 0.1);
+        assert_eq!(s.total_recv_wait_secs(), 0.75);
+        assert_eq!(s.total_send_secs(), 0.1);
+
+        let snap = s.clone();
+        s.record_recv_wait(TagClass::Halo, 1.0);
+        let d = s.delta_since(&snap);
+        assert!((d.recv_wait_secs(TagClass::Halo) - 1.0).abs() < 1e-12);
+        assert_eq!(d.send_secs(TagClass::Steering), 0.0);
+
+        let merged = s.merged_with(&snap);
+        assert!((merged.recv_wait_secs(TagClass::Halo) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_reports_wait_by_class() {
+        let mut a = CommStats::new();
+        a.record_send(TagClass::Halo, 10);
+        a.record_recv_wait(TagClass::Halo, 0.2);
+        let sum = StatsSummary::from_ranks(&[a]);
+        let wait = sum.wait_by_class();
+        assert_eq!(wait, vec![("halo", 0.2)]);
+        assert!(format!("{sum}").contains("recv-wait"));
     }
 
     #[test]

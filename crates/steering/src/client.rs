@@ -1,45 +1,58 @@
 //! The headless steering client.
 
+use crate::error::{SteeringError, SteeringResult};
 use crate::protocol::{ImageFrame, ServerMessage, StatusReport, SteeringCommand};
 use crate::transport::Transport;
+use hemelb_obs::{ObsReport, Recorder};
 use hemelb_parallel::Wire;
+use std::cell::RefCell;
 
 /// A steering client driving a running simulation over a transport.
+///
+/// Every blocking request/response round is recorded as a `steer.rtt`
+/// phase in the client's observability recorder, so after a session
+/// [`SteeringClient::obs_report`] yields the end-to-end steering
+/// latency distribution (p50/p95/p99/max) the paper's responsiveness
+/// argument is about.
 pub struct SteeringClient {
     transport: Box<dyn Transport>,
+    obs: RefCell<Recorder>,
 }
 
 impl SteeringClient {
     /// Wrap a connected transport.
     pub fn new(transport: Box<dyn Transport>) -> Self {
-        SteeringClient { transport }
+        SteeringClient {
+            transport,
+            obs: RefCell::new(Recorder::new()),
+        }
     }
 
     /// Send one command.
-    pub fn send(&self, cmd: &SteeringCommand) -> std::io::Result<()> {
-        self.transport.send_frame(cmd.to_bytes())
+    pub fn send(&self, cmd: &SteeringCommand) -> SteeringResult<()> {
+        self.transport.send_frame(cmd.to_bytes())?;
+        Ok(())
     }
 
     /// Blocking receive of the next server message.
-    pub fn recv(&self) -> std::io::Result<ServerMessage> {
+    pub fn recv(&self) -> SteeringResult<ServerMessage> {
         let frame = self.transport.recv_frame()?;
-        ServerMessage::from_bytes(frame)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        ServerMessage::from_bytes(frame).map_err(|e| SteeringError::Protocol(e.to_string()))
     }
 
     /// Non-blocking receive.
-    pub fn try_recv(&self) -> std::io::Result<Option<ServerMessage>> {
+    pub fn try_recv(&self) -> SteeringResult<Option<ServerMessage>> {
         match self.transport.try_recv_frame()? {
             None => Ok(None),
             Some(frame) => ServerMessage::from_bytes(frame)
                 .map(Some)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
+                .map_err(|e| SteeringError::Protocol(e.to_string())),
         }
     }
 
     /// Block until the next image arrives, returning it together with
     /// the status reports that preceded it.
-    pub fn wait_for_image(&self) -> std::io::Result<(ImageFrame, Vec<StatusReport>)> {
+    pub fn wait_for_image(&self) -> SteeringResult<(ImageFrame, Vec<StatusReport>)> {
         let mut statuses = Vec::new();
         loop {
             match self.recv()? {
@@ -52,32 +65,44 @@ impl SteeringClient {
 
     /// Request a frame and wait for it (one full steps 2–6 round of the
     /// paper's in situ loop). Returns the frame and the round-trip wall
-    /// time.
-    pub fn request_frame(&self) -> std::io::Result<(ImageFrame, std::time::Duration)> {
-        let t0 = std::time::Instant::now();
+    /// time; the latency also lands in the `steer.rtt` phase of
+    /// [`SteeringClient::obs_report`].
+    pub fn request_frame(&self) -> SteeringResult<(ImageFrame, std::time::Duration)> {
+        let span = self.obs.borrow().begin();
         self.send(&SteeringCommand::RequestFrame)?;
         let (img, _) = self.wait_for_image()?;
-        Ok((img, t0.elapsed()))
+        let secs = span.end(&mut self.obs.borrow_mut(), "steer.rtt");
+        Ok((img, std::time::Duration::from_secs_f64(secs)))
     }
 
     /// Request in situ observables over the current ROI and wait for
     /// the report (other messages received in between are returned too).
+    /// The round trip is recorded under `steer.rtt` like a frame round.
     pub fn request_observables(
         &self,
-    ) -> std::io::Result<(crate::protocol::ObservableReport, Vec<ServerMessage>)> {
+    ) -> SteeringResult<(crate::protocol::ObservableReport, Vec<ServerMessage>)> {
+        let span = self.obs.borrow().begin();
         self.send(&SteeringCommand::RequestObservables)?;
         let mut others = Vec::new();
-        loop {
+        let result = loop {
             match self.recv()? {
-                ServerMessage::Observables(o) => return Ok((o, others)),
+                ServerMessage::Observables(o) => break (o, others),
                 other => others.push(other),
             }
-        }
+        };
+        span.end(&mut self.obs.borrow_mut(), "steer.rtt");
+        Ok(result)
     }
 
     /// Steering bytes this client has sent.
     pub fn bytes_sent(&self) -> u64 {
         self.transport.bytes_sent()
+    }
+
+    /// Observability report, including the `steer.rtt` round-trip
+    /// latency distribution.
+    pub fn obs_report(&self) -> ObsReport {
+        self.obs.borrow().report()
     }
 }
 

@@ -16,6 +16,7 @@
 //!    ships the image plus a status report (consistency checks, ETA)
 //!    back to the client.
 
+use crate::error::{SteeringError, SteeringResult};
 use crate::protocol::{FieldChoice, ImageFrame, StatusReport, SteeringCommand};
 use crate::server::{SteeringServer, SteeringState};
 use crate::transport::Transport;
@@ -26,7 +27,7 @@ use hemelb_insitu::camera::Camera;
 use hemelb_insitu::compositing::binary_swap;
 use hemelb_insitu::transfer::TransferFunction;
 use hemelb_insitu::volume::{render_brick, Brick};
-use hemelb_parallel::{CommResult, Communicator, Wire};
+use hemelb_parallel::{Communicator, Wire};
 use hemelb_partition::graph::{Connectivity, SiteGraph};
 use hemelb_partition::visaware::{rebalance, synthetic_view_weights};
 use std::sync::Arc;
@@ -82,6 +83,12 @@ pub struct ClosedLoopOutcome {
 
 /// Run the closed loop collectively. Rank 0 must pass the server-side
 /// transport; other ranks pass `None`.
+///
+/// Each cycle's phases are recorded into the communicator's
+/// observability recorder (`steer.poll`, `steer.broadcast`, `sim.step`,
+/// `vis.render`, `vis.composite`, `steer.ship`), so
+/// `Communicator::obs_report` — and the per-rank reports collected by
+/// `run_spmd_opts` — break the steering round trip down by phase.
 pub fn run_closed_loop(
     geo: Arc<SparseGeometry>,
     owner: Vec<usize>,
@@ -89,12 +96,16 @@ pub fn run_closed_loop(
     comm: &Communicator,
     transport: Option<Box<dyn Transport>>,
     cfg: &ClosedLoopConfig,
-) -> CommResult<ClosedLoopOutcome> {
-    assert_eq!(
-        comm.is_master(),
-        transport.is_some(),
-        "exactly the master rank carries the steering transport"
-    );
+) -> SteeringResult<ClosedLoopOutcome> {
+    if comm.is_master() != transport.is_some() {
+        return Err(SteeringError::Config(format!(
+            "exactly the master rank carries the steering transport \
+             (rank {} of {}, transport: {})",
+            comm.rank(),
+            comm.size(),
+            transport.is_some()
+        )));
+    }
     let server = transport.map(SteeringServer::new);
     let mut state = SteeringState::new(geo.shape());
     state.vis_rate = cfg.initial_vis_rate.max(1);
@@ -121,11 +132,17 @@ pub fn run_closed_loop(
     loop {
         // Step 3–4 of the paper's loop: client → master → all ranks.
         let commands: Vec<SteeringCommand> = if let Some(server) = &server {
+            let span = comm.with_obs(|o| o.begin());
             let cmds = server.poll_commands();
+            comm.with_obs(|o| span.end(o, "steer.poll"));
+            let span = comm.with_obs(|o| o.begin());
             comm.broadcast(0, Some(cmds.to_bytes()))?;
+            comm.with_obs(|o| span.end(o, "steer.broadcast"));
             cmds
         } else {
+            let span = comm.with_obs(|o| o.begin());
             let payload = comm.broadcast(0, None)?;
+            comm.with_obs(|o| span.end(o, "steer.broadcast"));
             Vec::<SteeringCommand>::from_bytes(payload)?
         };
         let mut camera_changed = false;
@@ -174,7 +191,9 @@ pub fn run_closed_loop(
         if !state.paused && !state.terminate {
             let remaining = cfg.max_steps.saturating_sub(outcome.steps_done);
             let burst = (cfg.steps_per_cycle as u64).min(remaining);
+            let span = comm.with_obs(|o| o.begin());
             solver.step_n(burst)?;
+            comm.with_obs(|o| span.end(o, "sim.step"));
             outcome.steps_done += burst;
         }
 
@@ -264,11 +283,15 @@ pub fn run_closed_loop(
                 width: cfg.image.0,
                 height: cfg.image.1,
             };
+            let span = comm.with_obs(|o| o.begin());
             let partial = match Brick::from_points(&points, &values) {
                 Some(brick) => render_brick(&brick, &cam, &tf, 0.5),
                 None => hemelb_insitu::image::PartialImage::new(cam.width, cam.height),
             };
+            comm.with_obs(|o| span.end(o, "vis.render"));
+            let span = comm.with_obs(|o| o.begin());
             let composited = binary_swap(comm, partial)?;
+            comm.with_obs(|o| span.end(o, "vis.composite"));
 
             // Status: global consistency monitors.
             let mass = solver.mass()?;
@@ -290,8 +313,14 @@ pub fn run_closed_loop(
             };
             prev_speed = Some(speeds);
 
+            // Drained on every rank (the command stream is replicated,
+            // so the queue is identical everywhere); reported by the
+            // master as part of the status problems.
+            let rejections = state.take_rejections();
             if let (Some(server), Some(image)) = (&server, composited) {
-                let problems = solver.local_snapshot().validity_report();
+                let span = comm.with_obs(|o| o.begin());
+                let mut problems = solver.local_snapshot().validity_report();
+                problems.extend(rejections);
                 server.send_status(StatusReport {
                     step: outcome.steps_done,
                     mass,
@@ -307,6 +336,7 @@ pub fn run_closed_loop(
                     height: image.height,
                     rgb: image.to_rgb8(),
                 });
+                comm.with_obs(|o| span.end(o, "steer.ship"));
             }
             outcome.frames_rendered += 1;
         }
@@ -532,6 +562,116 @@ mod tests {
         // with an explicit mid-run repartition matches serial (covered
         // bit-exactly in hemelb-core). Here assert plausibility only.
         assert!(reference.validity_report().is_empty());
+    }
+
+    #[test]
+    fn rejected_roi_reaches_the_client_and_phases_are_recorded() {
+        let geo = demo_geo();
+        let (client_end, server_end) = duplex_pair();
+        let server_slot = Arc::new(Mutex::new(Some(Box::new(server_end) as Box<dyn Transport>)));
+        let geo2 = geo.clone();
+
+        let client_thread = std::thread::spawn(move || {
+            let client = SteeringClient::new(Box::new(client_end));
+            // Inverted on x: must be rejected, not applied.
+            client
+                .send(&SteeringCommand::SetRoi {
+                    lo: [9, 0, 0],
+                    hi: [3, 16, 16],
+                })
+                .unwrap();
+            let mut rejection = None;
+            while rejection.is_none() {
+                client.send(&SteeringCommand::RequestFrame).unwrap();
+                let (_, statuses) = client.wait_for_image().unwrap();
+                rejection = statuses
+                    .iter()
+                    .flat_map(|s| &s.problems)
+                    .find(|p| p.contains("rejected ROI"))
+                    .cloned();
+            }
+            // One timed round so the steer.rtt phase is populated.
+            client.request_frame().unwrap();
+            client.send(&SteeringCommand::Terminate).unwrap();
+            while client.recv().is_ok() {}
+            (rejection.unwrap(), client.obs_report())
+        });
+
+        let results = run_spmd(2, move |comm| {
+            let transport = if comm.is_master() {
+                server_slot.lock().take()
+            } else {
+                None
+            };
+            let outcome = run_closed_loop(
+                geo2.clone(),
+                slab_owner(&geo2, comm.size()),
+                SolverConfig::pressure_driven(1.005, 0.995),
+                comm,
+                transport,
+                &ClosedLoopConfig {
+                    max_steps: u64::MAX / 2,
+                    image: (16, 12),
+                    initial_vis_rate: u32::MAX,
+                    steps_per_cycle: 5,
+                    vis_aware_repartition: false,
+                },
+            )
+            .unwrap();
+            (outcome, comm.obs_report())
+        });
+
+        let (rejection, client_report) = client_thread.join().unwrap();
+        assert!(rejection.contains("domain"), "{rejection}");
+        // The client measured at least one full round trip.
+        let rtt = &client_report.phases["steer.rtt"];
+        assert!(rtt.calls >= 1);
+        assert!(rtt.total_secs > 0.0);
+        assert!(rtt.hist.p50() > 0.0);
+        // Every rank recorded the loop phases; only the master polls
+        // the transport and ships frames.
+        for (i, (outcome, report)) in results.iter().enumerate() {
+            assert!(outcome.terminated_by_client);
+            for phase in ["steer.broadcast", "sim.step", "vis.render", "vis.composite"] {
+                let p = report
+                    .phases
+                    .get(phase)
+                    .unwrap_or_else(|| panic!("rank {i} missing {phase}"));
+                assert!(p.calls >= 1);
+            }
+        }
+        assert!(results[0].1.phases.contains_key("steer.poll"));
+        assert!(results[0].1.phases.contains_key("steer.ship"));
+        assert!(!results[1].1.phases.contains_key("steer.poll"));
+    }
+
+    #[test]
+    fn missing_transport_on_the_master_is_an_error_not_a_panic() {
+        let geo = demo_geo();
+        let geo2 = geo.clone();
+        let results = run_spmd(2, move |comm| {
+            // Nobody carries a transport: the master must refuse the
+            // wiring; the other rank then sees the collective fail.
+            run_closed_loop(
+                geo2.clone(),
+                slab_owner(&geo2, comm.size()),
+                SolverConfig::pressure_driven(1.005, 0.995),
+                comm,
+                None,
+                &ClosedLoopConfig {
+                    max_steps: 20,
+                    image: (8, 6),
+                    initial_vis_rate: 10,
+                    steps_per_cycle: 5,
+                    vis_aware_repartition: false,
+                },
+            )
+            .err()
+            .map(|e| e.to_string())
+        });
+        let master_err = results[0].as_ref().expect("master must error");
+        assert!(master_err.contains("master rank"), "{master_err}");
+        assert!(results[1].is_some(), "the worker cannot finish alone");
     }
 
     #[test]

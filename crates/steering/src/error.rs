@@ -1,0 +1,82 @@
+//! The steering-layer error type.
+//!
+//! Steering failures are *expected* events — a human closes the client
+//! window mid-run — so nothing in the library path may panic on them.
+//! Transport and protocol failures funnel into [`SteeringError`] and
+//! the closed loop degrades (a vanished client becomes a terminate
+//! request) instead of taking the master rank down.
+
+use hemelb_parallel::CommError;
+use std::fmt;
+
+/// Anything that can go wrong in the steering layer.
+#[derive(Debug)]
+pub enum SteeringError {
+    /// Transport I/O failed (client disconnected, socket error).
+    Transport(std::io::Error),
+    /// A frame arrived but did not decode as a protocol message.
+    Protocol(String),
+    /// A rank-communicator collective failed underneath the loop.
+    Comm(CommError),
+    /// The loop was wired up inconsistently (e.g. a steering transport
+    /// on a non-master rank).
+    Config(String),
+}
+
+impl fmt::Display for SteeringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SteeringError::Transport(e) => write!(f, "steering transport: {e}"),
+            SteeringError::Protocol(m) => write!(f, "steering protocol: {m}"),
+            SteeringError::Comm(e) => write!(f, "steering collective: {e}"),
+            SteeringError::Config(m) => write!(f, "steering configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SteeringError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SteeringError::Transport(e) => Some(e),
+            SteeringError::Comm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SteeringError {
+    fn from(e: std::io::Error) -> Self {
+        SteeringError::Transport(e)
+    }
+}
+
+impl From<CommError> for SteeringError {
+    fn from(e: CommError) -> Self {
+        SteeringError::Comm(e)
+    }
+}
+
+/// Shorthand for steering-layer results.
+pub type SteeringResult<T> = Result<T, SteeringError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SteeringError =
+            std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer gone").into();
+        assert!(matches!(e, SteeringError::Transport(_)));
+        assert!(e.to_string().contains("peer gone"));
+        let e: SteeringError = CommError::Decode {
+            reason: "short".into(),
+        }
+        .into();
+        assert!(matches!(e, SteeringError::Comm(_)));
+        let e = SteeringError::Config("bad wiring".into());
+        assert!(e.to_string().contains("bad wiring"));
+        use std::error::Error;
+        assert!(SteeringError::Protocol("x".into()).source().is_none());
+    }
+}

@@ -25,12 +25,14 @@
 
 pub mod client;
 pub mod closedloop;
+pub mod error;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
 pub use client::SteeringClient;
 pub use closedloop::{run_closed_loop, ClosedLoopConfig, ClosedLoopOutcome};
+pub use error::{SteeringError, SteeringResult};
 pub use protocol::{FieldChoice, ImageFrame, ObservableReport, StatusReport, SteeringCommand};
 pub use server::SteeringServer;
 pub use transport::{duplex_pair, InMemoryTransport, TcpTransport, Transport};

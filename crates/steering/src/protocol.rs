@@ -448,4 +448,76 @@ mod tests {
         w.put_u8(99);
         assert!(SteeringCommand::from_bytes(w.finish()).is_err());
     }
+
+    #[test]
+    fn truncated_frames_are_errors_not_panics() {
+        // Every proper prefix of a valid encoding must decode to an
+        // error (a half-received TCP frame shows up exactly like this).
+        let cmd = SteeringCommand::SetCamera {
+            eye: [1.0, 2.0, 3.0],
+            target: [4.0, 5.0, 6.0],
+            up: [0.0, 0.0, 1.0],
+            fov_y: 0.7,
+        };
+        let full = cmd.to_bytes();
+        for n in 0..full.len() {
+            let prefix = bytes::Bytes::from(full[..n].to_vec());
+            assert!(
+                SteeringCommand::from_bytes(prefix).is_err(),
+                "prefix of {n} bytes must not decode"
+            );
+        }
+        let msg = ServerMessage::Status(StatusReport {
+            step: 9,
+            mass: 1.0,
+            max_speed: 0.1,
+            residual: 1e-6,
+            problems: vec!["p".into()],
+            eta_steps: 3,
+            paused: true,
+        });
+        let full = msg.to_bytes();
+        for n in 0..full.len() {
+            let prefix = bytes::Bytes::from(full[..n].to_vec());
+            assert!(ServerMessage::from_bytes(prefix).is_err());
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_errors_on_both_directions() {
+        for kind in [10u8, 42, 255] {
+            let mut w = hemelb_parallel::WireWriter::new();
+            w.put_u8(kind);
+            assert!(SteeringCommand::from_bytes(w.finish()).is_err());
+        }
+        for kind in [3u8, 77, 255] {
+            let mut w = hemelb_parallel::WireWriter::new();
+            w.put_u8(kind);
+            assert!(ServerMessage::from_bytes(w.finish()).is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_an_error_not_an_allocation() {
+        // An image frame whose pixel-payload length prefix claims far
+        // more bytes than the frame carries: must fail cleanly, not
+        // attempt a huge allocation or panic.
+        let mut w = hemelb_parallel::WireWriter::new();
+        w.put_u8(1); // ServerMessage::Image
+        w.put_u64(0); // step
+        w.put_u32(2); // width
+        w.put_u32(2); // height
+        w.put_u64(u64::MAX / 2); // absurd RGB byte count
+        assert!(ServerMessage::from_bytes(w.finish()).is_err());
+
+        // Same for the problems list of a status report.
+        let mut w = hemelb_parallel::WireWriter::new();
+        w.put_u8(0); // ServerMessage::Status
+        w.put_u64(1); // step
+        w.put_f64(1.0); // mass
+        w.put_f64(0.1); // max_speed
+        w.put_f64(0.0); // residual
+        w.put_u64(u64::MAX); // absurd problems count
+        assert!(ServerMessage::from_bytes(w.finish()).is_err());
+    }
 }

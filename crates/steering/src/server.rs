@@ -33,6 +33,11 @@ pub struct SteeringState {
     pub terminate: bool,
     /// Pending inlet-pressure changes `(id, rho)`.
     pub pressure_changes: Vec<(u32, f64)>,
+    /// Domain shape in lattice cells; ROIs are validated against it.
+    pub domain: [u32; 3],
+    /// Notices about rejected commands, drained into the next status
+    /// report's `problems` list.
+    pub rejections: Vec<String>,
 }
 
 impl SteeringState {
@@ -57,6 +62,12 @@ impl SteeringState {
             observables_requested: false,
             terminate: false,
             pressure_changes: Vec::new(),
+            domain: [
+                domain_shape[0] as u32,
+                domain_shape[1] as u32,
+                domain_shape[2] as u32,
+            ],
+            rejections: Vec::new(),
         }
     }
 
@@ -76,7 +87,32 @@ impl SteeringState {
             }
             SteeringCommand::SetField(f) => self.field = *f,
             SteeringCommand::SetVisRate(n) => self.vis_rate = (*n).max(1),
-            SteeringCommand::SetRoi { lo, hi } => self.roi = Some((*lo, *hi)),
+            SteeringCommand::SetRoi { lo, hi } => {
+                // Clamp to the domain, then reject empty or inverted
+                // boxes instead of silently analysing nothing. The old
+                // behaviour accepted any box verbatim, so an ROI past
+                // the domain (or with lo ≥ hi) produced zero-site
+                // observables with no indication why.
+                let lo = [
+                    lo[0].min(self.domain[0]),
+                    lo[1].min(self.domain[1]),
+                    lo[2].min(self.domain[2]),
+                ];
+                let hi = [
+                    hi[0].min(self.domain[0]),
+                    hi[1].min(self.domain[1]),
+                    hi[2].min(self.domain[2]),
+                ];
+                if (0..3).all(|a| lo[a] < hi[a]) {
+                    self.roi = Some((lo, hi));
+                } else {
+                    self.rejections.push(format!(
+                        "rejected ROI {lo:?}..{hi:?}: empty or inverted after clamping \
+                         to domain {:?}; keeping {:?}",
+                        self.domain, self.roi
+                    ));
+                }
+            }
             SteeringCommand::SetInletPressure { id, rho } => {
                 self.pressure_changes.push((*id, *rho));
             }
@@ -91,6 +127,12 @@ impl SteeringState {
     /// Drain and return pending pressure changes.
     pub fn take_pressure_changes(&mut self) -> Vec<(u32, f64)> {
         std::mem::take(&mut self.pressure_changes)
+    }
+
+    /// Drain and return pending rejection notices (reported to the
+    /// client via the next status report's `problems`).
+    pub fn take_rejections(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.rejections)
     }
 }
 
@@ -179,6 +221,57 @@ mod tests {
         assert!(st.take_pressure_changes().is_empty(), "drained");
         st.apply(&SteeringCommand::Terminate);
         assert!(st.terminate);
+    }
+
+    #[test]
+    fn valid_roi_is_accepted_and_clamped() {
+        let mut st = SteeringState::new([32, 16, 16]);
+        st.apply(&SteeringCommand::SetRoi {
+            lo: [0, 0, 0],
+            hi: [16, 16, 16],
+        });
+        assert_eq!(st.roi, Some(([0, 0, 0], [16, 16, 16])));
+        assert!(st.take_rejections().is_empty());
+        // A box poking past the domain is clamped, not rejected.
+        st.apply(&SteeringCommand::SetRoi {
+            lo: [8, 0, 0],
+            hi: [1000, 1000, 1000],
+        });
+        assert_eq!(st.roi, Some(([8, 0, 0], [32, 16, 16])));
+        assert!(st.take_rejections().is_empty());
+    }
+
+    #[test]
+    fn inverted_or_empty_roi_is_rejected_and_reported() {
+        let mut st = SteeringState::new([32, 16, 16]);
+        let good = ([0, 0, 0], [8, 8, 8]);
+        st.apply(&SteeringCommand::SetRoi {
+            lo: good.0,
+            hi: good.1,
+        });
+        // Inverted: lo > hi on the x axis.
+        st.apply(&SteeringCommand::SetRoi {
+            lo: [10, 0, 0],
+            hi: [5, 16, 16],
+        });
+        assert_eq!(st.roi, Some(good), "previous valid ROI survives");
+        // Empty: lo == hi.
+        st.apply(&SteeringCommand::SetRoi {
+            lo: [4, 4, 4],
+            hi: [4, 8, 8],
+        });
+        // Entirely outside: clamping makes it empty.
+        st.apply(&SteeringCommand::SetRoi {
+            lo: [100, 0, 0],
+            hi: [200, 16, 16],
+        });
+        assert_eq!(st.roi, Some(good));
+        let rejections = st.take_rejections();
+        assert_eq!(rejections.len(), 3);
+        for r in &rejections {
+            assert!(r.contains("rejected ROI"), "{r}");
+        }
+        assert!(st.take_rejections().is_empty(), "drained");
     }
 
     #[test]

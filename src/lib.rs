@@ -12,6 +12,7 @@
 pub use hemelb_core as core;
 pub use hemelb_geometry as geometry;
 pub use hemelb_insitu as insitu;
+pub use hemelb_obs as obs;
 pub use hemelb_octree as octree;
 pub use hemelb_parallel as parallel;
 pub use hemelb_partition as partition;
