@@ -24,6 +24,13 @@ run cargo test -q --test properties --test golden
 # Observability: phase timings recorded end to end, JSON export lossless.
 run cargo test -q --test obs_smoke
 
+# Render path: macrocell marcher bit-identity + sparse compositing.
+run cargo test -q --test render_compositing
+
+# E13 smoke: macrocell skipping + sparse compositing report (also
+# exercises the reproduce binary end to end).
+run cargo run --release -q -p hemelb-bench --bin reproduce -- render --size small --ranks 2
+
 if [[ "${1:-}" == "--soak" ]]; then
     run cargo test -q --test golden -- --ignored
 fi

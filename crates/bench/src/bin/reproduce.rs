@@ -1,7 +1,7 @@
 //! `reproduce` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|ablation|all]
+//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|ablation|all]
 //!           [--size tiny|small|medium] [--ranks N]
 //! ```
 //!
@@ -10,8 +10,8 @@
 
 use hemelb_bench::workloads::Size;
 use hemelb_bench::{
-    ablation, extract, fig1, fig2, fig3, fig4, multires, obs, preprocess, repartition, scaling,
-    table1,
+    ablation, extract, fig1, fig2, fig3, fig4, multires, obs, preprocess, render, repartition,
+    scaling, table1,
 };
 
 struct Args {
@@ -49,7 +49,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|ablation|all] [--size tiny|small|medium] [--ranks N]"
+                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|ablation|all] [--size tiny|small|medium] [--ranks N]"
                 );
                 std::process::exit(0);
             }
@@ -144,6 +144,16 @@ fn main() {
         ran = true;
         println!("=== E12: observability (phase timings, wait by class, steering RTT) ===");
         println!("{}", obs::run(args.size, args.ranks, 5));
+    }
+    if run_all || args.what == "render" {
+        ran = true;
+        println!("=== E13: in situ rendering (macrocell skipping + sparse compositing) ===");
+        let (w, h) = match args.size {
+            Size::Tiny => (160u32, 120u32),
+            Size::Small => (320, 240),
+            Size::Medium => (512, 384),
+        };
+        println!("{}", render::run(args.size, args.ranks.clamp(2, 8), w, h));
     }
     if run_all || args.what == "ablation" {
         ran = true;

@@ -10,7 +10,7 @@
 
 use crate::workloads::{self, Size};
 use hemelb_core::SolverConfig;
-use hemelb_parallel::run_spmd;
+use hemelb_parallel::{run_spmd_opts, SpmdOptions};
 use hemelb_steering::{
     duplex_pair, run_closed_loop, ClosedLoopConfig, SteeringClient, SteeringCommand, Transport,
 };
@@ -31,6 +31,14 @@ pub struct Fig2Row {
     pub steering_bytes: u64,
     /// Frames rendered.
     pub frames: u64,
+    /// Render samples shaded, all ranks (macrocell skipping on).
+    pub samples_shaded: u64,
+    /// Render samples skipped by macrocell jumps, all ranks.
+    pub samples_skipped: u64,
+    /// Compositing bytes actually sent (run-length sparse), all ranks.
+    pub composite_wire: u64,
+    /// Compositing bytes the dense 20 B/px format would have sent.
+    pub composite_dense: u64,
 }
 
 impl Fig2Row {
@@ -81,7 +89,7 @@ pub fn run(size: Size, configs: &[(usize, (u32, u32))], frames: usize) -> Fig2Re
             rtts
         });
 
-        let results = run_spmd(ranks, move |comm| {
+        let output = run_spmd_opts(ranks, SpmdOptions::default(), move |comm| {
             let transport = if comm.is_master() {
                 server_slot.lock().take()
             } else {
@@ -104,12 +112,18 @@ pub fn run(size: Size, configs: &[(usize, (u32, u32))], frames: usize) -> Fig2Re
             .unwrap()
         });
         let rtts = client_thread.join().expect("client thread");
+        let merged = output.merged_obs();
+        let counter = |name: &str| merged.counters.get(name).copied().unwrap_or(0);
         rows.push(Fig2Row {
             ranks,
             image,
             rtts,
-            steering_bytes: results[0].steering_bytes,
-            frames: results[0].frames_rendered,
+            steering_bytes: output.results[0].steering_bytes,
+            frames: output.results[0].frames_rendered,
+            samples_shaded: counter("vis.render.samples_shaded"),
+            samples_skipped: counter("vis.render.samples_skipped"),
+            composite_wire: counter("vis.composite.bytes_wire"),
+            composite_dense: counter("vis.composite.bytes_dense"),
         });
     }
     Fig2Result { rows }
@@ -123,14 +137,28 @@ impl fmt::Display for Fig2Result {
         )?;
         writeln!(
             f,
-            "{:>6} {:>10} {:>12} {:>10} {:>10} {:>14} {:>12}",
-            "ranks", "image", "median RTT", "p50", "p95", "steering sent", "frames"
+            "{:>6} {:>10} {:>12} {:>10} {:>10} {:>14} {:>12} {:>9} {:>16}",
+            "ranks",
+            "image",
+            "median RTT",
+            "p50",
+            "p95",
+            "steering sent",
+            "frames",
+            "skip%",
+            "composite"
         )?;
         for r in &self.rows {
             let h = r.rtt_histogram();
+            let samples = r.samples_shaded + r.samples_skipped;
+            let skip_pct = if samples == 0 {
+                0.0
+            } else {
+                100.0 * r.samples_skipped as f64 / samples as f64
+            };
             writeln!(
                 f,
-                "{:>6} {:>4}x{:<5} {:>10.2} ms {:>10} {:>10} {:>14} {:>12}",
+                "{:>6} {:>4}x{:<5} {:>10.2} ms {:>10} {:>10} {:>14} {:>12} {:>8.1}% {:>7}/{:<8}",
                 r.ranks,
                 r.image.0,
                 r.image.1,
@@ -139,8 +167,16 @@ impl fmt::Display for Fig2Result {
                 hemelb_obs::fmt_secs(h.p95()),
                 workloads::fmt_bytes(r.steering_bytes),
                 r.frames,
+                skip_pct,
+                workloads::fmt_bytes(r.composite_wire),
+                workloads::fmt_bytes(r.composite_dense),
             )?;
         }
+        writeln!(
+            f,
+            "(skip% = render samples skipped by macrocells; composite = \
+             bytes on wire / dense 20 B-per-px equivalent)"
+        )?;
         Ok(())
     }
 }
@@ -160,5 +196,12 @@ mod tests {
             "three RGB frames shipped"
         );
         assert!(row.median_rtt() < 60.0, "interactive on any machine");
+        assert!(row.samples_shaded > 0, "render counters recorded");
+        assert!(
+            row.composite_wire > 0 && row.composite_wire < row.composite_dense,
+            "sparse compositing beats dense: {} vs {}",
+            row.composite_wire,
+            row.composite_dense
+        );
     }
 }

@@ -18,6 +18,7 @@ pub mod fig4;
 pub mod multires;
 pub mod obs;
 pub mod preprocess;
+pub mod render;
 pub mod repartition;
 pub mod scaling;
 pub mod table1;

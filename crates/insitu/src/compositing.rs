@@ -6,50 +6,162 @@
 //! per-rank bandwidth stays O(pixels) instead of O(pixels·P) — the
 //! classic scalability fix for exactly the data-movement concern the
 //! paper opens with.
+//!
+//! # Sparse pixel runs
+//!
+//! A sparse vascular geometry lights only a small fraction of each
+//! partial image, so shipping every pixel at 20 B (RGBA + depth) wastes
+//! most of the compositing bandwidth on background. Both algorithms
+//! therefore encode pixel ranges as *lit runs*: maximal spans of pixels
+//! that differ from the background (any colour bit set, or a finite
+//! depth). The layout is
+//!
+//! ```text
+//! start:u64  len:u64  nruns:u64
+//! (offset_in_range:u64  runlen:u64) × nruns
+//! floats:u64-length-prefixed f32 slice   — 5 per lit pixel,
+//!                                          r,g,b,a,depth, run order
+//! ```
+//!
+//! versus `16 + 20·len` bytes dense. The encoding is lossless at the
+//! bit level: unlit pixels are exactly the `PartialImage` defaults
+//! (`+0.0` colour, `+∞` depth), so skipping them reproduces the dense
+//! merge bit for bit. Every send records `vis.composite.bytes_wire`
+//! (actual payload) and `vis.composite.bytes_dense` (what the dense
+//! format would have shipped) as obs counters.
 
 use crate::image::{Image, PartialImage};
 use bytes::Bytes;
-use hemelb_parallel::{CommResult, Communicator, Tag, WireReader, WireWriter};
+use hemelb_parallel::{CommError, CommResult, Communicator, Tag, WireReader, WireWriter};
+use std::ops::Range;
 
 const T_DIRECT: Tag = Tag::composite(0);
 const T_SWAP: Tag = Tag::composite(1);
 const T_GATHER: Tag = Tag::composite(64);
 
-/// Serialise a pixel range of a partial image (premultiplied RGBA +
-/// depth, 20 B per pixel).
-fn encode_range(p: &PartialImage, range: std::ops::Range<usize>) -> Bytes {
-    let mut w = WireWriter::with_capacity(16 + range.len() * 20);
+/// Wire size of the dense (pre-RLE) encoding of a pixel range: 16 B of
+/// header plus 20 B (premultiplied RGBA + depth) per pixel.
+pub fn dense_bytes(len: usize) -> usize {
+    16 + 20 * len
+}
+
+/// Whether a pixel differs from the background a fresh [`PartialImage`]
+/// holds (`+0.0` colour, `+∞` depth). Bit-level on purpose: run
+/// boundaries must not depend on FP comparison quirks.
+#[inline]
+fn is_lit(px: &[f32; 4], depth: f32) -> bool {
+    px[0].to_bits() != 0
+        || px[1].to_bits() != 0
+        || px[2].to_bits() != 0
+        || px[3].to_bits() != 0
+        || depth.to_bits() != f32::INFINITY.to_bits()
+}
+
+/// Serialise a pixel range of a partial image as lit runs (see the
+/// module docs for the layout). Lossless: [`merge_pixel_runs`] into a
+/// fresh image reproduces the range bit for bit.
+pub fn encode_pixel_runs(p: &PartialImage, range: Range<usize>) -> Bytes {
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut lit = 0usize;
+    let mut i = range.start;
+    while i < range.end {
+        if is_lit(&p.image.pixels[i], p.depth[i]) {
+            let start = i;
+            while i < range.end && is_lit(&p.image.pixels[i], p.depth[i]) {
+                i += 1;
+            }
+            runs.push((start - range.start, i - start));
+            lit += i - start;
+        } else {
+            i += 1;
+        }
+    }
+    let mut w = WireWriter::with_capacity(32 + runs.len() * 16 + lit * 20);
     w.put_usize(range.start);
     w.put_usize(range.len());
-    for i in range {
-        let px = p.image.pixels[i];
-        w.put_f32(px[0]);
-        w.put_f32(px[1]);
-        w.put_f32(px[2]);
-        w.put_f32(px[3]);
-        w.put_f32(p.depth[i]);
+    w.put_usize(runs.len());
+    let mut floats: Vec<f32> = Vec::with_capacity(lit * 5);
+    for &(off, len) in &runs {
+        w.put_usize(off);
+        w.put_usize(len);
+        for i in range.start + off..range.start + off + len {
+            let px = p.image.pixels[i];
+            floats.extend_from_slice(&[px[0], px[1], px[2], px[3], p.depth[i]]);
+        }
     }
+    w.put_f32_slice(&floats);
     w.finish()
 }
 
-/// Merge an encoded pixel range into `into` (depth-ordered over).
-fn merge_range(into: &mut PartialImage, payload: Bytes) -> CommResult<std::ops::Range<usize>> {
+fn decode_err(reason: String) -> CommError {
+    CommError::Decode { reason }
+}
+
+/// Merge an encoded pixel-run payload into `into` (depth-ordered over).
+/// Unlit gaps are untouched — bit-identical to merging them explicitly,
+/// because a background pixel is an exact no-op under the depth-ordered
+/// over operator.
+pub fn merge_pixel_runs(into: &mut PartialImage, payload: Bytes) -> CommResult<Range<usize>> {
     let mut r = WireReader::new(payload);
     let start = r.get_usize()?;
     let len = r.get_usize()?;
-    for i in start..start + len {
-        let px = [r.get_f32()?, r.get_f32()?, r.get_f32()?, r.get_f32()?];
-        let d = r.get_f32()?;
-        let (a, da) = (into.image.pixels[i], into.depth[i]);
-        let (front, back, dmin) = if da <= d { (a, px, da) } else { (px, a, d) };
-        into.image.pixels[i] = crate::image::over_px(front, back);
-        into.depth[i] = dmin;
+    let nruns = r.get_usize()?;
+    if start + len > into.image.pixels.len() {
+        return Err(decode_err(format!(
+            "pixel range {start}+{len} exceeds image of {}",
+            into.image.pixels.len()
+        )));
+    }
+    if nruns > len {
+        return Err(decode_err(format!("{nruns} runs in a range of {len}")));
+    }
+    let mut runs = Vec::with_capacity(nruns);
+    let mut lit = 0usize;
+    for _ in 0..nruns {
+        let off = r.get_usize()?;
+        let rl = r.get_usize()?;
+        if off + rl > len {
+            return Err(decode_err(format!("run {off}+{rl} exceeds range of {len}")));
+        }
+        runs.push((off, rl));
+        lit += rl;
+    }
+    let mut floats: Vec<f32> = Vec::new();
+    r.get_f32_slice(&mut floats)?;
+    if floats.len() != lit * 5 {
+        return Err(decode_err(format!(
+            "{} floats for {lit} lit pixels",
+            floats.len()
+        )));
+    }
+    let mut f = 0usize;
+    for (off, rl) in runs {
+        for i in start + off..start + off + rl {
+            let px = [floats[f], floats[f + 1], floats[f + 2], floats[f + 3]];
+            let d = floats[f + 4];
+            f += 5;
+            let (a, da) = (into.image.pixels[i], into.depth[i]);
+            let (front, back, dmin) = if da <= d { (a, px, da) } else { (px, a, d) };
+            into.image.pixels[i] = crate::image::over_px(front, back);
+            into.depth[i] = dmin;
+        }
     }
     Ok(start..start + len)
 }
 
+/// Record one compositing send's wire bytes against what the dense
+/// encoding would have cost.
+fn note_wire(comm: &Communicator, range_len: usize, payload: &Bytes) {
+    let (dense, wire) = (dense_bytes(range_len) as u64, payload.len() as u64);
+    comm.with_obs(|o| {
+        o.count("vis.composite.bytes_dense", dense);
+        o.count("vis.composite.bytes_wire", wire);
+    });
+}
+
 /// Direct-send compositing: every rank ships its whole partial to rank
-/// 0, which merges them in rank order. O(P·pixels) bytes into one node.
+/// 0, which merges them in rank order. O(P·pixels) bytes into one node
+/// (before run-length sparsity).
 pub fn direct_send(comm: &Communicator, mine: PartialImage) -> CommResult<Option<Image>> {
     comm.note_sync();
     let n = mine.image.pixels.len();
@@ -59,18 +171,22 @@ pub fn direct_send(comm: &Communicator, mine: PartialImage) -> CommResult<Option
         // frames cannot mix (FIFO per `(src, tag)`), unlike `recv_any`.
         for src in 1..comm.size() {
             let payload = comm.recv(src, T_DIRECT)?;
-            merge_range(&mut acc, payload)?;
+            merge_pixel_runs(&mut acc, payload)?;
         }
         Ok(Some(acc.image))
     } else {
-        comm.send(0, T_DIRECT, encode_range(&mine, 0..n))?;
+        let payload = encode_pixel_runs(&mine, 0..n);
+        note_wire(comm, n, &payload);
+        comm.send(0, T_DIRECT, payload)?;
         Ok(None)
     }
 }
 
 /// Binary-swap compositing for power-of-two worlds; falls back to
-/// [`direct_send`] otherwise. After log₂P rounds each rank owns a fully
-/// composited 1/P of the image, which is then gathered at rank 0.
+/// [`direct_send`] otherwise (which performs the round's single
+/// [`Communicator::note_sync`] — the fallback must not double-count).
+/// After log₂P rounds each rank owns a fully composited 1/P of the
+/// image, which is then gathered at rank 0.
 pub fn binary_swap(comm: &Communicator, mine: PartialImage) -> CommResult<Option<Image>> {
     let p = comm.size();
     if !p.is_power_of_two() || p == 1 {
@@ -98,9 +214,11 @@ pub fn binary_swap(comm: &Communicator, mine: PartialImage) -> CommResult<Option
             )
         };
         let tag = Tag(T_SWAP.0 + round);
-        comm.send(partner, tag, encode_range(&acc, send))?;
+        let payload = encode_pixel_runs(&acc, send.clone());
+        note_wire(comm, send.len(), &payload);
+        comm.send(partner, tag, payload)?;
         let payload = comm.recv(partner, tag)?;
-        let merged = merge_range(&mut acc, payload)?;
+        let merged = merge_pixel_runs(&mut acc, payload)?;
         debug_assert_eq!(merged, keep);
         range = keep;
         bit <<= 1;
@@ -108,21 +226,20 @@ pub fn binary_swap(comm: &Communicator, mine: PartialImage) -> CommResult<Option
     }
     // Gather the owned slivers at rank 0.
     if comm.is_master() {
-        let mut final_img = Image::new(acc.image.width, acc.image.height);
-        final_img.pixels[range.clone()].copy_from_slice(&acc.image.pixels[range.clone()]);
+        let mut gathered = PartialImage::new(acc.image.width, acc.image.height);
+        gathered.image.pixels[range.clone()].copy_from_slice(&acc.image.pixels[range.clone()]);
+        gathered.depth[range.clone()].copy_from_slice(&acc.depth[range.clone()]);
         for src in 1..p {
             let payload = comm.recv(src, T_GATHER)?;
-            let mut r = WireReader::new(payload);
-            let start = r.get_usize()?;
-            let len = r.get_usize()?;
-            for i in start..start + len {
-                final_img.pixels[i] = [r.get_f32()?, r.get_f32()?, r.get_f32()?, r.get_f32()?];
-                r.get_f32()?; // depth, unused in the final image
-            }
+            // Slivers are disjoint and `gathered` holds background, so
+            // the depth-ordered merge is a plain bit copy of lit runs.
+            merge_pixel_runs(&mut gathered, payload)?;
         }
-        Ok(Some(final_img))
+        Ok(Some(gathered.image))
     } else {
-        comm.send(0, T_GATHER, encode_range(&acc, range))?;
+        let payload = encode_pixel_runs(&acc, range.clone());
+        note_wire(comm, range.len(), &payload);
+        comm.send(0, T_GATHER, payload)?;
         Ok(None)
     }
 }
@@ -155,6 +272,76 @@ mod tests {
         acc.image
     }
 
+    fn partials_bit_eq(a: &PartialImage, b: &PartialImage) -> bool {
+        a.image
+            .pixels
+            .iter()
+            .zip(&b.image.pixels)
+            .all(|(pa, pb)| (0..4).all(|c| pa[c].to_bits() == pb[c].to_bits()))
+            && a.depth
+                .iter()
+                .zip(&b.depth)
+                .all(|(da, db)| da.to_bits() == db.to_bits())
+    }
+
+    #[test]
+    fn pixel_run_encoding_is_lossless() {
+        // A scattered pattern: isolated pixels, multi-pixel runs, a
+        // depth-only lit pixel, range boundaries lit.
+        let mut p = PartialImage::new(16, 4);
+        for &i in &[0usize, 3, 4, 5, 20, 21, 63] {
+            p.image.pixels[i] = [0.1 * i as f32, 0.2, 0.3, 0.5];
+            p.depth[i] = i as f32;
+        }
+        p.depth[40] = 7.5; // lit by depth alone
+        let payload = encode_pixel_runs(&p, 0..64);
+        let mut back = PartialImage::new(16, 4);
+        let range = merge_pixel_runs(&mut back, payload).unwrap();
+        assert_eq!(range, 0..64);
+        assert!(partials_bit_eq(&p, &back));
+
+        // Sub-range encoding only touches that range.
+        let payload = encode_pixel_runs(&p, 4..22);
+        let mut back = PartialImage::new(16, 4);
+        merge_pixel_runs(&mut back, payload).unwrap();
+        for i in 0..64 {
+            let expect_lit = (4..22).contains(&i) && is_lit(&p.image.pixels[i], p.depth[i]);
+            assert_eq!(is_lit(&back.image.pixels[i], back.depth[i]), expect_lit);
+        }
+    }
+
+    #[test]
+    fn pixel_run_edge_cases() {
+        // All-transparent: header only, far below dense size.
+        let empty = PartialImage::new(8, 8);
+        let payload = encode_pixel_runs(&empty, 0..64);
+        assert_eq!(payload.len(), 32, "start+len+nruns+empty floats");
+        assert!(payload.len() < dense_bytes(64));
+        let mut back = PartialImage::new(8, 8);
+        merge_pixel_runs(&mut back, payload).unwrap();
+        assert!(partials_bit_eq(&empty, &back));
+
+        // All-lit: one run, costs the dense floats plus one run header.
+        let mut full = PartialImage::new(8, 8);
+        for i in 0..64 {
+            full.image.pixels[i] = [0.5, 0.25, 0.125, 1.0];
+            full.depth[i] = 2.0;
+        }
+        let payload = encode_pixel_runs(&full, 0..64);
+        assert_eq!(payload.len(), 32 + 16 + 64 * 20);
+        let mut back = PartialImage::new(8, 8);
+        merge_pixel_runs(&mut back, payload).unwrap();
+        assert!(partials_bit_eq(&full, &back));
+
+        // Truncated/corrupt payloads fail cleanly.
+        let good = encode_pixel_runs(&full, 0..64);
+        let truncated = Bytes::copy_from_slice(&good.to_vec()[..good.len() - 3]);
+        let mut into = PartialImage::new(8, 8);
+        assert!(merge_pixel_runs(&mut into, truncated).is_err());
+        let mut small = PartialImage::new(2, 2);
+        assert!(merge_pixel_runs(&mut small, good).is_err(), "range bound");
+    }
+
     #[test]
     fn direct_send_matches_local_merge() {
         for p in [1, 2, 3, 5] {
@@ -183,6 +370,29 @@ mod tests {
     }
 
     #[test]
+    fn sparse_compositing_reduces_traffic() {
+        // Each rank lights only 1/P of its image, so run-length payloads
+        // must undercut the dense format by roughly that factor.
+        let p = 8;
+        let (w, h) = (64u32, 64u32);
+        let direct = run_spmd_with_stats(p, move |comm| {
+            let mine = synthetic_partial(comm.rank(), comm.size(), w, h);
+            direct_send(comm, mine).unwrap();
+        });
+        let full_dense = dense_bytes((w * h) as usize) as u64;
+        let total = direct.summary.total.bytes(TagClass::Compositing);
+        // Every worker still ships its lit band in full…
+        let band_floats = ((w * h) as usize / p * 20) as u64;
+        assert!(total >= (p as u64 - 1) * band_floats, "{total}");
+        // …but far less than the dense all-pixels format.
+        assert!(
+            total < (p as u64 - 1) * full_dense / 2,
+            "sparse {total} should undercut dense {}",
+            (p as u64 - 1) * full_dense
+        );
+    }
+
+    #[test]
     fn binary_swap_bounds_per_rank_traffic() {
         let p = 8;
         let (w, h) = (64u32, 64u32);
@@ -190,35 +400,41 @@ mod tests {
             let mine = synthetic_partial(comm.rank(), comm.size(), w, h);
             binary_swap(comm, mine).unwrap();
         });
-        let direct = run_spmd_with_stats(p, move |comm| {
-            let mine = synthetic_partial(comm.rank(), comm.size(), w, h);
-            direct_send(comm, mine).unwrap();
-        });
         let max_swap = swap
             .stats
             .iter()
             .map(|s| s.bytes(TagClass::Compositing))
             .max()
             .unwrap();
-        let max_direct = direct
-            .stats
-            .iter()
-            .map(|s| s.bytes(TagClass::Compositing))
-            .max()
-            .unwrap();
-        // Binary swap sends ~pixels·(1 - 1/P) + sliver; direct send's
-        // non-root ranks each send the full image but the *hotspot* is
-        // that rank 0 receives P-1 full images. Compare inbound hotspot:
-        // rank 0 receives nothing in swap's merge rounds beyond halves.
-        // The robust, machine-independent claim: per-rank max send in
-        // swap ≤ full image, while total direct bytes = (P-1)·full.
-        let full_image = (w * h) as u64 * 20;
+        // Binary swap sends ~pixels·(1 - 1/P) + sliver per rank; even
+        // dense that stays within one full image, and run-length
+        // encoding only shrinks it.
+        let full_dense = dense_bytes((w * h) as usize) as u64;
         assert!(
-            max_swap <= full_image + 64 * 7,
-            "swap per-rank send {max_swap} should not exceed one image {full_image}"
+            max_swap <= full_dense + 64 * 7,
+            "swap per-rank send {max_swap} should not exceed one image {full_dense}"
         );
-        assert!(direct.summary.total.bytes(TagClass::Compositing) >= (p as u64 - 1) * full_image);
-        let _ = max_direct;
+    }
+
+    #[test]
+    fn wire_and_dense_counters_track_sends() {
+        let p = 4;
+        let (w, h) = (32u32, 32u32);
+        let out = run_spmd_with_stats(p, move |comm| {
+            let mine = synthetic_partial(comm.rank(), comm.size(), w, h);
+            binary_swap(comm, mine).unwrap();
+        });
+        let merged = out.merged_obs();
+        let dense = merged.counters["vis.composite.bytes_dense"];
+        let wire = merged.counters["vis.composite.bytes_wire"];
+        assert!(wire > 0);
+        assert!(
+            wire < dense,
+            "quarter-lit bands must compress: wire {wire} vs dense {dense}"
+        );
+        // The wire counter is the truth: it matches the comm layer's own
+        // compositing byte count.
+        assert_eq!(wire, out.summary.total.bytes(TagClass::Compositing));
     }
 
     #[test]
@@ -231,5 +447,24 @@ mod tests {
             results[0].as_ref().unwrap().pixels,
             reference(3, 8, 9).pixels
         );
+    }
+
+    #[test]
+    fn fallback_path_counts_one_sync_per_composite() {
+        // Regression guard for the non-power-of-two fallback: exactly
+        // one `note_sync` per composite on every rank, whether the call
+        // runs binary-swap proper (p = 2, 4) or falls back (p = 3).
+        for p in [2usize, 3, 4] {
+            let out = run_spmd_with_stats(p, move |comm| {
+                let mine = synthetic_partial(comm.rank(), comm.size(), 8, 8);
+                binary_swap(comm, mine).unwrap();
+            });
+            for (rank, st) in out.stats.iter().enumerate() {
+                assert_eq!(
+                    st.sync_points, 1,
+                    "p={p} rank={rank}: composite must sync exactly once"
+                );
+            }
+        }
     }
 }

@@ -11,6 +11,7 @@
 use crate::field::SampledField;
 use hemelb_geometry::Vec3;
 use hemelb_parallel::{CommResult, Communicator, Tag, WireReader, WireWriter};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 const T_HALO: Tag = Tag::vis(20);
@@ -157,16 +158,19 @@ fn lic_pixel(slice: &VelocitySlice, px: usize, py: usize, cfg: &LicConfig) -> Op
     Some(sum / count)
 }
 
-/// Serial LIC over the whole slice. `None` pixels (solid) become NaN.
+/// Serial-equivalent LIC over the whole slice, convolving pixel columns
+/// in parallel (each worker owns a disjoint run of `ny`-sized rows, so
+/// the output is identical to the sequential loop). `None` pixels
+/// (solid) become NaN.
 pub fn lic_serial(slice: &VelocitySlice, cfg: &LicConfig) -> Vec<f32> {
     let mut out = vec![f32::NAN; slice.nx * slice.ny];
-    for x in 0..slice.nx {
-        for y in 0..slice.ny {
+    out.par_chunks_mut(slice.ny).enumerate_for_each(|x, row| {
+        for (y, slot) in row.iter_mut().enumerate() {
             if let Some(v) = lic_pixel(slice, x, y, cfg) {
-                out[x * slice.ny + y] = v;
+                *slot = v;
             }
         }
-    }
+    });
     out
 }
 
@@ -259,16 +263,21 @@ pub fn lic_distributed(
         }
     }
 
-    // Convolve the owned slab.
+    // Convolve the owned slab, x-columns in parallel.
     let mut local = vec![f32::NAN; mine.len() * slice.ny];
-    for (i, x) in mine.clone().enumerate() {
-        for y in 0..slice.ny {
-            if let Some(v) = lic_pixel(&working, x, y, cfg) {
-                local[i * slice.ny + y] = v;
-                stats.pixels += 1;
+    let working_ref = &working;
+    let slab_start = mine.start;
+    local.par_chunks_mut(slice.ny).enumerate_for_each(|i, row| {
+        let x = slab_start + i;
+        for (y, slot) in row.iter_mut().enumerate() {
+            if let Some(v) = lic_pixel(working_ref, x, y, cfg) {
+                *slot = v;
             }
         }
-    }
+    });
+    // `lic_pixel` never yields NaN (its kernel average has count ≥ 1),
+    // so the convolved-pixel count survives the parallel rewrite.
+    stats.pixels = local.iter().filter(|v| !v.is_nan()).count() as u64;
 
     // Gather slabs at rank 0.
     let mut w = WireWriter::with_capacity(16 + local.len() * 4);

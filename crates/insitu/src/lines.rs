@@ -12,6 +12,7 @@
 use crate::field::SampledField;
 use hemelb_geometry::{SparseGeometry, Vec3};
 use hemelb_parallel::{CommResult, Communicator, Wire, WireReader, WireWriter};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Integration parameters.
@@ -253,41 +254,55 @@ pub fn trace_distributed(
 
     loop {
         // Advance every queued particle until it finishes or leaves my
-        // subdomain.
+        // subdomain. Particles are independent, so the batch runs in
+        // parallel; the collect preserves batch order, and the serial
+        // merge below keeps segments and outgoing queues in exactly the
+        // order the serial loop produced.
         let mut outgoing: Vec<Vec<WireParticle>> = vec![Vec::new(); comm.size()];
-        for mut part in queue.drain(..) {
-            let mut verts = vec![Vec3::from(part.pos)];
-            let start_step = part.steps;
-            loop {
-                if part.steps as usize >= cfg.max_steps {
-                    break;
-                }
-                let p = Vec3::from(part.pos);
-                let Some(vel) = field.velocity_at(p) else {
-                    break;
-                };
-                let speed = (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]).sqrt();
-                if speed < cfg.min_speed {
-                    break;
-                }
-                let v = |q: Vec3| field.velocity_at(q);
-                let Some(next) = rk4_step(&v, p, cfg.h) else {
-                    break;
-                };
-                part.pos = next.to_array();
-                part.steps += 1;
-                stats.steps_computed += 1;
-                verts.push(next);
-                match owner_of_point(geo, owner, next) {
-                    Some(o) if o == me => {}
-                    Some(o) => {
-                        // Hand off to the owning rank.
-                        outgoing[o].push(part);
-                        stats.handoffs += 1;
+        let batch: Vec<WireParticle> = std::mem::take(&mut queue);
+        let advanced: Vec<(WireParticle, u32, Vec<Vec3>, Option<usize>)> = batch
+            .into_par_iter()
+            .map(|mut part| {
+                let mut verts = vec![Vec3::from(part.pos)];
+                let start_step = part.steps;
+                let mut dest = None;
+                loop {
+                    if part.steps as usize >= cfg.max_steps {
                         break;
                     }
-                    None => break, // left the fluid
+                    let p = Vec3::from(part.pos);
+                    let Some(vel) = field.velocity_at(p) else {
+                        break;
+                    };
+                    let speed = (vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]).sqrt();
+                    if speed < cfg.min_speed {
+                        break;
+                    }
+                    let v = |q: Vec3| field.velocity_at(q);
+                    let Some(next) = rk4_step(&v, p, cfg.h) else {
+                        break;
+                    };
+                    part.pos = next.to_array();
+                    part.steps += 1;
+                    verts.push(next);
+                    match owner_of_point(geo, owner, next) {
+                        Some(o) if o == me => {}
+                        Some(o) => {
+                            // Hand off to the owning rank.
+                            dest = Some(o);
+                            break;
+                        }
+                        None => break, // left the fluid
+                    }
                 }
+                (part, start_step, verts, dest)
+            })
+            .collect();
+        for (part, start_step, verts, dest) in advanced {
+            stats.steps_computed += (part.steps - start_step) as u64;
+            if let Some(o) = dest {
+                outgoing[o].push(part);
+                stats.handoffs += 1;
             }
             if verts.len() > 1 {
                 segments.push((part.id, start_step, verts));

@@ -72,6 +72,82 @@ impl TransferFunction {
         let alpha = 1.0 - (-c[3] as f64 * ds).exp() as f32;
         [c[0] * alpha, c[1] * alpha, c[2] * alpha, alpha]
     }
+
+    /// Whether [`TransferFunction::classify`] returns opacity *exactly*
+    /// `0.0` for every scalar in `[vmin, vmax]` — the empty-space test
+    /// behind macrocell skipping ([`crate::volume`]).
+    ///
+    /// The guarantee is at the bit level, not merely approximate: the
+    /// `v → t` mapping is monotone under IEEE rounding, so every `v` in
+    /// the interval lands in a stop segment between `vmin`'s and
+    /// `vmax`'s. If all stops touching those segments carry opacity
+    /// `0.0`, the interpolation `0.0 + (0.0 - 0.0)·frac` (then scaled)
+    /// is exactly `±0.0` for any `frac` — and a `±0.0`-opacity sample
+    /// contributes nothing to front-to-back compositing.
+    pub fn zero_opacity_over(&self, vmin: f64, vmax: f64) -> bool {
+        if vmin.is_nan() || vmax.is_nan() || vmin > vmax {
+            return false;
+        }
+        let n = self.stops.len();
+        if n == 1 {
+            return self.stops[0][3] == 0.0;
+        }
+        let t_of = |v: f64| {
+            if self.hi > self.lo {
+                ((v - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+        let seg = |t: f64| ((t * (n - 1) as f64).floor() as usize).min(n - 2);
+        let (s_lo, s_hi) = (seg(t_of(vmin)), seg(t_of(vmax)));
+        self.stops[s_lo..=s_hi + 1].iter().all(|s| s[3] == 0.0)
+    }
+}
+
+/// A precomputed table of [`TransferFunction::sample`] values over the
+/// function's scalar range, for renders where shading throughput matters
+/// more than exact classification (the table quantises `v`, so LUT
+/// renders are *not* bit-identical to exact-sampling renders — the
+/// determinism tests always use the exact path).
+#[derive(Debug, Clone)]
+pub struct TransferLut {
+    lo: f64,
+    scale: f64,
+    table: Vec<[f32; 4]>,
+}
+
+impl TransferLut {
+    /// Tabulate `tf.sample(·, ds)` at `n` evenly spaced scalars across
+    /// `[tf.lo, tf.hi]` (`n` is clamped to at least 2). Out-of-range
+    /// scalars clamp to the end entries, mirroring `classify`.
+    pub fn build(tf: &TransferFunction, ds: f64, n: usize) -> Self {
+        let n = n.max(2);
+        let table = (0..n)
+            .map(|i| {
+                let v = tf.lo + (tf.hi - tf.lo) * i as f64 / (n - 1) as f64;
+                tf.sample(v, ds)
+            })
+            .collect();
+        let width = tf.hi - tf.lo;
+        TransferLut {
+            lo: tf.lo,
+            scale: if width > 0.0 {
+                (n - 1) as f64 / width
+            } else {
+                0.0
+            },
+            table,
+        }
+    }
+
+    /// Nearest tabulated premultiplied sample for scalar `v`.
+    #[inline]
+    pub fn sample(&self, v: f64) -> [f32; 4] {
+        let i = ((v - self.lo) * self.scale + 0.5) as isize;
+        let i = i.clamp(0, self.table.len() as isize - 1) as usize;
+        self.table[i]
+    }
 }
 
 #[cfg(test)]
@@ -126,5 +202,63 @@ mod tests {
         let tf = TransferFunction::grey(1.0, 1.0);
         let c = tf.classify(1.0);
         assert!(c.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zero_opacity_interval_agrees_with_pointwise_classify() {
+        // A map that is transparent over its lower half: stops 0 and 1
+        // carry no opacity, stop 2 does.
+        let tf = TransferFunction {
+            lo: 0.0,
+            hi: 1.0,
+            stops: vec![
+                [0.1, 0.2, 0.3, 0.0],
+                [0.4, 0.5, 0.6, 0.0],
+                [1.0, 1.0, 1.0, 0.8],
+            ],
+            opacity_scale: 1.0,
+        };
+        assert!(tf.zero_opacity_over(0.0, 0.49));
+        assert!(tf.zero_opacity_over(-10.0, 0.3), "below-range clamps");
+        assert!(!tf.zero_opacity_over(0.0, 0.75));
+        assert!(!tf.zero_opacity_over(0.9, 2.0), "above-range clamps");
+        assert!(!tf.zero_opacity_over(0.3, f64::NAN));
+        // Spot-check the bit-level guarantee across a claimed-zero span.
+        for i in 0..=1000 {
+            let v = 0.49 * i as f64 / 1000.0;
+            assert_eq!(tf.classify(v)[3], 0.0, "v={v}");
+        }
+    }
+
+    #[test]
+    fn zero_opacity_interval_is_conservative_near_breakpoints() {
+        let tf = TransferFunction::heat(0.0, 1.0);
+        // heat() has opacity everywhere, so nothing is skippable.
+        assert!(!tf.zero_opacity_over(0.0, 0.0));
+        assert!(!tf.zero_opacity_over(0.2, 0.2));
+        // A fully transparent map is skippable over any interval.
+        let clear = TransferFunction {
+            opacity_scale: 3.0,
+            stops: vec![[1.0, 0.0, 0.0, 0.0], [0.0, 1.0, 0.0, 0.0]],
+            ..TransferFunction::grey(0.0, 1.0)
+        };
+        assert!(clear.zero_opacity_over(-5.0, 5.0));
+    }
+
+    #[test]
+    fn lut_approximates_exact_sampling() {
+        let tf = TransferFunction::heat(0.0, 1.0);
+        let lut = TransferLut::build(&tf, 0.5, 4096);
+        for i in 0..=200 {
+            let v = -0.2 + 1.4 * i as f64 / 200.0;
+            let exact = tf.sample(v, 0.5);
+            let approx = lut.sample(v);
+            for (e, a) in exact.iter().zip(&approx) {
+                assert!((e - a).abs() < 2e-3, "v={v}: {exact:?} vs {approx:?}");
+            }
+        }
+        // Table entries themselves are hit exactly at the grid points.
+        assert_eq!(lut.sample(0.0), tf.sample(0.0, 0.5));
+        assert_eq!(lut.sample(1.0), tf.sample(1.0, 0.5));
     }
 }

@@ -6,14 +6,103 @@
 //! sites, casts all camera rays through that brick with front-to-back
 //! compositing (no communication), and the partial images meet only in
 //! the sort-last compositing stage ([`crate::compositing`]).
+//!
+//! # Empty-space skipping
+//!
+//! A sparse vascular geometry fills only a small fraction of its
+//! bounding box, so a naive marcher spends most of its samples in
+//! non-fluid (`NaN`) space. Every brick therefore carries a *macrocell
+//! grid*: per 8³-voxel cell, the min/max scalar over the cell's support
+//! (one voxel of overlap, because a trilinear sample at `q` touches
+//! voxels `floor(q)` and `floor(q)+1`). During a render, a macrocell is
+//! *skippable* when its support holds no fluid at all or when the
+//! transfer function is identically zero-opacity over its (slightly
+//! widened) value range. Rays jump analytically across skippable cells.
+//!
+//! The jump is **bit-exact**: sample positions follow the index ladder
+//! `t_k = t_start + k·step` (never an accumulated `t += step`), the
+//! jump target undershoots the cell's exit conservatively (landing
+//! early only costs a re-test, landing late is impossible by
+//! construction), and a skipped sample would have contributed exactly
+//! `±0.0` to every channel — so the accelerated image equals the naive
+//! one at the bit level. Tests assert this across random geometries.
 
 use crate::camera::{ray_box, Camera};
 use crate::field::Scalar;
 use crate::image::PartialImage;
-use crate::transfer::TransferFunction;
+use crate::transfer::{TransferFunction, TransferLut};
 use hemelb_core::FieldSnapshot;
 use hemelb_geometry::{SparseGeometry, Vec3};
-use rayon::prelude::*;
+
+/// Macrocell edge length in voxels (`1 << MACRO_SHIFT`).
+const MACRO_SHIFT: u32 = 3;
+/// Voxels per macrocell edge.
+pub const MACROCELL: usize = 1 << MACRO_SHIFT;
+
+/// Per-brick min/max acceleration grid over 8³-voxel macrocells.
+///
+/// `cells[c] = (min, max)` over the *fluid* voxels in the cell's
+/// support `[c·8, min(c·8 + 8, dims-1)]` (inclusive, one voxel of
+/// overlap into the next cell). A cell whose support holds no fluid
+/// stores `(∞, -∞)`.
+#[derive(Debug, Clone)]
+struct MacroGrid {
+    mdims: [usize; 3],
+    cells: Vec<(f32, f32)>,
+}
+
+impl MacroGrid {
+    fn build(dims: [usize; 3], values: &[f32]) -> MacroGrid {
+        let mdims = [
+            dims[0].div_ceil(MACROCELL),
+            dims[1].div_ceil(MACROCELL),
+            dims[2].div_ceil(MACROCELL),
+        ];
+        let mut cells = vec![(f32::INFINITY, f32::NEG_INFINITY); mdims[0] * mdims[1] * mdims[2]];
+        for cx in 0..mdims[0] {
+            let x_hi = ((cx + 1) * MACROCELL).min(dims[0] - 1);
+            for cy in 0..mdims[1] {
+                let y_hi = ((cy + 1) * MACROCELL).min(dims[1] - 1);
+                for cz in 0..mdims[2] {
+                    let z_hi = ((cz + 1) * MACROCELL).min(dims[2] - 1);
+                    let mut mn = f32::INFINITY;
+                    let mut mx = f32::NEG_INFINITY;
+                    for x in cx * MACROCELL..=x_hi {
+                        for y in cy * MACROCELL..=y_hi {
+                            let row = (x * dims[1] + y) * dims[2];
+                            for z in cz * MACROCELL..=z_hi {
+                                let v = values[row + z];
+                                if !v.is_nan() {
+                                    mn = mn.min(v);
+                                    mx = mx.max(v);
+                                }
+                            }
+                        }
+                    }
+                    cells[(cx * mdims[1] + cy) * mdims[2] + cz] = (mn, mx);
+                }
+            }
+        }
+        MacroGrid { mdims, cells }
+    }
+
+    /// Per-cell skippability under `tf`: no fluid at all, or zero
+    /// opacity over the cell's value range. The range is widened by a
+    /// relative 1e-9 so the f64 rounding of a renormalised trilinear
+    /// convex combination (≲1e-14 relative) can never escape it.
+    fn skippable(&self, tf: &TransferFunction) -> Vec<bool> {
+        self.cells
+            .iter()
+            .map(|&(mn, mx)| {
+                if mn > mx {
+                    return true;
+                }
+                let pad = (mn.abs().max(mx.abs()) as f64).max(f64::MIN_POSITIVE) * 1e-9;
+                tf.zero_opacity_over(mn as f64 - pad, mx as f64 + pad)
+            })
+            .collect()
+    }
+}
 
 /// A dense scalar grid over the bounding box of a set of sites.
 #[derive(Debug, Clone)]
@@ -22,27 +111,51 @@ pub struct Brick {
     dims: [usize; 3],
     /// Scalar values; `NAN` marks absent (non-owned / non-fluid) cells.
     values: Vec<f32>,
+    macro_grid: MacroGrid,
 }
 
 impl Brick {
-    /// Build from the subset `sites` of a geometry's fluid sites.
-    /// Returns `None` if `sites` is empty.
+    /// Build from the subset `sites` of a geometry's fluid sites, in a
+    /// single pass over `sites` (positions, values and bounds gathered
+    /// together; the grid allocated at its exact final size). Returns
+    /// `None` if `sites` is empty.
     pub fn from_sites(
         geo: &SparseGeometry,
         snap: &FieldSnapshot,
         which: Scalar,
         sites: &[u32],
     ) -> Option<Brick> {
-        let points: Vec<[u32; 3]> = sites.iter().map(|&s| geo.position(s)).collect();
-        let values: Vec<f64> = sites
-            .iter()
-            .map(|&s| match which {
+        if sites.is_empty() {
+            return None;
+        }
+        let mut lo = [u32::MAX; 3];
+        let mut hi = [0u32; 3];
+        let mut pts: Vec<([u32; 3], f32)> = Vec::with_capacity(sites.len());
+        for &s in sites {
+            let p = geo.position(s);
+            let v = match which {
                 Scalar::Density => snap.rho[s as usize],
                 Scalar::Speed => snap.speed(s as usize),
                 Scalar::Shear => snap.shear[s as usize],
-            })
-            .collect();
-        Self::from_points(&points, &values)
+            };
+            for a in 0..3 {
+                lo[a] = lo[a].min(p[a]);
+                hi[a] = hi[a].max(p[a]);
+            }
+            pts.push((p, v as f32));
+        }
+        let dims = [
+            (hi[0] - lo[0] + 1) as usize,
+            (hi[1] - lo[1] + 1) as usize,
+            (hi[2] - lo[2] + 1) as usize,
+        ];
+        let mut grid = vec![f32::NAN; dims[0] * dims[1] * dims[2]];
+        for (p, v) in pts {
+            let i = ((p[0] - lo[0]) as usize * dims[1] + (p[1] - lo[1]) as usize) * dims[2]
+                + (p[2] - lo[2]) as usize;
+            grid[i] = v;
+        }
+        Some(Self::from_grid(lo, dims, grid))
     }
 
     /// Build directly from lattice points and their scalar values (the
@@ -74,11 +187,17 @@ impl Brick {
                 + (p[2] - lo[2]) as usize;
             grid[i] = v as f32;
         }
-        Some(Brick {
+        Some(Self::from_grid(lo, dims, grid))
+    }
+
+    fn from_grid(lo: [u32; 3], dims: [usize; 3], values: Vec<f32>) -> Brick {
+        let macro_grid = MacroGrid::build(dims, &values);
+        Brick {
             lo,
             dims,
-            values: grid,
-        })
+            values,
+            macro_grid,
+        }
     }
 
     /// World-space bounds (cell centres occupy `[lo, lo+dims-1]`; the
@@ -98,9 +217,20 @@ impl Brick {
         )
     }
 
-    /// Memory footprint in bytes.
+    /// Memory footprint in bytes (scalar grid + macrocell grid).
     pub fn bytes(&self) -> usize {
-        self.values.len() * 4
+        self.values.len() * 4 + self.macro_grid.cells.len() * 8
+    }
+
+    /// Macrocell count of the acceleration grid.
+    pub fn macrocell_count(&self) -> usize {
+        self.macro_grid.cells.len()
+    }
+
+    /// Fraction of macrocells a render with `tf` may skip outright.
+    pub fn skippable_fraction(&self, tf: &TransferFunction) -> f64 {
+        let mask = self.macro_grid.skippable(tf);
+        mask.iter().filter(|&&b| b).count() as f64 / mask.len().max(1) as f64
     }
 
     #[inline]
@@ -127,6 +257,11 @@ impl Brick {
     }
 
     /// Fluid-renormalised trilinear sample at a world point.
+    ///
+    /// Interior samples take a fused eight-corner gather from one base
+    /// index; corners on the brick border fall back to the bounds-checked
+    /// per-corner path. Both paths accumulate corners in the same order
+    /// with the same operations, so they are bit-identical.
     pub fn sample(&self, p: Vec3) -> Option<f64> {
         let x0 = p.x.floor() as i64;
         let y0 = p.y.floor() as i64;
@@ -134,6 +269,47 @@ impl Brick {
         let fx = p.x - x0 as f64;
         let fy = p.y - y0 as f64;
         let fz = p.z - z0 as f64;
+        let bx = x0 - self.lo[0] as i64;
+        let by = y0 - self.lo[1] as i64;
+        let bz = z0 - self.lo[2] as i64;
+        let (d1, d2) = (self.dims[1], self.dims[2]);
+        if bx >= 0
+            && by >= 0
+            && bz >= 0
+            && (bx as usize) + 1 < self.dims[0]
+            && (by as usize) + 1 < d1
+            && (bz as usize) + 1 < d2
+        {
+            // Fused gather: all eight corners are in bounds, one base
+            // index, contiguous offsets.
+            let base = (bx as usize * d1 + by as usize) * d2 + bz as usize;
+            let v = &self.values;
+            let corners = [
+                v[base],
+                v[base + 1],
+                v[base + d2],
+                v[base + d2 + 1],
+                v[base + d1 * d2],
+                v[base + d1 * d2 + 1],
+                v[base + d1 * d2 + d2],
+                v[base + d1 * d2 + d2 + 1],
+            ];
+            let wx = [1.0 - fx, fx];
+            let wy = [1.0 - fy, fy];
+            let wz = [1.0 - fz, fz];
+            let mut acc = 0.0;
+            let mut wsum = 0.0;
+            for (i, &cv) in corners.iter().enumerate() {
+                let w = (wx[i >> 2] * wy[(i >> 1) & 1]) * wz[i & 1];
+                if w <= 0.0 || cv.is_nan() {
+                    continue;
+                }
+                acc += cv as f64 * w;
+                wsum += w;
+            }
+            return if wsum <= 1e-9 { None } else { Some(acc / wsum) };
+        }
+        // Border path: bounds-checked corner reads.
         let mut acc = 0.0;
         let mut wsum = 0.0;
         for dx in 0..2i64 {
@@ -158,60 +334,289 @@ impl Brick {
             Some(acc / wsum)
         }
     }
+
+    /// The macrocell containing the sample at `p`, as (flat index, per-
+    /// axis coordinates). Uses the same `floor` the sampler uses, so a
+    /// sample's touched voxels always lie in the returned cell's support
+    /// (or out of the brick entirely); out-of-grid positions clamp to
+    /// the edge cells, whose supports cover them.
+    #[inline]
+    fn macrocell_of(&self, p: Vec3) -> (usize, [i64; 3]) {
+        let md = &self.macro_grid.mdims;
+        let cx =
+            ((p.x.floor() as i64 - self.lo[0] as i64) >> MACRO_SHIFT).clamp(0, md[0] as i64 - 1);
+        let cy =
+            ((p.y.floor() as i64 - self.lo[1] as i64) >> MACRO_SHIFT).clamp(0, md[1] as i64 - 1);
+        let cz =
+            ((p.z.floor() as i64 - self.lo[2] as i64) >> MACRO_SHIFT).clamp(0, md[2] as i64 - 1);
+        (
+            (cx as usize * md[1] + cy as usize) * md[2] + cz as usize,
+            [cx, cy, cz],
+        )
+    }
+
+    /// First sample index after `k` that may lie outside macrocell
+    /// `cell` along the ray. Conservative by a positional margin: every
+    /// skipped index provably stays inside the cell (so contributes
+    /// exactly nothing), and an undershoot merely re-enters the skip
+    /// branch one sample later. Always ≥ `k + 1`.
+    #[allow(clippy::too_many_arguments)]
+    fn jump_past(
+        &self,
+        cell: [i64; 3],
+        origin: Vec3,
+        dir: Vec3,
+        t_start: f64,
+        t1: f64,
+        step: f64,
+        k: u64,
+    ) -> u64 {
+        // Margin in *position* space (cells). Plane-crossing and sample-
+        // position arithmetic err by ≲1e-11 absolute at lattice scales,
+        // so shrinking each cell face by 1e-6 makes overshoot impossible.
+        const POS_EPS: f64 = 1e-6;
+        let o = [origin.x, origin.y, origin.z];
+        let d = [dir.x, dir.y, dir.z];
+        let mut t_exit = t1;
+        for a in 0..3 {
+            let md = self.macro_grid.mdims[a] as i64;
+            let c = cell[a];
+            if d[a] > 0.0 && c + 1 < md {
+                // No face on the high side of the last cell: positions
+                // beyond it clamp back to this cell.
+                let bound = self.lo[a] as f64 + ((c + 1) << MACRO_SHIFT) as f64 - POS_EPS;
+                t_exit = t_exit.min((bound - o[a]) / d[a]);
+            } else if d[a] < 0.0 && c > 0 {
+                let bound = self.lo[a] as f64 + (c << MACRO_SHIFT) as f64 + POS_EPS;
+                t_exit = t_exit.min((bound - o[a]) / d[a]);
+            }
+        }
+        let mut kn = k + 1;
+        if t_exit > t_start && t_exit.is_finite() {
+            let est = ((t_exit - t_start) / step).ceil();
+            if est > kn as f64 && est < u64::MAX as f64 {
+                kn = est as u64;
+            }
+        }
+        // Guard the ladder directly: no skipped sample may sit at or
+        // beyond the conservative exit.
+        while kn > k + 1 && t_start + (kn - 1) as f64 * step >= t_exit {
+            kn -= 1;
+        }
+        kn
+    }
+}
+
+/// Knobs of [`render_brick_opts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderOptions {
+    /// Skip ray segments through skippable macrocells (bit-identical to
+    /// the naive march; on by default).
+    pub macrocells: bool,
+    /// Shade through a precomputed transfer-function table of this many
+    /// entries instead of exact classification. `None` (the default)
+    /// keeps exact sampling — required for the determinism tests.
+    pub lut_size: Option<usize>,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            macrocells: true,
+            lut_size: None,
+        }
+    }
+}
+
+/// Work counters of one [`render_brick_opts`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RenderStats {
+    /// Rays cast (one per pixel).
+    pub rays: u64,
+    /// Samples evaluated through the trilinear + transfer path.
+    pub samples_shaded: u64,
+    /// Samples skipped by macrocell jumps.
+    pub samples_skipped: u64,
+    /// Analytic jumps taken.
+    pub jumps: u64,
+}
+
+impl RenderStats {
+    /// Samples the naive marcher would have evaluated.
+    pub fn samples_total(&self) -> u64 {
+        self.samples_shaded + self.samples_skipped
+    }
+
+    /// Fraction of samples the macrocell grid skipped.
+    pub fn skip_fraction(&self) -> f64 {
+        let total = self.samples_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.samples_skipped as f64 / total as f64
+        }
+    }
+
+    fn absorb(&mut self, o: &RenderStats) {
+        self.rays += o.rays;
+        self.samples_shaded += o.samples_shaded;
+        self.samples_skipped += o.samples_skipped;
+        self.jumps += o.jumps;
+    }
+}
+
+/// March one ray through the brick. Sample positions follow the index
+/// ladder `t_k = t_start + k·step` so the macrocell path can jump `k`
+/// without changing any sample position the naive path would visit.
+#[allow(clippy::too_many_arguments)]
+fn march(
+    brick: &Brick,
+    tf: &TransferFunction,
+    lut: Option<&TransferLut>,
+    skippable: Option<&[bool]>,
+    origin: Vec3,
+    dir: Vec3,
+    t_start: f64,
+    t1: f64,
+    step: f64,
+    stats: &mut RenderStats,
+) -> ([f32; 4], f32) {
+    let mut rgba = [0.0f32; 4];
+    let mut depth = f32::INFINITY;
+    let mut k: u64 = 0;
+    // First sample index that may lie outside the current (non-
+    // skippable) macrocell: until then the mask need not be consulted,
+    // so the per-sample overhead of skipping is one integer compare.
+    let mut shade_until = 0u64;
+    loop {
+        let t = t_start + k as f64 * step;
+        if t >= t1 || rgba[3] >= 0.995 {
+            break;
+        }
+        let p = origin + dir * t;
+        if let Some(mask) = skippable {
+            if k >= shade_until {
+                let (ci, cell) = brick.macrocell_of(p);
+                let kn = brick.jump_past(cell, origin, dir, t_start, t1, step, k);
+                if mask[ci] {
+                    stats.jumps += 1;
+                    stats.samples_skipped += kn - k;
+                    k = kn;
+                    continue;
+                }
+                shade_until = kn;
+            }
+        }
+        stats.samples_shaded += 1;
+        if let Some(v) = brick.sample(p) {
+            let s = match lut {
+                Some(l) => l.sample(v),
+                None => tf.sample(v, step),
+            };
+            if s[3] > 0.0 && depth.is_infinite() {
+                depth = t as f32;
+            }
+            // front-to-back: out += (1 - out.a) * sample
+            let kk = 1.0 - rgba[3];
+            rgba[0] += s[0] * kk;
+            rgba[1] += s[1] * kk;
+            rgba[2] += s[2] * kk;
+            rgba[3] += s[3] * kk;
+        }
+        k += 1;
+    }
+    (rgba, depth)
 }
 
 /// Ray-cast one brick into a partial image. `step` is the march step in
 /// cells (0.5 is a good default). Embarrassingly parallel over pixels —
-/// the "ease of parallelisation: easy" cell of Table I.
+/// the "ease of parallelisation: easy" cell of Table I. Macrocell
+/// skipping is on (the result is bit-identical either way); use
+/// [`render_brick_opts`] to switch modes or read the work counters.
 pub fn render_brick(brick: &Brick, cam: &Camera, tf: &TransferFunction, step: f64) -> PartialImage {
+    render_brick_opts(brick, cam, tf, step, &RenderOptions::default()).0
+}
+
+/// [`render_brick`] with explicit options, returning the work counters.
+///
+/// Rows are split into contiguous bands, one per worker; each band
+/// writes its pixels and depths straight into the output's disjoint
+/// sub-slices (no per-row allocation, no copy-back pass).
+pub fn render_brick_opts(
+    brick: &Brick,
+    cam: &Camera,
+    tf: &TransferFunction,
+    step: f64,
+    opts: &RenderOptions,
+) -> (PartialImage, RenderStats) {
     assert!(step > 0.0);
     let (blo, bhi) = brick.bounds();
-    let width = cam.width;
+    let width = cam.width as usize;
+    let height = cam.height as usize;
     let mut out = PartialImage::new(cam.width, cam.height);
+    let skippable = if opts.macrocells {
+        Some(brick.macro_grid.skippable(tf))
+    } else {
+        None
+    };
+    let lut = opts.lut_size.map(|n| TransferLut::build(tf, step, n));
 
-    // Parallel over rows; each row is written independently.
-    type RenderedRow = (u32, Vec<([f32; 4], f32)>);
-    let rows: Vec<RenderedRow> = (0..cam.height)
-        .into_par_iter()
-        .map(|py| {
-            let mut row = Vec::with_capacity(width as usize);
-            for px in 0..width {
-                let (origin, dir) = cam.ray(px, py);
-                let mut rgba = [0.0f32; 4];
-                let mut depth = f32::INFINITY;
-                if let Some((t0, t1)) = ray_box(origin, dir, blo, bhi) {
-                    let mut t = t0.max(0.0) + step * 0.5;
-                    while t < t1 && rgba[3] < 0.995 {
-                        let p = origin + dir * t;
-                        if let Some(v) = brick.sample(p) {
-                            let s = tf.sample(v, step);
-                            if s[3] > 0.0 && depth.is_infinite() {
-                                depth = t as f32;
-                            }
-                            // front-to-back: out += (1 - out.a) * sample
-                            let k = 1.0 - rgba[3];
-                            rgba[0] += s[0] * k;
-                            rgba[1] += s[1] * k;
-                            rgba[2] += s[2] * k;
-                            rgba[3] += s[3] * k;
-                        }
-                        t += step;
+    let rows_per = height.div_ceil(rayon::current_num_threads().clamp(1, height.max(1)));
+    let n_bands = height.div_ceil(rows_per.max(1)).max(1);
+    let mut band_stats = vec![RenderStats::default(); n_bands];
+
+    rayon::scope(|s| {
+        let mut px_rest = out.image.pixels.as_mut_slice();
+        let mut dp_rest = out.depth.as_mut_slice();
+        let mut st_rest = band_stats.as_mut_slice();
+        let skippable = skippable.as_deref();
+        let lut = lut.as_ref();
+        let mut y0 = 0usize;
+        while y0 < height {
+            let rows = rows_per.min(height - y0);
+            let (px_band, px_tail) = { px_rest }.split_at_mut(rows * width);
+            let (dp_band, dp_tail) = { dp_rest }.split_at_mut(rows * width);
+            let (st_band, st_tail) = { st_rest }.split_at_mut(1);
+            px_rest = px_tail;
+            dp_rest = dp_tail;
+            st_rest = st_tail;
+            s.spawn(move |_| {
+                let st = &mut st_band[0];
+                for r in 0..rows {
+                    let py = (y0 + r) as u32;
+                    for px in 0..width {
+                        let (origin, dir) = cam.ray(px as u32, py);
+                        st.rays += 1;
+                        let (rgba, depth) = match ray_box(origin, dir, blo, bhi) {
+                            Some((t0, t1)) => march(
+                                brick,
+                                tf,
+                                lut,
+                                skippable,
+                                origin,
+                                dir,
+                                t0.max(0.0) + step * 0.5,
+                                t1,
+                                step,
+                                st,
+                            ),
+                            None => ([0.0f32; 4], f32::INFINITY),
+                        };
+                        let idx = r * width + px;
+                        px_band[idx] = rgba;
+                        dp_band[idx] = depth;
                     }
                 }
-                row.push((rgba, depth));
-            }
-            (py, row)
-        })
-        .collect();
-
-    for (py, row) in rows {
-        for (px, (rgba, depth)) in row.into_iter().enumerate() {
-            let idx = (py * width) as usize + px;
-            out.image.pixels[idx] = rgba;
-            out.depth[idx] = depth;
+            });
+            y0 += rows;
         }
+    });
+
+    let mut stats = RenderStats::default();
+    for b in &band_stats {
+        stats.absorb(b);
     }
-    out
+    (out, stats)
 }
 
 /// Serial full-domain render: the reference the distributed pipeline is
@@ -246,6 +651,20 @@ mod tests {
         (geo, snap)
     }
 
+    fn varied_snapshot(geo: &SparseGeometry) -> FieldSnapshot {
+        let n = geo.fluid_count();
+        FieldSnapshot {
+            step: 0,
+            rho: (0..n)
+                .map(|i| 1.0 + 0.05 * ((i * 37 % 101) as f64 / 101.0))
+                .collect(),
+            u: (0..n)
+                .map(|i| [0.03 + 0.02 * ((i % 13) as f64 / 13.0), 0.01, 0.0])
+                .collect(),
+            shear: vec![0.0; n],
+        }
+    }
+
     fn camera(geo: &SparseGeometry) -> Camera {
         let s = geo.shape();
         Camera::framing(
@@ -255,6 +674,53 @@ mod tests {
             96,
             72,
         )
+    }
+
+    fn partials_bit_eq(a: &PartialImage, b: &PartialImage) -> bool {
+        a.image.pixels.len() == b.image.pixels.len()
+            && a.image
+                .pixels
+                .iter()
+                .zip(&b.image.pixels)
+                .all(|(pa, pb)| (0..4).all(|c| pa[c].to_bits() == pb[c].to_bits()))
+            && a.depth
+                .iter()
+                .zip(&b.depth)
+                .all(|(da, db)| da.to_bits() == db.to_bits())
+    }
+
+    /// The pre-macrocell reference sampler (branchy per-corner reads),
+    /// kept verbatim to pin the fused gather's bit-exactness.
+    fn sample_reference(brick: &Brick, p: Vec3) -> Option<f64> {
+        let x0 = p.x.floor() as i64;
+        let y0 = p.y.floor() as i64;
+        let z0 = p.z.floor() as i64;
+        let fx = p.x - x0 as f64;
+        let fy = p.y - y0 as f64;
+        let fz = p.z - z0 as f64;
+        let mut acc = 0.0;
+        let mut wsum = 0.0;
+        for dx in 0..2i64 {
+            for dy in 0..2i64 {
+                for dz in 0..2i64 {
+                    let w = (if dx == 0 { 1.0 - fx } else { fx })
+                        * (if dy == 0 { 1.0 - fy } else { fy })
+                        * (if dz == 0 { 1.0 - fz } else { fz });
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    if let Some(v) = brick.value(x0 + dx, y0 + dy, z0 + dz) {
+                        acc += v * w;
+                        wsum += w;
+                    }
+                }
+            }
+        }
+        if wsum <= 1e-9 {
+            None
+        } else {
+            Some(acc / wsum)
+        }
     }
 
     #[test]
@@ -270,9 +736,110 @@ mod tests {
     }
 
     #[test]
+    fn fused_gather_matches_reference_sampler_bitwise() {
+        let (geo, _) = setup();
+        let snap = varied_snapshot(&geo);
+        let all: Vec<u32> = (0..geo.fluid_count() as u32).collect();
+        let brick = Brick::from_sites(&geo, &snap, Scalar::Density, &all).unwrap();
+        let (blo, bhi) = brick.bounds();
+        // A deterministic scatter of probe points covering interior,
+        // border and outside positions.
+        let mut h = 0x243F6A8885A308D3u64;
+        for _ in 0..4000 {
+            let mut unit = || {
+                h ^= h >> 12;
+                h ^= h << 25;
+                h ^= h >> 27;
+                (h.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f64 / (1u64 << 24) as f64
+            };
+            let p = Vec3::new(
+                blo.x - 1.0 + unit() * (bhi.x - blo.x + 2.0),
+                blo.y - 1.0 + unit() * (bhi.y - blo.y + 2.0),
+                blo.z - 1.0 + unit() * (bhi.z - blo.z + 2.0),
+            );
+            let fused = brick.sample(p);
+            let reference = sample_reference(&brick, p);
+            match (fused, reference) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "at {p:?}")
+                }
+                other => panic!("fused/reference disagree at {p:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn macrocell_render_is_bit_identical_to_naive() {
+        let (geo, _) = setup();
+        let snap = varied_snapshot(&geo);
+        let cam = camera(&geo);
+        let all: Vec<u32> = (0..geo.fluid_count() as u32).collect();
+        for (which, tf) in [
+            (Scalar::Density, TransferFunction::grey(0.9, 1.1)),
+            (Scalar::Speed, TransferFunction::heat(0.0, 0.06)),
+        ] {
+            let brick = Brick::from_sites(&geo, &snap, which, &all).unwrap();
+            let naive = RenderOptions {
+                macrocells: false,
+                lut_size: None,
+            };
+            let (img_naive, st_naive) = render_brick_opts(&brick, &cam, &tf, 0.5, &naive);
+            let (img_accel, st_accel) =
+                render_brick_opts(&brick, &cam, &tf, 0.5, &RenderOptions::default());
+            assert!(
+                partials_bit_eq(&img_naive, &img_accel),
+                "macrocell render must be bit-identical"
+            );
+            assert_eq!(st_naive.samples_skipped, 0);
+            assert!(
+                st_accel.samples_skipped > 0,
+                "a sparse vessel in its bounding box must skip something"
+            );
+            assert!(st_accel.samples_shaded < st_naive.samples_shaded);
+            assert_eq!(st_accel.rays, st_naive.rays);
+        }
+    }
+
+    #[test]
+    fn fully_transparent_transfer_function_skips_everything() {
+        let (geo, snap) = setup();
+        let cam = camera(&geo);
+        let all: Vec<u32> = (0..geo.fluid_count() as u32).collect();
+        let brick = Brick::from_sites(&geo, &snap, Scalar::Density, &all).unwrap();
+        let clear = TransferFunction {
+            stops: vec![[1.0, 1.0, 1.0, 0.0], [0.0, 0.0, 0.0, 0.0]],
+            ..TransferFunction::grey(0.9, 1.1)
+        };
+        assert_eq!(brick.skippable_fraction(&clear), 1.0);
+        let (img, st) = render_brick_opts(&brick, &cam, &clear, 0.5, &RenderOptions::default());
+        assert_eq!(st.samples_shaded, 0);
+        assert!(st.samples_skipped > 0);
+        assert_eq!(img.image.coverage(), 0.0);
+    }
+
+    #[test]
     fn empty_site_set_gives_no_brick() {
         let (geo, snap) = setup();
         assert!(Brick::from_sites(&geo, &snap, Scalar::Density, &[]).is_none());
+    }
+
+    #[test]
+    fn from_sites_matches_from_points() {
+        let (geo, _) = setup();
+        let snap = varied_snapshot(&geo);
+        let sites: Vec<u32> = (0..geo.fluid_count() as u32).step_by(3).collect();
+        let a = Brick::from_sites(&geo, &snap, Scalar::Density, &sites).unwrap();
+        let points: Vec<[u32; 3]> = sites.iter().map(|&s| geo.position(s)).collect();
+        let values: Vec<f64> = sites.iter().map(|&s| snap.rho[s as usize]).collect();
+        let b = Brick::from_points(&points, &values).unwrap();
+        assert_eq!(a.lo, b.lo);
+        assert_eq!(a.dims, b.dims);
+        assert!(a
+            .values
+            .iter()
+            .zip(&b.values)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 
     #[test]

@@ -99,6 +99,7 @@ impl WireWriter {
     /// Append a length-prefixed `f32` slice.
     pub fn put_f32_slice(&mut self, v: &[f32]) {
         self.put_usize(v.len());
+        self.buf.reserve(v.len() * 4);
         for &x in v {
             self.buf.put_f32_le(x);
         }
@@ -245,6 +246,20 @@ impl WireReader {
             out.push(self.buf.get_f32_le());
         }
         Ok(out)
+    }
+
+    /// Read a length-prefixed `f32` slice into `out` (cleared first),
+    /// reusing its allocation — the bulk path for pixel payloads, which
+    /// are decoded once per compositing round per frame.
+    pub fn get_f32_slice(&mut self, out: &mut Vec<f32>) -> CommResult<()> {
+        let n = self.get_checked_len(4, "f32 slice")?;
+        out.clear();
+        out.reserve(n);
+        let raw = self.buf.split_to(n * 4);
+        for ch in raw.chunks_exact(4) {
+            out.push(f32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]));
+        }
+        Ok(())
     }
 
     /// Read a length-prefixed `u64` vector.
@@ -471,6 +486,25 @@ mod tests {
         assert_eq!(r.get_u32_vec().unwrap(), vec![9, 8]);
         assert_eq!(&r.get_bytes().unwrap()[..], b"xyz");
         r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn f32_slice_bulk_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_f32_slice(&[1.5, -0.25, f32::INFINITY]);
+        w.put_f32_slice(&[]);
+        let mut r = WireReader::new(w.finish());
+        let mut out = vec![9.0f32; 8]; // pre-filled: must be cleared
+        r.get_f32_slice(&mut out).unwrap();
+        assert_eq!(out, vec![1.5, -0.25, f32::INFINITY]);
+        r.get_f32_slice(&mut out).unwrap();
+        assert!(out.is_empty());
+        r.expect_end().unwrap();
+
+        let mut w = WireWriter::new();
+        w.put_u64(4); // claims 4 f32s, provides none
+        let mut r = WireReader::new(w.finish());
+        assert!(r.get_f32_slice(&mut out).is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use hemelb_geometry::{SparseGeometry, Vec3};
 use hemelb_insitu::camera::Camera;
 use hemelb_insitu::compositing::binary_swap;
 use hemelb_insitu::transfer::TransferFunction;
-use hemelb_insitu::volume::{render_brick, Brick};
+use hemelb_insitu::volume::{render_brick_opts, Brick, RenderOptions};
 use hemelb_parallel::{Communicator, Wire};
 use hemelb_partition::graph::{Connectivity, SiteGraph};
 use hemelb_partition::visaware::{rebalance, synthetic_view_weights};
@@ -285,7 +285,15 @@ pub fn run_closed_loop(
             };
             let span = comm.with_obs(|o| o.begin());
             let partial = match Brick::from_points(&points, &values) {
-                Some(brick) => render_brick(&brick, &cam, &tf, 0.5),
+                Some(brick) => {
+                    let (partial, st) =
+                        render_brick_opts(&brick, &cam, &tf, 0.5, &RenderOptions::default());
+                    comm.with_obs(|o| {
+                        o.count("vis.render.samples_shaded", st.samples_shaded);
+                        o.count("vis.render.samples_skipped", st.samples_skipped);
+                    });
+                    partial
+                }
                 None => hemelb_insitu::image::PartialImage::new(cam.width, cam.height),
             };
             comm.with_obs(|o| span.end(o, "vis.render"));

@@ -227,6 +227,11 @@ impl BytesMut {
         self.vec.is_empty()
     }
 
+    /// Reserve capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
     /// Freeze into an immutable shared buffer.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.vec)
