@@ -1,38 +1,106 @@
 #!/usr/bin/env bash
-# CI gate for hemelb-insitu-rs.
+# CI gate for hemelb-insitu-rs, in tiers composed of stage groups:
 #
-#   ./ci.sh         # format, lint, tier-1 build+test, determinism suite
-#   ./ci.sh --soak  # additionally run the 500-step / 8-thread soak
+#   ./ci.sh --quick        # lint + tier1: format, clippy, release
+#                          #   build, root-package tests
+#   ./ci.sh                # + determinism, obs, render and
+#                          #   fault-injection suites + bench smokes
+#   ./ci.sh --soak         # + long soaks: golden --ignored and the
+#                          #   200-step two-kill fault recovery
+#   ./ci.sh --only GROUP   # one group: lint | tier1 | determinism |
+#                          #   faults | smoke | soak (what the staged
+#                          #   GitHub workflow jobs shell into)
+#
+# Each stage is timed; a per-stage summary prints on exit (also on
+# failure, so CI logs show where the time — or the break — went).
 set -euo pipefail
 cd "$(dirname "$0")"
 
-run() {
-    echo "==> $*"
+TIER="full"
+CI_GROUPS=(lint tier1 determinism faults smoke)
+case "${1:-}" in
+    --quick) TIER="quick"; CI_GROUPS=(lint tier1) ;;
+    --soak)  TIER="soak";  CI_GROUPS+=(soak) ;;
+    --only)
+        TIER="only:${2:-}"
+        case "${2:-}" in
+            lint|tier1|determinism|faults|smoke|soak) CI_GROUPS=("$2") ;;
+            *) echo "usage: ./ci.sh --only {lint|tier1|determinism|faults|smoke|soak}" >&2; exit 2 ;;
+        esac ;;
+    "") ;;
+    *) echo "usage: ./ci.sh [--quick|--soak|--only GROUP]" >&2; exit 2 ;;
+esac
+
+STAGE_NAMES=()
+STAGE_SECS=()
+summary() {
+    local status=$?
+    echo
+    echo "==> ci.sh stage timings (tier: $TIER)"
+    local i total=0
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '    %-28s %4ss\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+        total=$((total + STAGE_SECS[i]))
+    done
+    printf '    %-28s %4ss\n' "total" "$total"
+    if [[ $status -eq 0 ]]; then
+        echo "==> ci.sh: all green"
+    else
+        echo "==> ci.sh: FAILED (exit $status)" >&2
+    fi
+}
+trap summary EXIT
+
+stage() {
+    local name=$1
+    shift
+    echo "==> [$name] $*"
+    local t0=$SECONDS
     "$@"
+    STAGE_NAMES+=("$name")
+    STAGE_SECS+=($((SECONDS - t0)))
 }
 
-run cargo fmt --all -- --check
-run cargo clippy --workspace --all-targets -- -D warnings
+# Format + lint.
+group_lint() {
+    stage fmt    cargo fmt --all -- --check
+    stage clippy cargo clippy --workspace --all-targets -- -D warnings
+}
 
 # Tier-1 (ROADMAP): release build + the root-package test suite.
-run cargo build --release
-run cargo test -q
+group_tier1() {
+    stage build cargo build --release
+    stage test  cargo test -q
+}
 
-# Determinism suite: bit-exactness proptests + golden fixtures.
-run cargo test -q --test properties --test golden
+# Determinism suite (bit-exactness proptests + golden fixtures),
+# observability (phase timings end to end, lossless JSON export) and
+# the render path (macrocell marcher bit-identity, sparse compositing).
+group_determinism() {
+    stage determinism cargo test -q --test properties --test golden
+    stage obs         cargo test -q --test obs_smoke
+    stage render      cargo test -q --test render_compositing
+}
 
-# Observability: phase timings recorded end to end, JSON export lossless.
-run cargo test -q --test obs_smoke
+# Fault injection: benign-fault transparency, kill/checkpoint replay,
+# degraded frames under a dead render rank, steering reconnect.
+group_faults() {
+    stage faults cargo test -q --test fault_injection
+}
 
-# Render path: macrocell marcher bit-identity + sparse compositing.
-run cargo test -q --test render_compositing
+# Release bench smokes, exercising the reproduce binary end to end:
+# E13 (render) and E14 (faults) also write out/BENCH_*.json.
+group_smoke() {
+    stage render-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- render --size small --ranks 2
+    stage faults-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- faults --size tiny --ranks 3
+}
 
-# E13 smoke: macrocell skipping + sparse compositing report (also
-# exercises the reproduce binary end to end).
-run cargo run --release -q -p hemelb-bench --bin reproduce -- render --size small --ranks 2
+# Long soaks.
+group_soak() {
+    stage golden-soak cargo test -q --test golden -- --ignored
+    stage fault-soak  cargo test -q --test fault_injection -- --ignored
+}
 
-if [[ "${1:-}" == "--soak" ]]; then
-    run cargo test -q --test golden -- --ignored
-fi
-
-echo "==> ci.sh: all green"
+for g in "${CI_GROUPS[@]}"; do
+    "group_$g"
+done

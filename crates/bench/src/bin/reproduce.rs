@@ -1,7 +1,7 @@
 //! `reproduce` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|ablation|all]
+//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|ablation|all]
 //!           [--size tiny|small|medium] [--ranks N]
 //! ```
 //!
@@ -10,8 +10,8 @@
 
 use hemelb_bench::workloads::Size;
 use hemelb_bench::{
-    ablation, extract, fig1, fig2, fig3, fig4, multires, obs, preprocess, render, repartition,
-    scaling, table1,
+    ablation, extract, faults, fig1, fig2, fig3, fig4, multires, obs, preprocess, render,
+    repartition, scaling, table1,
 };
 
 struct Args {
@@ -49,7 +49,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|ablation|all] [--size tiny|small|medium] [--ranks N]"
+                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|ablation|all] [--size tiny|small|medium] [--ranks N]"
                 );
                 std::process::exit(0);
             }
@@ -154,6 +154,11 @@ fn main() {
             Size::Medium => (512, 384),
         };
         println!("{}", render::run(args.size, args.ranks.clamp(2, 8), w, h));
+    }
+    if run_all || args.what == "faults" {
+        ran = true;
+        println!("=== E14: fault injection (degraded frames + recovery replay) ===");
+        println!("{}", faults::run(args.size, args.ranks.clamp(3, 8), 5));
     }
     if run_all || args.what == "ablation" {
         ran = true;

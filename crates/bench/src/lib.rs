@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod extract;
+pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

@@ -77,6 +77,7 @@ pub fn run(size: Size, ranks: usize, frames: usize) -> ObsResult {
                 initial_vis_rate: u32::MAX, // frames only on request
                 steps_per_cycle: 5,
                 vis_aware_repartition: false,
+                ..Default::default()
             },
         )
         .expect("closed loop")

@@ -327,6 +327,11 @@ impl<'a> DistSolver<'a> {
         let q = self.model.q;
         let nl = self.locals.len();
 
+        // The LB step drives the fault clock: a `FaultPlan` keyed by
+        // step sees the simulation's notion of time (no-op without an
+        // active plan).
+        self.comm.set_fault_step(self.step);
+
         // Collide in place (f becomes f*).
         let span = self.comm.with_obs(|o| o.begin());
         crate::kernel::par_collide(
@@ -704,6 +709,7 @@ mod tests {
                 p,
                 SpmdOptions {
                     threads_per_rank: t,
+                    ..Default::default()
                 },
                 move |comm| {
                     let owner = even_owner(geo2.fluid_count(), comm.size());

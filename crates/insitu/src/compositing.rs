@@ -34,10 +34,16 @@ use crate::image::{Image, PartialImage};
 use bytes::Bytes;
 use hemelb_parallel::{CommError, CommResult, Communicator, Tag, WireReader, WireWriter};
 use std::ops::Range;
+use std::time::Duration;
 
 const T_DIRECT: Tag = Tag::composite(0);
 const T_SWAP: Tag = Tag::composite(1);
 const T_GATHER: Tag = Tag::composite(64);
+/// Base tag for [`DeadlineCompositor`] frames. Each frame uses
+/// `T_DEADLINE + epoch mod 2^19`, so a payload that misses its frame's
+/// deadline can never FIFO-match a later frame's receive.
+const T_DEADLINE: Tag = Tag::composite(1024);
+const EPOCH_TAGS: u64 = 1 << 19;
 
 /// Wire size of the dense (pre-RLE) encoding of a pixel range: 16 B of
 /// header plus 20 B (premultiplied RGBA + depth) per pixel.
@@ -244,6 +250,123 @@ pub fn binary_swap(comm: &Communicator, mine: PartialImage) -> CommResult<Option
     }
 }
 
+/// Result of one [`DeadlineCompositor`] frame.
+#[derive(Debug, Default)]
+pub struct CompositeOutcome {
+    /// The composited image on rank 0; `None` on workers.
+    pub image: Option<Image>,
+    /// Ranks whose partials missed the deadline this frame (rank 0
+    /// only). Empty means the frame is complete.
+    pub dropped: Vec<usize>,
+}
+
+/// Direct-send compositing with a per-source deadline: a slow or dead
+/// worker delays the frame by at most `deadline`, after which its
+/// partial is simply left out and the rank is reported in
+/// [`CompositeOutcome::dropped`] (and counted as
+/// `vis.composite.dropped`). The closed loop uses this so a faulty
+/// render rank degrades the picture instead of hanging the pipeline.
+///
+/// Every frame gets an epoch-unique tag, so a payload that arrives
+/// *after* its deadline sits harmlessly in the match buffer instead of
+/// corrupting the next frame. The master reaps such late payloads on
+/// subsequent frames (counted as `vis.composite.late`).
+///
+/// All ranks of the world must call [`composite`](Self::composite) the
+/// same number of times; the compositor is stateful (the epoch counter
+/// is the wire protocol), one instance per rank per loop.
+#[derive(Debug, Default)]
+pub struct DeadlineCompositor {
+    epoch: u64,
+    /// `(src, tag)` of payloads that missed their frame, awaiting reap.
+    late: Vec<(usize, Tag)>,
+}
+
+impl DeadlineCompositor {
+    /// A fresh compositor at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Frames composited so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Discard buffered payloads from previously dropped frames that
+    /// have since arrived, so the match buffer does not grow without
+    /// bound while a slow rank catches up.
+    fn reap_late(&mut self, comm: &Communicator) {
+        self.late.retain(|&(src, tag)| {
+            match comm.try_recv(src, tag) {
+                Ok(Some(_)) => {
+                    comm.with_obs(|o| o.count("vis.composite.late", 1));
+                    false
+                }
+                // Not arrived yet (or unreachable): keep waiting.
+                _ => true,
+            }
+        });
+        // A permanently dead rank never delivers; cap the watch list so
+        // it cannot grow one entry per frame forever.
+        if self.late.len() > 64 {
+            let excess = self.late.len() - 64;
+            self.late.drain(..excess);
+        }
+    }
+
+    /// Composite one frame with a per-source `deadline` (rank 0 blocks
+    /// at most `deadline` per missing worker). Workers always send and
+    /// never block.
+    pub fn composite(
+        &mut self,
+        comm: &Communicator,
+        mine: PartialImage,
+        deadline: Duration,
+    ) -> CommResult<CompositeOutcome> {
+        comm.note_sync();
+        let tag = Tag(T_DEADLINE.0 + (self.epoch % EPOCH_TAGS) as u32);
+        self.epoch += 1;
+        let n = mine.image.pixels.len();
+        if !comm.is_master() {
+            let payload = encode_pixel_runs(&mine, 0..n);
+            note_wire(comm, n, &payload);
+            comm.send(0, tag, payload)?;
+            return Ok(CompositeOutcome::default());
+        }
+        self.reap_late(comm);
+        let mut acc = mine;
+        let mut dropped = Vec::new();
+        // Fast pass: merge whatever already arrived without waiting.
+        let mut pending = Vec::new();
+        for src in 1..comm.size() {
+            match comm.try_recv(src, tag)? {
+                Some(payload) => {
+                    merge_pixel_runs(&mut acc, payload)?;
+                }
+                None => pending.push(src),
+            }
+        }
+        for src in pending {
+            match comm.recv_deadline(src, tag, deadline) {
+                Ok(payload) => {
+                    merge_pixel_runs(&mut acc, payload)?;
+                }
+                Err(CommError::Timeout { .. }) => {
+                    dropped.push(src);
+                    self.late.push((src, tag));
+                    comm.with_obs(|o| o.count("vis.composite.dropped", 1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(CompositeOutcome {
+            image: Some(acc.image),
+            dropped,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +569,78 @@ mod tests {
         assert_eq!(
             results[0].as_ref().unwrap().pixels,
             reference(3, 8, 9).pixels
+        );
+    }
+
+    #[test]
+    fn deadline_compositor_matches_direct_send_when_all_arrive() {
+        for p in [1usize, 3, 4] {
+            let results = run_spmd(p, move |comm| {
+                let mut dc = DeadlineCompositor::new();
+                let mut frames = Vec::new();
+                for _ in 0..3 {
+                    let mine = synthetic_partial(comm.rank(), comm.size(), 16, 20);
+                    let out = dc
+                        .composite(comm, mine, std::time::Duration::from_secs(5))
+                        .unwrap();
+                    assert!(out.dropped.is_empty());
+                    frames.push(out.image);
+                }
+                frames
+            });
+            for frame in &results[0] {
+                assert_eq!(
+                    frame.as_ref().unwrap().pixels,
+                    reference(p, 16, 20).pixels,
+                    "p={p}"
+                );
+            }
+            for worker in results.iter().skip(1) {
+                assert!(worker.iter().all(|f| f.is_none()));
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_compositor_drops_slow_rank_then_recovers() {
+        use std::time::Duration;
+        let p = 3usize;
+        let out = run_spmd_with_stats(p, move |comm| {
+            let mut dc = DeadlineCompositor::new();
+            let mk = |r| synthetic_partial(r, p, 16, 18);
+            // Frame 0: rank 2 oversleeps its deadline.
+            if comm.rank() == 2 {
+                std::thread::sleep(Duration::from_millis(300));
+            }
+            let f0 = dc
+                .composite(comm, mk(comm.rank()), Duration::from_millis(40))
+                .unwrap();
+            if comm.is_master() {
+                assert_eq!(f0.dropped, vec![2], "slow rank dropped from frame 0");
+                // Frame is degraded, not corrupt: ranks 0 and 1 only.
+                let mut partial = mk(0);
+                partial.merge(&mk(1));
+                assert_eq!(f0.image.unwrap().pixels, partial.image.pixels);
+            }
+            // Everyone (including the late payload) lands before frame 1.
+            comm.barrier().unwrap();
+            let f1 = dc
+                .composite(comm, mk(comm.rank()), Duration::from_secs(5))
+                .unwrap();
+            if comm.is_master() {
+                assert!(f1.dropped.is_empty());
+                assert_eq!(
+                    f1.image.unwrap().pixels,
+                    reference(p, 16, 18).pixels,
+                    "late frame-0 payload must not leak into frame 1"
+                );
+            }
+        });
+        let merged = out.merged_obs();
+        assert_eq!(merged.counters["vis.composite.dropped"], 1);
+        assert_eq!(
+            merged.counters["vis.composite.late"], 1,
+            "frame 1 reaps rank 2's stale frame-0 payload"
         );
     }
 

@@ -38,6 +38,7 @@ pub mod unsteady;
 pub mod volume;
 
 pub use camera::Camera;
+pub use compositing::{CompositeOutcome, DeadlineCompositor};
 pub use field::SampledField;
 pub use image::Image;
 pub use pipeline::{compare_solver_backends, BackendComparison, Pipeline, StageStats};

@@ -19,22 +19,27 @@
 //! visualisation, steering, and so on.
 
 use crate::error::{CommError, CommResult};
-use crate::stats::CommStats;
+use crate::fault::{FaultSession, RankKilled, WorldAborted};
+use crate::stats::{CommStats, FaultStat};
 use crate::tag::Tag;
 use crate::wire::{Wire, WireReader, WireWriter};
 use bytes::Bytes;
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hemelb_obs::{ObsReport, Recorder};
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// One in-flight message.
+/// One in-flight message. `seq` is a per-`(src, dst)` sequence number
+/// assigned only when a fault session is active (0 = unsequenced); it is
+/// what lets receivers drop injected duplicates exactly.
 #[derive(Debug, Clone)]
 struct Envelope {
     src: usize,
     tag: Tag,
     payload: Bytes,
+    seq: u64,
 }
 
 /// Factory for a set of connected [`Communicator`]s.
@@ -51,6 +56,16 @@ impl World {
     /// # Panics
     /// Panics if `size == 0`.
     pub fn communicators(size: usize) -> Vec<Communicator> {
+        Self::communicators_faulty(size, None)
+    }
+
+    /// Like [`World::communicators`], with an optional shared fault
+    /// session every communicator consults (the SPMD runner's entry
+    /// point for fault-injected worlds).
+    pub(crate) fn communicators_faulty(
+        size: usize,
+        fault: Option<Arc<FaultSession>>,
+    ) -> Vec<Communicator> {
         assert!(size > 0, "world size must be positive");
         let mut senders = Vec::with_capacity(size);
         let mut receivers = Vec::with_capacity(size);
@@ -80,6 +95,9 @@ impl World {
                     pending: RefCell::new(VecDeque::new()),
                     stats: RefCell::new(CommStats::new()),
                     obs: RefCell::new(Recorder::new()),
+                    fault: fault.clone(),
+                    seq_next: RefCell::new(vec![0; size]),
+                    seq_seen: RefCell::new(vec![0; size]),
                 }
             })
             .collect()
@@ -103,7 +121,22 @@ pub struct Communicator {
     /// steering loop, pipelines) record named spans here so one report
     /// per rank covers the whole stack.
     obs: RefCell<Recorder>,
+    /// Shared fault-injection session, if this world runs under a
+    /// [`FaultPlan`](crate::fault::FaultPlan). `None` costs one branch
+    /// per operation.
+    fault: Option<Arc<FaultSession>>,
+    /// `seq_next[dst]`: last sequence number assigned to a network send
+    /// towards `dst` (fault sessions only).
+    seq_next: RefCell<Vec<u64>>,
+    /// `seq_seen[src]`: highest sequence number accepted from `src`
+    /// (fault sessions only); lower or equal arrivals are duplicates.
+    seq_seen: RefCell<Vec<u64>>,
 }
+
+/// Reserved tag used to wake every rank out of blocking receives when a
+/// killed rank aborts the world attempt. Kept at the top of the
+/// collective range, far from the per-round tags real collectives use.
+const T_ABORT: Tag = Tag::collective(0x00FF_FFFF);
 
 impl Communicator {
     /// This rank's index in `0..size`.
@@ -156,9 +189,84 @@ impl Communicator {
         self.obs.borrow_mut().set_enabled(on);
     }
 
+    // ----- fault injection -----------------------------------------------
+
+    /// Advance this rank's fault clock (see
+    /// [`FaultPlan`](crate::fault::FaultPlan)); message faults arm once
+    /// the sending rank's clock reaches their step, and a `KillRank`
+    /// event whose step is reached fires here: the rank wakes all peers
+    /// with an abort message, then dies like a lost node. A no-op
+    /// without an active fault session.
+    pub fn set_fault_step(&self, step: u64) {
+        let Some(fs) = &self.fault else { return };
+        self.abort_check();
+        if fs.advance(self.rank, step) {
+            self.with_obs(|o| o.count("fault.injected.kill", 1));
+            for tx in self.senders.iter().flatten() {
+                let _ = tx.send(Envelope {
+                    src: self.rank,
+                    tag: T_ABORT,
+                    payload: Bytes::new(),
+                    seq: 0,
+                });
+            }
+            std::panic::panic_any(RankKilled {
+                rank: self.rank,
+                step,
+            });
+        }
+    }
+
+    /// Die with `WorldAborted` if a kill has aborted this world attempt.
+    #[inline]
+    fn abort_check(&self) {
+        if let Some(fs) = &self.fault {
+            if fs.aborted() {
+                std::panic::panic_any(WorldAborted);
+            }
+        }
+    }
+
+    /// Admit one envelope from the channel: aborts the attempt on an
+    /// abort marker, drops injected duplicates (`None`), passes
+    /// everything else through.
+    fn intake(&self, env: Envelope) -> Option<Envelope> {
+        if let Some(fs) = &self.fault {
+            if env.tag == T_ABORT {
+                fs.mark_aborted();
+                std::panic::panic_any(WorldAborted);
+            }
+            if env.seq != 0 {
+                let mut seen = self.seq_seen.borrow_mut();
+                if env.seq <= seen[env.src] {
+                    drop(seen);
+                    self.note_fault(FaultStat::Dedup);
+                    return None;
+                }
+                seen[env.src] = env.seq;
+            }
+        }
+        Some(env)
+    }
+
+    /// Record an injected/absorbed fault in both `CommStats` and the obs
+    /// counters.
+    fn note_fault(&self, kind: FaultStat) {
+        self.stats.borrow_mut().record_fault(kind);
+        let name = match kind {
+            FaultStat::Delay => "fault.injected.delay",
+            FaultStat::Drop => "fault.injected.drop",
+            FaultStat::Duplicate => "fault.injected.duplicate",
+            FaultStat::Dedup => "fault.deduped",
+        };
+        self.with_obs(|o| o.count(name, 1));
+    }
+
     // ----- point to point ------------------------------------------------
 
-    /// Send `payload` to `dst` under `tag`. Never blocks.
+    /// Send `payload` to `dst` under `tag`. Never blocks (except under
+    /// an injected delay fault, which models a slow link by stalling
+    /// the sender — preserving per-pair FIFO order).
     pub fn send(&self, dst: usize, tag: Tag, payload: Bytes) -> CommResult<()> {
         if dst >= self.size {
             return Err(CommError::InvalidRank {
@@ -166,24 +274,54 @@ impl Communicator {
                 size: self.size,
             });
         }
-        let env = Envelope {
+        let mut env = Envelope {
             src: self.rank,
             tag,
             payload,
+            seq: 0,
         };
         match &self.senders[dst] {
-            // Self-sends are delivered locally and do not count as
-            // network traffic.
+            // Self-sends are delivered locally, do not count as network
+            // traffic, and are never fault-injected.
             None => {
                 self.pending.borrow_mut().push_back(env);
                 Ok(())
             }
             Some(tx) => {
+                let mut duplicate = false;
+                if let Some(fs) = &self.fault {
+                    self.abort_check();
+                    let f = fs.send_faults(self.rank, tag.class());
+                    if f.delay_ms > 0 {
+                        self.note_fault(FaultStat::Delay);
+                        std::thread::sleep(Duration::from_millis(f.delay_ms));
+                    }
+                    // Sequence every network send (a dropped message
+                    // still consumes its number, so dedup stays exact).
+                    let seq = {
+                        let mut seqs = self.seq_next.borrow_mut();
+                        seqs[dst] += 1;
+                        seqs[dst]
+                    };
+                    if f.drop {
+                        self.note_fault(FaultStat::Drop);
+                        return Ok(());
+                    }
+                    env.seq = seq;
+                    duplicate = f.duplicate;
+                }
                 let len = env.payload.len();
                 let t0 = Instant::now();
+                let retransmit = duplicate.then(|| env.clone());
                 let result = tx
                     .send(env)
                     .map_err(|_| CommError::Disconnected { peer: dst });
+                if let Some(again) = retransmit {
+                    // Identical envelope, identical sequence number: the
+                    // receiver's dedup drops it silently.
+                    self.note_fault(FaultStat::Duplicate);
+                    let _ = tx.send(again);
+                }
                 let mut stats = self.stats.borrow_mut();
                 stats.record_send(tag.class(), len);
                 stats.record_send_time(tag.class(), t0.elapsed().as_secs_f64());
@@ -207,6 +345,7 @@ impl Communicator {
                 size: self.size,
             });
         }
+        self.abort_check();
         // Check already-buffered messages first (FIFO within a match).
         {
             let mut pending = self.pending.borrow_mut();
@@ -223,6 +362,9 @@ impl Communicator {
                 Ok(env) => env,
                 Err(_) => break Err(CommError::Disconnected { peer: src }),
             };
+            let Some(env) = self.intake(env) else {
+                continue;
+            };
             if env.src == src && env.tag == tag {
                 break Ok(env.payload);
             }
@@ -234,9 +376,64 @@ impl Communicator {
         result
     }
 
+    /// Like [`recv`](Self::recv), but gives up with
+    /// [`CommError::Timeout`] if no matching message arrives within
+    /// `timeout` — the degradation primitive: a caller that would
+    /// otherwise hang forever on a slow or dead peer can drop the
+    /// contribution and move on.
+    pub fn recv_deadline(&self, src: usize, tag: Tag, timeout: Duration) -> CommResult<Bytes> {
+        if src >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: src,
+                size: self.size,
+            });
+        }
+        self.abort_check();
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|e| e.src == src && e.tag == tag) {
+                return Ok(pending.remove(pos).expect("position valid").payload);
+            }
+        }
+        let t0 = Instant::now();
+        let deadline = t0 + timeout;
+        let timed_out = || CommError::Timeout {
+            peer: src,
+            waited_ms: timeout.as_millis() as u64,
+        };
+        let result = loop {
+            let Some(remaining) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                break Err(timed_out());
+            };
+            match self.inbox.recv_timeout(remaining) {
+                Ok(env) => {
+                    let Some(env) = self.intake(env) else {
+                        continue;
+                    };
+                    if env.src == src && env.tag == tag {
+                        break Ok(env.payload);
+                    }
+                    self.pending.borrow_mut().push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => break Err(timed_out()),
+                Err(RecvTimeoutError::Disconnected) => {
+                    break Err(CommError::Disconnected { peer: src })
+                }
+            }
+        };
+        self.stats
+            .borrow_mut()
+            .record_recv_wait(tag.class(), t0.elapsed().as_secs_f64());
+        result
+    }
+
     /// Blocking receive of the next message under `tag` from *any* source.
     /// Returns `(source, payload)`.
     pub fn recv_any(&self, tag: Tag) -> CommResult<(usize, Bytes)> {
+        self.abort_check();
         {
             let mut pending = self.pending.borrow_mut();
             if let Some(pos) = pending.iter().position(|e| e.tag == tag) {
@@ -249,6 +446,9 @@ impl Communicator {
             let env = match self.inbox.recv() {
                 Ok(env) => env,
                 Err(_) => break Err(CommError::Disconnected { peer: usize::MAX }),
+            };
+            let Some(env) = self.intake(env) else {
+                continue;
             };
             if env.tag == tag {
                 break Ok((env.src, env.payload));
@@ -296,9 +496,11 @@ impl Communicator {
 
     /// Move everything waiting in the channel into the local buffer.
     fn drain_inbox(&self) {
-        let mut pending = self.pending.borrow_mut();
         while let Ok(env) = self.inbox.try_recv() {
-            pending.push_back(env);
+            let Some(env) = self.intake(env) else {
+                continue;
+            };
+            self.pending.borrow_mut().push_back(env);
         }
     }
 
@@ -339,6 +541,10 @@ const T_GATHER: Tag = Tag::collective(2);
 const T_REDUCE: Tag = Tag::collective(3);
 const T_SCAN: Tag = Tag::collective(4);
 const T_ALLTOALL: Tag = Tag::collective(5);
+/// Round tags for the deadline barrier, kept disjoint from the plain
+/// barrier's rounds so the two variants can never match each other's
+/// messages.
+const T_BARRIER_DL: Tag = Tag::collective(32);
 
 impl Communicator {
     /// Dissemination barrier: ⌈log₂ P⌉ rounds, each rank sends one empty
@@ -357,6 +563,41 @@ impl Communicator {
             let tag = Tag(T_BARRIER.0 + round);
             self.send(dst, tag, Bytes::new())?;
             self.recv(src, tag)?;
+            dist *= 2;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Dissemination barrier with an overall deadline: returns
+    /// [`CommError::Timeout`] if any round's partner message fails to
+    /// arrive before `timeout` elapses (measured across the whole
+    /// barrier). All ranks must call it together, like
+    /// [`barrier`](Self::barrier).
+    ///
+    /// A timed-out deadline barrier is *torn*: some peers may have
+    /// completed it, others not, and round messages may still be in
+    /// flight. Callers must treat a timeout as "this world is degraded"
+    /// and either abandon the synchronisation structure or restart, not
+    /// simply retry.
+    pub fn barrier_deadline(&self, timeout: Duration) -> CommResult<()> {
+        self.note_sync();
+        let p = self.size;
+        if p == 1 {
+            return Ok(());
+        }
+        let deadline = Instant::now() + timeout;
+        let mut round = 0u32;
+        let mut dist = 1usize;
+        while dist < p {
+            let dst = (self.rank + dist) % p;
+            let src = (self.rank + p - dist % p) % p;
+            let tag = Tag(T_BARRIER_DL.0 + round);
+            self.send(dst, tag, Bytes::new())?;
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .unwrap_or(Duration::ZERO);
+            self.recv_deadline(src, tag, remaining)?;
             dist *= 2;
             round += 1;
         }
@@ -838,6 +1079,68 @@ mod tests {
                 comm.send_wire(1, Tag::user(5), &9u64).unwrap();
             }
         });
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        use std::time::Duration;
+        run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                // Nothing has been sent yet: the deadline must expire.
+                let err = comm
+                    .recv_deadline(1, Tag::user(0), Duration::from_millis(30))
+                    .unwrap_err();
+                assert!(matches!(err, CommError::Timeout { peer: 1, .. }), "{err}");
+                comm.send(1, Tag::user(1), Bytes::new()).unwrap(); // release
+                let got = comm
+                    .recv_deadline(1, Tag::user(0), Duration::from_secs(10))
+                    .unwrap();
+                assert_eq!(u64::from_bytes(got).unwrap(), 5);
+            } else {
+                comm.recv(0, Tag::user(1)).unwrap(); // wait out the timeout
+                comm.send_wire(0, Tag::user(0), &5u64).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn recv_deadline_finds_buffered_messages() {
+        use std::time::Duration;
+        run_spmd(1, |comm| {
+            comm.send_wire(0, Tag::user(3), &9u64).unwrap();
+            // Already buffered: succeeds even with a zero deadline.
+            let got = comm.recv_deadline(0, Tag::user(3), Duration::ZERO).unwrap();
+            assert_eq!(u64::from_bytes(got).unwrap(), 9);
+        });
+    }
+
+    #[test]
+    fn barrier_deadline_passes_and_expires() {
+        use std::time::Duration;
+        for p in 1..=5 {
+            run_spmd(p, |comm| {
+                for _ in 0..3 {
+                    comm.barrier_deadline(Duration::from_secs(10)).unwrap();
+                }
+            });
+        }
+        // One rank never shows up (never calls the barrier): the others
+        // time out instead of hanging. The defector stays alive until
+        // both survivors report, so they observe a clean timeout rather
+        // than a racy channel disconnect.
+        let results = run_spmd(3, |comm| {
+            if comm.rank() == 2 {
+                comm.recv(0, Tag::user(9)).unwrap();
+                comm.recv(1, Tag::user(9)).unwrap();
+                Ok(())
+            } else {
+                let r = comm.barrier_deadline(Duration::from_millis(40));
+                comm.send(2, Tag::user(9), Bytes::new()).unwrap();
+                r
+            }
+        });
+        assert!(matches!(results[0], Err(CommError::Timeout { .. })));
+        assert!(matches!(results[1], Err(CommError::Timeout { .. })));
     }
 
     #[test]

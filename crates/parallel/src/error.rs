@@ -29,6 +29,17 @@ pub enum CommError {
         /// Human-readable description of the inconsistency.
         reason: String,
     },
+    /// A deadline-bounded operation (`recv_deadline`,
+    /// `barrier_deadline`) expired before the expected message arrived —
+    /// the peer is slow or gone. The graceful-degradation paths (e.g.
+    /// deadline compositing) treat this as "drop the contributor", not
+    /// as a fatal error.
+    Timeout {
+        /// The peer waited on.
+        peer: usize,
+        /// Milliseconds waited before giving up.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -43,6 +54,12 @@ impl fmt::Display for CommError {
             CommError::Decode { reason } => write!(f, "payload decode error: {reason}"),
             CommError::CollectiveMismatch { reason } => {
                 write!(f, "inconsistent collective arguments: {reason}")
+            }
+            CommError::Timeout { peer, waited_ms } => {
+                write!(
+                    f,
+                    "deadline expired after {waited_ms} ms waiting on rank {peer}"
+                )
             }
         }
     }

@@ -44,6 +44,7 @@
 pub mod comm;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod runner;
 pub mod stats;
 pub mod tag;
@@ -52,7 +53,8 @@ pub mod wire;
 pub use comm::{Communicator, World};
 pub use cost::{CostModel, MachineModel, ProjectedCost};
 pub use error::{CommError, CommResult};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, RankKilled, WorldAborted};
 pub use runner::{run_spmd, run_spmd_opts, run_spmd_with_stats, SpmdOptions, SpmdOutput};
-pub use stats::{CommStats, StatsSummary, TagClass};
+pub use stats::{CommStats, FaultStat, StatsSummary, TagClass};
 pub use tag::Tag;
 pub use wire::{Wire, WireReader, WireWriter};

@@ -1,8 +1,11 @@
 //! SPMD execution: run the same closure on `P` rank-threads.
 
 use crate::comm::{Communicator, World};
+use crate::fault::{install_quiet_panic_hook, FaultPlan, FaultSession};
 use crate::stats::{CommStats, StatsSummary};
 use hemelb_obs::ObsReport;
+use std::collections::HashSet;
+use std::sync::Arc;
 use std::thread;
 
 /// The result of an SPMD run: per-rank return values plus the per-rank
@@ -51,16 +54,37 @@ where
 /// split each rank's site loop across that many workers. Results are
 /// bit-identical at any setting (pull streaming + disjoint chunk
 /// writes), so the knob trades nothing but scheduling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpmdOptions {
     /// Rayon worker threads installed for each rank closure (≥ 1).
     pub threads_per_rank: usize,
+    /// Deterministic fault schedule applied to every communicator in
+    /// the world; `None` (the default) costs one branch per operation.
+    ///
+    /// Plans containing `KillRank` events engage the restart machinery:
+    /// when the victim dies, the whole attempt is aborted (peers are
+    /// woken out of blocking receives), the world is re-run with that
+    /// kill consumed, and the closures recover by restoring from their
+    /// latest checkpoint — the MPI-style consistent-cut recovery the
+    /// fault-injection suite asserts bit-exact.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for SpmdOptions {
     fn default() -> Self {
         SpmdOptions {
             threads_per_rank: 1,
+            fault_plan: None,
+        }
+    }
+}
+
+impl SpmdOptions {
+    /// Options running `plan` on single-threaded ranks.
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        SpmdOptions {
+            fault_plan: Some(Arc::new(plan)),
+            ..Default::default()
         }
     }
 }
@@ -77,15 +101,84 @@ where
 
 /// Run `f` on `size` ranks with explicit [`SpmdOptions`]; each rank
 /// closure executes inside a rayon pool of `threads_per_rank` workers.
+///
+/// With a [`FaultPlan`](crate::fault::FaultPlan) containing `KillRank`
+/// events, a fired kill aborts the whole attempt and the world is
+/// restarted with that kill consumed (at most one restart per kill
+/// event). The closure `f` re-runs from scratch on every rank; closures
+/// that checkpoint can restore and replay, which is how the recovery
+/// path reaches a bit-exact post-fault state.
 pub fn run_spmd_opts<T, F>(size: usize, opts: SpmdOptions, f: F) -> SpmdOutput<T>
 where
     T: Send,
     F: Fn(&Communicator) -> T + Send + Sync,
 {
     let threads = opts.threads_per_rank.max(1);
-    let comms = World::communicators(size);
-    let f = &f;
+    let Some(plan) = opts.fault_plan else {
+        return run_world(size, threads, None, &f).unwrap_or_else(|_| {
+            unreachable!("attempts abort only under kill faults");
+        });
+    };
+    if plan.has_kills() {
+        // Injected deaths are scheduled, not bugs: keep their panics
+        // off stderr.
+        install_quiet_panic_hook();
+    }
+    let max_restarts = plan.kill_count();
+    let mut consumed: HashSet<usize> = HashSet::new();
+    let mut restarts = 0usize;
+    loop {
+        let session = Arc::new(FaultSession::new((*plan).clone(), size, consumed.clone()));
+        match run_world(size, threads, Some(Arc::clone(&session)), &f) {
+            Ok(mut out) => {
+                if restarts > 0 {
+                    // The killed attempts' per-rank reports died with
+                    // them; surface the recovery on the master report so
+                    // `merged_obs` still tells the story.
+                    *out.obs[0]
+                        .counters
+                        .entry("fault.restarts".to_string())
+                        .or_insert(0) += restarts as u64;
+                    *out.obs[0]
+                        .counters
+                        .entry("fault.injected.kill".to_string())
+                        .or_insert(0) += restarts as u64;
+                }
+                return out;
+            }
+            Err(()) => {
+                let (idx, _rank, _step) = session
+                    .kill_record()
+                    .expect("aborted attempts always record their kill");
+                consumed.insert(idx);
+                restarts += 1;
+                assert!(
+                    restarts <= max_restarts,
+                    "fault restart limit exceeded: {restarts} restarts for \
+                     {max_restarts} kill events"
+                );
+            }
+        }
+    }
+}
+
+/// One attempt at running the world. Returns `Err(())` when a kill
+/// fault aborted the attempt (all panics are then collateral and the
+/// partial results are discarded); genuine panics propagate with the
+/// rank attributed, as ever.
+fn run_world<T, F>(
+    size: usize,
+    threads: usize,
+    session: Option<Arc<FaultSession>>,
+    f: &F,
+) -> Result<SpmdOutput<T>, ()>
+where
+    T: Send,
+    F: Fn(&Communicator) -> T + Send + Sync,
+{
+    let comms = World::communicators_faulty(size, session.clone());
     let mut triples: Vec<(T, CommStats, ObsReport)> = Vec::with_capacity(size);
+    let mut first_panic: Option<(usize, String)> = None;
     thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
@@ -106,16 +199,25 @@ where
             match handle.join() {
                 Ok(triple) => triples.push(triple),
                 Err(payload) => {
-                    let msg = payload
-                        .downcast_ref::<String>()
-                        .map(String::as_str)
-                        .or_else(|| payload.downcast_ref::<&str>().copied())
-                        .unwrap_or("<non-string panic payload>");
-                    panic!("rank {rank} panicked: {msg}");
+                    if first_panic.is_none() {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic payload>")
+                            .to_string();
+                        first_panic = Some((rank, msg));
+                    }
                 }
             }
         }
     });
+    if session.is_some_and(|s| s.kill_record().is_some()) {
+        return Err(());
+    }
+    if let Some((rank, msg)) = first_panic {
+        panic!("rank {rank} panicked: {msg}");
+    }
     let mut results = Vec::with_capacity(size);
     let mut stats = Vec::with_capacity(size);
     let mut obs = Vec::with_capacity(size);
@@ -125,12 +227,12 @@ where
         obs.push(o);
     }
     let summary = StatsSummary::from_ranks(&stats);
-    SpmdOutput {
+    Ok(SpmdOutput {
         results,
         stats,
         summary,
         obs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -151,6 +253,7 @@ mod tests {
             2,
             SpmdOptions {
                 threads_per_rank: 3,
+                ..Default::default()
             },
             |_| rayon::current_num_threads(),
         );
@@ -241,6 +344,57 @@ mod tests {
                 // rank 0 exits immediately
             }
         });
+    }
+
+    #[test]
+    fn killed_rank_restarts_the_world_once() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+        use crate::stats::TagClass;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let attempts = AtomicUsize::new(0);
+        let plan = FaultPlan::new(vec![FaultEvent {
+            rank: 1,
+            class: TagClass::User,
+            step: 3,
+            kind: FaultKind::KillRank,
+        }]);
+        let out = run_spmd_opts(3, SpmdOptions::with_faults(plan), |comm| {
+            if comm.rank() == 0 {
+                attempts.fetch_add(1, Ordering::SeqCst);
+            }
+            let mut acc = 0u64;
+            for step in 0..6u64 {
+                comm.set_fault_step(step);
+                acc = comm
+                    .all_reduce_u64(step + comm.rank() as u64, |a, b| a + b)
+                    .unwrap();
+            }
+            acc
+        });
+        // The kill at step 3 aborted attempt 1; attempt 2 (kill
+        // consumed) ran to completion with identical results.
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+        let expect = 5 + (5 + 1) + (5 + 2);
+        assert_eq!(out.results, vec![expect, expect, expect]);
+        assert_eq!(out.merged_obs().counters["fault.restarts"], 1);
+        assert_eq!(out.merged_obs().counters["fault.injected.kill"], 1);
+    }
+
+    #[test]
+    fn benign_fault_plans_leave_results_unchanged() {
+        use crate::fault::FaultPlan;
+
+        let clean = run_spmd(3, |comm| {
+            comm.all_reduce_u64(comm.rank() as u64 + 1, |a, b| a + b)
+                .unwrap()
+        });
+        let plan = FaultPlan::seeded_benign(7, 3, 6, 0, 2);
+        let out = run_spmd_opts(3, SpmdOptions::with_faults(plan), |comm| {
+            comm.all_reduce_u64(comm.rank() as u64 + 1, |a, b| a + b)
+                .unwrap()
+        });
+        assert_eq!(out.results, clean);
     }
 
     #[test]

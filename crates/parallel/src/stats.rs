@@ -74,6 +74,52 @@ impl TagClass {
     }
 }
 
+/// Injected-fault event kinds recorded in [`CommStats`] by the
+/// fault-injection layer (`hemelb_parallel::fault`). `Dedup` counts
+/// receiver-side drops of duplicated messages — the proof that a
+/// duplicate was both injected and absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultStat {
+    /// A send was delayed.
+    Delay,
+    /// A send was swallowed.
+    Drop,
+    /// A send was delivered twice.
+    Duplicate,
+    /// A duplicated message was dropped by receiver-side dedup.
+    Dedup,
+}
+
+impl FaultStat {
+    /// All kinds, in reporting order.
+    pub const ALL: [FaultStat; 4] = [
+        FaultStat::Delay,
+        FaultStat::Drop,
+        FaultStat::Duplicate,
+        FaultStat::Dedup,
+    ];
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            FaultStat::Delay => 0,
+            FaultStat::Drop => 1,
+            FaultStat::Duplicate => 2,
+            FaultStat::Dedup => 3,
+        }
+    }
+
+    /// Short label used in counters and report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultStat::Delay => "delay",
+            FaultStat::Drop => "drop",
+            FaultStat::Duplicate => "duplicate",
+            FaultStat::Dedup => "dedup",
+        }
+    }
+}
+
 /// Per-rank communication counters.
 ///
 /// Counters are cumulative over the life of a rank; callers that need
@@ -91,6 +137,7 @@ pub struct CommStats {
     bytes: [u64; 8],
     recv_wait: [f64; 8],
     send_time: [f64; 8],
+    faults: [u64; 4],
     /// Number of blocking collective entries (synchronisation points).
     pub sync_points: u64,
 }
@@ -125,6 +172,23 @@ impl CommStats {
     #[inline]
     pub fn record_send_time(&mut self, class: TagClass, secs: f64) {
         self.send_time[class.index()] += secs;
+    }
+
+    /// Record one injected (or absorbed) fault event of `kind`.
+    #[inline]
+    pub fn record_fault(&mut self, kind: FaultStat) {
+        self.faults[kind.index()] += 1;
+    }
+
+    /// Injected/absorbed fault events of `kind`.
+    #[inline]
+    pub fn faults(&self, kind: FaultStat) -> u64 {
+        self.faults[kind.index()]
+    }
+
+    /// Total fault events across all kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.faults.iter().sum()
     }
 
     /// Messages sent in `class`.
@@ -185,6 +249,11 @@ impl CommStats {
             out.recv_wait[i] = (self.recv_wait[i] - earlier.recv_wait[i]).max(0.0);
             out.send_time[i] = (self.send_time[i] - earlier.send_time[i]).max(0.0);
         }
+        for i in 0..4 {
+            out.faults[i] = self.faults[i]
+                .checked_sub(earlier.faults[i])
+                .expect("stats snapshots out of order");
+        }
         out.sync_points = self
             .sync_points
             .checked_sub(earlier.sync_points)
@@ -200,6 +269,9 @@ impl CommStats {
             out.bytes[i] += other.bytes[i];
             out.recv_wait[i] += other.recv_wait[i];
             out.send_time[i] += other.send_time[i];
+        }
+        for i in 0..4 {
+            out.faults[i] += other.faults[i];
         }
         out.sync_points += other.sync_points;
         out
@@ -378,6 +450,27 @@ mod tests {
         let wait = sum.wait_by_class();
         assert_eq!(wait, vec![("halo", 0.2)]);
         assert!(format!("{sum}").contains("recv-wait"));
+    }
+
+    #[test]
+    fn fault_counters_record_delta_and_merge() {
+        let mut s = CommStats::new();
+        s.record_fault(FaultStat::Delay);
+        s.record_fault(FaultStat::Delay);
+        s.record_fault(FaultStat::Duplicate);
+        assert_eq!(s.faults(FaultStat::Delay), 2);
+        assert_eq!(s.faults(FaultStat::Drop), 0);
+        assert_eq!(s.total_faults(), 3);
+
+        let snap = s.clone();
+        s.record_fault(FaultStat::Dedup);
+        let d = s.delta_since(&snap);
+        assert_eq!(d.faults(FaultStat::Dedup), 1);
+        assert_eq!(d.faults(FaultStat::Delay), 0);
+
+        let merged = s.merged_with(&snap);
+        assert_eq!(merged.faults(FaultStat::Delay), 4);
+        assert_eq!(merged.total_faults(), 7);
     }
 
     #[test]

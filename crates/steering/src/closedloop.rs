@@ -18,19 +18,20 @@
 
 use crate::error::{SteeringError, SteeringResult};
 use crate::protocol::{FieldChoice, ImageFrame, StatusReport, SteeringCommand};
-use crate::server::{SteeringServer, SteeringState};
-use crate::transport::Transport;
+use crate::server::{ClientLossPolicy, SteeringServer, SteeringState};
+use crate::transport::{Acceptor, Transport};
 use hemelb_core::boundary::IoletBc;
 use hemelb_core::{DistSolver, SolverConfig};
 use hemelb_geometry::{SparseGeometry, Vec3};
 use hemelb_insitu::camera::Camera;
-use hemelb_insitu::compositing::binary_swap;
+use hemelb_insitu::compositing::{binary_swap, DeadlineCompositor};
 use hemelb_insitu::transfer::TransferFunction;
 use hemelb_insitu::volume::{render_brick_opts, Brick, RenderOptions};
-use hemelb_parallel::{Communicator, Wire};
+use hemelb_parallel::{Communicator, Wire, WireReader, WireWriter};
 use hemelb_partition::graph::{Connectivity, SiteGraph};
 use hemelb_partition::visaware::{rebalance, synthetic_view_weights};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Closed-loop run parameters.
 #[derive(Debug, Clone)]
@@ -48,6 +49,15 @@ pub struct ClosedLoopConfig {
     /// and "the opportunity to adjust the partitioning mid-term is
     /// introduced").
     pub vis_aware_repartition: bool,
+    /// If set, compositing waits at most this long per missing rank
+    /// before shipping the frame without its contribution (reported as
+    /// a degraded frame in [`StatusReport::problems`]). `None` keeps
+    /// the fully synchronous binary-swap path.
+    pub frame_deadline: Option<Duration>,
+    /// What the master does when the steering client vanishes:
+    /// terminate (default, the historical behaviour) or keep simulating
+    /// headless until a new client attaches through the acceptor.
+    pub on_client_loss: ClientLossPolicy,
 }
 
 impl Default for ClosedLoopConfig {
@@ -58,6 +68,8 @@ impl Default for ClosedLoopConfig {
             initial_vis_rate: 50,
             steps_per_cycle: 10,
             vis_aware_repartition: false,
+            frame_deadline: None,
+            on_client_loss: ClientLossPolicy::Terminate,
         }
     }
 }
@@ -79,6 +91,9 @@ pub struct ClosedLoopOutcome {
     pub repartitions: u64,
     /// Sites this rank shipped away across all repartitions.
     pub sites_migrated: u64,
+    /// Frames shipped with at least one rank's contribution missing
+    /// because it blew the compositing deadline (master rank only).
+    pub frames_degraded: u64,
 }
 
 /// Run the closed loop collectively. Rank 0 must pass the server-side
@@ -97,16 +112,48 @@ pub fn run_closed_loop(
     transport: Option<Box<dyn Transport>>,
     cfg: &ClosedLoopConfig,
 ) -> SteeringResult<ClosedLoopOutcome> {
-    if comm.is_master() != transport.is_some() {
+    run_closed_loop_opts(geo, owner, solver_cfg, comm, transport, None, cfg)
+}
+
+/// [`run_closed_loop`] with an optional [`Acceptor`] on the master, so
+/// the simulation can start (or continue) headless and let a steering
+/// client attach mid-run — the graceful-degradation wiring of the fault
+/// model. The master may then pass `transport: None`.
+pub fn run_closed_loop_opts(
+    geo: Arc<SparseGeometry>,
+    owner: Vec<usize>,
+    solver_cfg: SolverConfig,
+    comm: &Communicator,
+    transport: Option<Box<dyn Transport>>,
+    acceptor: Option<Box<dyn Acceptor>>,
+    cfg: &ClosedLoopConfig,
+) -> SteeringResult<ClosedLoopOutcome> {
+    if comm.is_master() {
+        if transport.is_none() && acceptor.is_none() {
+            return Err(SteeringError::Config(format!(
+                "the master rank carries the steering transport or an acceptor \
+                 (rank {} of {}, neither present)",
+                comm.rank(),
+                comm.size()
+            )));
+        }
+    } else if transport.is_some() || acceptor.is_some() {
         return Err(SteeringError::Config(format!(
-            "exactly the master rank carries the steering transport \
-             (rank {} of {}, transport: {})",
+            "only the master rank carries steering endpoints \
+             (rank {} of {} has one)",
             comm.rank(),
-            comm.size(),
-            transport.is_some()
+            comm.size()
         )));
     }
-    let server = transport.map(SteeringServer::new);
+    let server = if comm.is_master() {
+        Some(SteeringServer::with_policy(
+            transport,
+            acceptor,
+            cfg.on_client_loss,
+        ))
+    } else {
+        None
+    };
     let mut state = SteeringState::new(geo.shape());
     state.vis_rate = cfg.initial_vis_rate.max(1);
 
@@ -125,25 +172,37 @@ pub fn run_closed_loop(
         steering_bytes: 0,
         repartitions: 0,
         sites_migrated: 0,
+        frames_degraded: 0,
     };
     let mut last_frame_step = 0u64;
     let mut prev_speed: Option<Vec<f64>> = None;
+    let mut compositor = cfg.frame_deadline.map(|_| DeadlineCompositor::new());
 
     loop {
         // Step 3–4 of the paper's loop: client → master → all ranks.
-        let commands: Vec<SteeringCommand> = if let Some(server) = &server {
+        // The cycle broadcast carries the attachment flag alongside the
+        // commands, so every rank agrees on whether periodic frames are
+        // worth rendering (a headless run has nobody to show them to).
+        let (commands, attached): (Vec<SteeringCommand>, bool) = if let Some(server) = &server {
             let span = comm.with_obs(|o| o.begin());
             let cmds = server.poll_commands();
             comm.with_obs(|o| span.end(o, "steer.poll"));
+            let attached = server.is_attached();
             let span = comm.with_obs(|o| o.begin());
-            comm.broadcast(0, Some(cmds.to_bytes()))?;
+            let mut w = WireWriter::new();
+            w.put_bool(attached);
+            w.put_bytes(&cmds.to_bytes());
+            comm.broadcast(0, Some(w.finish()))?;
             comm.with_obs(|o| span.end(o, "steer.broadcast"));
-            cmds
+            (cmds, attached)
         } else {
             let span = comm.with_obs(|o| o.begin());
             let payload = comm.broadcast(0, None)?;
             comm.with_obs(|o| span.end(o, "steer.broadcast"));
-            Vec::<SteeringCommand>::from_bytes(payload)?
+            let mut r = WireReader::new(payload);
+            let attached = r.get_bool()?;
+            let cmds = Vec::<SteeringCommand>::from_bytes(r.get_bytes()?)?;
+            (cmds, attached)
         };
         let mut camera_changed = false;
         for cmd in &commands {
@@ -242,9 +301,14 @@ pub fn run_closed_loop(
             }
         }
 
-        // Steps 5–6: render and return the image when due.
+        // Steps 5–6: render and return the image when due. Periodic
+        // frames only matter while a client is watching; explicit
+        // requests are honoured regardless (they were queued before the
+        // client vanished).
         let due = state.frame_requested
-            || (!state.paused && outcome.steps_done >= last_frame_step + state.vis_rate as u64);
+            || (attached
+                && !state.paused
+                && outcome.steps_done >= last_frame_step + state.vis_rate as u64);
         if due {
             state.frame_requested = false;
             last_frame_step = outcome.steps_done;
@@ -298,8 +362,17 @@ pub fn run_closed_loop(
             };
             comm.with_obs(|o| span.end(o, "vis.render"));
             let span = comm.with_obs(|o| o.begin());
-            let composited = binary_swap(comm, partial)?;
+            let (composited, dropped_ranks) = match (&mut compositor, cfg.frame_deadline) {
+                (Some(dc), Some(deadline)) => {
+                    let out = dc.composite(comm, partial, deadline)?;
+                    (out.image, out.dropped)
+                }
+                _ => (binary_swap(comm, partial)?, Vec::new()),
+            };
             comm.with_obs(|o| span.end(o, "vis.composite"));
+            if !dropped_ranks.is_empty() {
+                outcome.frames_degraded += 1;
+            }
 
             // Status: global consistency monitors.
             let mass = solver.mass()?;
@@ -329,6 +402,12 @@ pub fn run_closed_loop(
                 let span = comm.with_obs(|o| o.begin());
                 let mut problems = solver.local_snapshot().validity_report();
                 problems.extend(rejections);
+                if !dropped_ranks.is_empty() {
+                    problems.push(format!(
+                        "degraded frame: compositing deadline dropped ranks {dropped_ranks:?}"
+                    ));
+                }
+                problems.extend(server.take_events());
                 server.send_status(StatusReport {
                     step: outcome.steps_done,
                     mass,
@@ -404,6 +483,7 @@ mod tests {
                     initial_vis_rate: 20,
                     steps_per_cycle: 10,
                     vis_aware_repartition: false,
+                    ..Default::default()
                 },
             )
             .unwrap()
@@ -470,6 +550,7 @@ mod tests {
                     initial_vis_rate: u32::MAX,
                     steps_per_cycle: 10,
                     vis_aware_repartition: false,
+                    ..Default::default()
                 },
             )
             .unwrap()
@@ -544,6 +625,7 @@ mod tests {
                     initial_vis_rate: u32::MAX,
                     steps_per_cycle: 10,
                     vis_aware_repartition: true,
+                    ..Default::default()
                 },
             )
             .unwrap()
@@ -623,6 +705,7 @@ mod tests {
                     initial_vis_rate: u32::MAX,
                     steps_per_cycle: 5,
                     vis_aware_repartition: false,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -654,6 +737,63 @@ mod tests {
     }
 
     #[test]
+    fn client_loss_goes_headless_and_a_new_client_reattaches() {
+        use crate::server::ClientLossPolicy;
+        use crate::transport::duplex_listener;
+        let geo = demo_geo();
+        let geo2 = geo.clone();
+        let (connector, acceptor) = duplex_listener();
+        let acceptor_slot = Arc::new(Mutex::new(Some(
+            Box::new(acceptor) as Box<dyn crate::transport::Acceptor>
+        )));
+
+        let client_thread = std::thread::spawn(move || {
+            // First client: steer a little, then vanish without a
+            // Terminate — under the headless policy the run survives.
+            let c1 = SteeringClient::new(Box::new(connector.connect().unwrap()));
+            let (img, _) = c1.request_frame().unwrap();
+            assert!(img.step >= 1);
+            drop(c1);
+            // Second client attaches to the same run, later in time.
+            let c2 = SteeringClient::new(Box::new(connector.connect().unwrap()));
+            let (img2, _) = c2.request_frame().unwrap();
+            assert!(img2.step > img.step, "the run kept going headless");
+            c2.send(&SteeringCommand::Terminate).unwrap();
+            while c2.recv().is_ok() {}
+        });
+
+        let results = run_spmd(2, move |comm| {
+            let acceptor = if comm.is_master() {
+                acceptor_slot.lock().take()
+            } else {
+                None
+            };
+            run_closed_loop_opts(
+                geo2.clone(),
+                slab_owner(&geo2, comm.size()),
+                SolverConfig::pressure_driven(1.005, 0.995),
+                comm,
+                None,
+                acceptor,
+                &ClosedLoopConfig {
+                    max_steps: u64::MAX / 2,
+                    image: (16, 12),
+                    initial_vis_rate: u32::MAX,
+                    steps_per_cycle: 5,
+                    on_client_loss: ClientLossPolicy::Headless,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        });
+        client_thread.join().unwrap();
+        for r in &results {
+            assert!(r.terminated_by_client, "second client's Terminate landed");
+            assert!(r.frames_rendered >= 2);
+        }
+    }
+
+    #[test]
     fn missing_transport_on_the_master_is_an_error_not_a_panic() {
         let geo = demo_geo();
         let geo2 = geo.clone();
@@ -672,6 +812,7 @@ mod tests {
                     initial_vis_rate: 10,
                     steps_per_cycle: 5,
                     vis_aware_repartition: false,
+                    ..Default::default()
                 },
             )
             .err()
@@ -733,6 +874,7 @@ mod tests {
                     initial_vis_rate: 1_000_000,
                     steps_per_cycle: 5,
                     vis_aware_repartition: false,
+                    ..Default::default()
                 },
             )
             .unwrap()

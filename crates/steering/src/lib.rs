@@ -30,9 +30,12 @@ pub mod protocol;
 pub mod server;
 pub mod transport;
 
-pub use client::SteeringClient;
-pub use closedloop::{run_closed_loop, ClosedLoopConfig, ClosedLoopOutcome};
+pub use client::{BackoffPolicy, SteeringClient, TransportFactory};
+pub use closedloop::{run_closed_loop, run_closed_loop_opts, ClosedLoopConfig, ClosedLoopOutcome};
 pub use error::{SteeringError, SteeringResult};
 pub use protocol::{FieldChoice, ImageFrame, ObservableReport, StatusReport, SteeringCommand};
-pub use server::SteeringServer;
-pub use transport::{duplex_pair, InMemoryTransport, TcpTransport, Transport};
+pub use server::{ClientLossPolicy, SteeringServer};
+pub use transport::{
+    duplex_listener, duplex_pair, Acceptor, DuplexAcceptor, DuplexConnector, InMemoryTransport,
+    TcpAcceptor, TcpTransport, Transport,
+};

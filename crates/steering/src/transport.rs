@@ -10,7 +10,8 @@ use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
 
 /// A bidirectional, message-framed byte transport.
 pub trait Transport: Send {
@@ -22,6 +23,15 @@ pub trait Transport: Send {
     fn recv_frame(&self) -> std::io::Result<Bytes>;
     /// Bytes sent so far (steering traffic accounting).
     fn bytes_sent(&self) -> u64;
+}
+
+/// A listener that yields server-side transports as clients dial in,
+/// without ever blocking the simulation loop. The closed loop polls
+/// this once per cycle while running headless, so a steering client can
+/// attach (or re-attach) to a simulation already in flight.
+pub trait Acceptor: Send {
+    /// Accept one pending connection, if any (non-blocking).
+    fn try_accept(&self) -> std::io::Result<Option<Box<dyn Transport>>>;
 }
 
 /// One endpoint of an in-memory duplex.
@@ -51,6 +61,52 @@ pub fn duplex_pair() -> (InMemoryTransport, InMemoryTransport) {
 
 fn broken() -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::BrokenPipe, "steering peer disconnected")
+}
+
+/// An in-process connection rendezvous: the server side holds the
+/// [`DuplexAcceptor`], clients clone the [`DuplexConnector`] and dial
+/// as many times as they like. The in-memory analogue of a TCP
+/// listener, for tests and benches that exercise client loss and
+/// re-attachment without sockets.
+pub fn duplex_listener() -> (DuplexConnector, DuplexAcceptor) {
+    let (tx, rx) = unbounded();
+    (DuplexConnector { tx }, DuplexAcceptor { rx })
+}
+
+/// The dialing side of [`duplex_listener`].
+#[derive(Clone)]
+pub struct DuplexConnector {
+    tx: Sender<InMemoryTransport>,
+}
+
+impl DuplexConnector {
+    /// Dial the acceptor, returning the client end of a fresh duplex.
+    pub fn connect(&self) -> std::io::Result<InMemoryTransport> {
+        let (client_end, server_end) = duplex_pair();
+        self.tx.send(server_end).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "steering acceptor is gone",
+            )
+        })?;
+        Ok(client_end)
+    }
+}
+
+/// The listening side of [`duplex_listener`].
+pub struct DuplexAcceptor {
+    rx: Receiver<InMemoryTransport>,
+}
+
+impl Acceptor for DuplexAcceptor {
+    fn try_accept(&self) -> std::io::Result<Option<Box<dyn Transport>>> {
+        match self.rx.try_recv() {
+            Ok(t) => Ok(Some(Box::new(t))),
+            // Empty and "no connectors left" both mean nobody is
+            // dialing right now.
+            Err(_) => Ok(None),
+        }
+    }
 }
 
 impl Transport for InMemoryTransport {
@@ -91,6 +147,23 @@ impl TcpTransport {
         })
     }
 
+    /// Dial `addr` with a connect timeout, so a down or unroutable
+    /// steering server fails fast instead of hanging the caller in the
+    /// kernel's (minutes-long) default connect wait.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        Self::new(stream)
+    }
+
+    /// Bound every blocking read: a peer that stops talking surfaces as
+    /// a `WouldBlock`/`TimedOut` I/O error instead of wedging
+    /// `recv_frame` forever. A timeout can split a frame mid-read, so
+    /// treat a timed-out transport as dead and reconnect rather than
+    /// retrying the read.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.lock().set_read_timeout(timeout)
+    }
+
     fn read_exact_frame(stream: &mut TcpStream) -> std::io::Result<Bytes> {
         let mut len = [0u8; 4];
         stream.read_exact(&mut len)?;
@@ -122,17 +195,20 @@ impl Transport for TcpTransport {
         s.set_nonblocking(true)?;
         let mut first = [0u8; 1];
         let peeked = s.peek(&mut first);
-        let has_data = match peeked {
-            Ok(0) => return Err(broken()),
-            Ok(_) => true,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
-            Err(e) => return Err(e),
-        };
+        // Restore blocking mode before acting on the probe: the early
+        // returns used to leave the socket non-blocking, which turned
+        // every later blocking `recv_frame` on a half-closed connection
+        // into a WouldBlock busy spin instead of a clean disconnect.
         s.set_nonblocking(false)?;
-        if !has_data {
-            return Ok(None);
+        match peeked {
+            Ok(0) => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "steering peer closed the connection",
+            )),
+            Ok(_) => Ok(Some(Self::read_exact_frame(&mut s)?)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
         }
-        Ok(Some(Self::read_exact_frame(&mut s)?))
     }
 
     fn recv_frame(&self) -> std::io::Result<Bytes> {
@@ -145,10 +221,44 @@ impl Transport for TcpTransport {
     }
 }
 
+/// A non-blocking TCP listener yielding [`TcpTransport`]s: the
+/// server-side door steering clients knock on.
+pub struct TcpAcceptor {
+    listener: TcpListener,
+}
+
+impl TcpAcceptor {
+    /// Bind and start listening (non-blocking).
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(TcpAcceptor { listener })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+}
+
+impl Acceptor for TcpAcceptor {
+    fn try_accept(&self) -> std::io::Result<Option<Box<dyn Transport>>> {
+        match self.listener.accept() {
+            Ok((stream, _peer)) => {
+                // Accepted sockets inherit the listener's non-blocking
+                // flag on some platforms; transports expect blocking.
+                stream.set_nonblocking(false)?;
+                Ok(Some(Box::new(TcpTransport::new(stream)?)))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpListener;
 
     #[test]
     fn in_memory_duplex_round_trip() {
@@ -197,6 +307,68 @@ mod tests {
         let reply = client_thread.join().unwrap();
         assert_eq!(&reply[..], b"pong");
         assert!(server.bytes_sent() >= 8);
+    }
+
+    #[test]
+    fn half_closed_socket_is_terminal_not_a_busy_spin() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            drop(stream); // connect, then vanish
+        });
+        let (server_stream, _) = listener.accept().unwrap();
+        let server = TcpTransport::new(server_stream).unwrap();
+        client.join().unwrap();
+        // Poll until the FIN is visible; must surface as UnexpectedEof.
+        let err = loop {
+            match server.try_recv_frame() {
+                Ok(None) => std::thread::yield_now(),
+                Ok(Some(_)) => panic!("no frame was ever sent"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        // The socket must be back in blocking mode: a blocking recv on
+        // the half-closed stream fails promptly with EOF rather than
+        // spinning on WouldBlock.
+        let err = server.recv_frame().unwrap_err();
+        assert_ne!(err.kind(), std::io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn tcp_acceptor_is_nonblocking_and_yields_transports() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        assert!(acceptor.try_accept().unwrap().is_none(), "nobody dialing");
+        let client = std::thread::spawn(move || {
+            let t = TcpTransport::connect(addr, Duration::from_secs(5)).unwrap();
+            t.send_frame(Bytes::from_static(b"knock")).unwrap();
+        });
+        let server = loop {
+            if let Some(t) = acceptor.try_accept().unwrap() {
+                break t;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(&server.recv_frame().unwrap()[..], b"knock");
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn duplex_listener_accepts_repeated_dials() {
+        let (connector, acceptor) = duplex_listener();
+        assert!(acceptor.try_accept().unwrap().is_none());
+        let c1 = connector.connect().unwrap();
+        let s1 = acceptor.try_accept().unwrap().expect("first dial");
+        c1.send_frame(Bytes::from_static(b"one")).unwrap();
+        assert_eq!(&s1.recv_frame().unwrap()[..], b"one");
+        // A second client can dial after the first goes away.
+        drop(c1);
+        let c2 = connector.connect().unwrap();
+        let s2 = acceptor.try_accept().unwrap().expect("second dial");
+        s2.send_frame(Bytes::from_static(b"two")).unwrap();
+        assert_eq!(&c2.recv_frame().unwrap()[..], b"two");
     }
 
     #[test]

@@ -108,6 +108,7 @@ fn main() {
                 initial_vis_rate: u32::MAX, // frames on request only
                 steps_per_cycle: 20,
                 vis_aware_repartition: false,
+                ..Default::default()
             },
         )
         .expect("closed loop")

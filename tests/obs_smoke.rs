@@ -50,6 +50,7 @@ fn obs_reports_survive_json_and_show_real_phase_timings() {
                 initial_vis_rate: u32::MAX,
                 steps_per_cycle: 10,
                 vis_aware_repartition: false,
+                ..Default::default()
             },
         )
         .unwrap()

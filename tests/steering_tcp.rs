@@ -101,6 +101,7 @@ fn closed_loop_over_tcp() {
                 initial_vis_rate: u32::MAX,
                 steps_per_cycle: 10,
                 vis_aware_repartition: false,
+                ..Default::default()
             },
         )
         .unwrap()

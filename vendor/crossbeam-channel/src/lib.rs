@@ -67,6 +67,15 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message available.
+    Timeout,
+    /// No message is buffered and every sender has been dropped.
+    Disconnected,
+}
+
 /// The sending half; cloning adds another producer.
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
@@ -130,6 +139,37 @@ impl<T> Receiver<T> {
                 .ready
                 .wait(queue)
                 .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block until a message arrives, every sender is gone, or `timeout`
+    /// elapses. Like [`recv`](Self::recv), buffered messages are drained
+    /// before disconnection is reported.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut queue = self.shared.lock();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _timed_out) = self
+                .shared
+                .ready
+                .wait_timeout(queue, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = guard;
+            // Loop regardless of the wait outcome: a spurious wake, a
+            // real message, or expiry are all re-checked at the top.
         }
     }
 
@@ -209,6 +249,31 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(rx);
         assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(7));
+    }
+
+    #[test]
+    fn recv_timeout_drains_before_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(1)), Ok(1));
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
