@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
     let w2 = synthetic_view_weights(&graph, [1.0, 0.0, 0.0], 0.3);
     let g2 = graph.clone().with_secondary_weights(w2);
     g.bench_function("visaware_rebalance_8", |b| {
-        b.iter(|| rebalance(&g2, &owner, 8, 0.1, 30).moved_vertices)
+        b.iter(|| rebalance(&g2, &owner, 8, 0.1, 30).unwrap().moved_vertices)
     });
     g.finish();
 }

@@ -89,10 +89,12 @@ group_faults() {
 }
 
 # Release bench smokes, exercising the reproduce binary end to end:
-# E13 (render) and E14 (faults) also write out/BENCH_*.json.
+# E13 (render), E14 (faults) and E15 (adaptive LB) also write
+# out/BENCH_*.json.
 group_smoke() {
     stage render-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- render --size small --ranks 2
     stage faults-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- faults --size tiny --ranks 3
+    stage adaptive-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- adaptive --size tiny --ranks 3
 }
 
 # Long soaks.

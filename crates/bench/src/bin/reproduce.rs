@@ -1,7 +1,7 @@
 //! `reproduce` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|ablation|all]
+//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|ablation|all]
 //!           [--size tiny|small|medium] [--ranks N]
 //! ```
 //!
@@ -10,7 +10,7 @@
 
 use hemelb_bench::workloads::Size;
 use hemelb_bench::{
-    ablation, extract, faults, fig1, fig2, fig3, fig4, multires, obs, preprocess, render,
+    ablation, adaptive, extract, faults, fig1, fig2, fig3, fig4, multires, obs, preprocess, render,
     repartition, scaling, table1,
 };
 
@@ -49,7 +49,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|ablation|all] [--size tiny|small|medium] [--ranks N]"
+                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|ablation|all] [--size tiny|small|medium] [--ranks N]"
                 );
                 std::process::exit(0);
             }
@@ -159,6 +159,11 @@ fn main() {
         ran = true;
         println!("=== E14: fault injection (degraded frames + recovery replay) ===");
         println!("{}", faults::run(args.size, args.ranks.clamp(3, 8), 5));
+    }
+    if run_all || args.what == "adaptive" {
+        ran = true;
+        println!("=== E15: adaptive load balancing (measure -> plan -> gate -> migrate) ===");
+        println!("{}", adaptive::run(args.size, args.ranks.clamp(2, 8)));
     }
     if run_all || args.what == "ablation" {
         ran = true;

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod adaptive;
 pub mod extract;
 pub mod faults;
 pub mod fig1;

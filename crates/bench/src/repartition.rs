@@ -79,7 +79,8 @@ pub fn run(size: Size, ranks: usize) -> RepartitionResult {
             let g = graph.clone().with_secondary_weights(w2);
 
             let q_base = quality(&g, &baseline, ranks);
-            let reb = rebalance(&g, &baseline, ranks, 0.10, 40);
+            let reb = rebalance(&g, &baseline, ranks, 0.10, 40)
+                .expect("E10 always installs secondary weights on a well-formed graph");
             let q_reb = quality(&g, &reb.owner, ranks);
             let striped = striped_multiconstraint(&g, ranks, 64);
             let q_str = quality(&g, &striped, ranks);

@@ -520,7 +520,12 @@ impl<'a> DistSolver<'a> {
         );
         fresh.step = step;
         *self = fresh;
-        self.comm.with_obs(|o| span.end(o, "lb.repartition"));
+        self.comm.note_rebalance();
+        self.comm.with_obs(|o| {
+            o.count("lb.rebalance.count", 1);
+            o.count("lb.rebalance.sites_moved", moved as u64);
+            span.end(o, "lb.repartition")
+        });
         Ok(moved)
     }
 
@@ -645,6 +650,12 @@ impl<'a> DistSolver<'a> {
     /// The configuration.
     pub fn config(&self) -> &SolverConfig {
         &self.cfg
+    }
+
+    /// The lattice model in use (the adaptive load balancer sizes
+    /// migration payloads from `model().q`).
+    pub fn model(&self) -> &LatticeModel {
+        &self.model
     }
 }
 

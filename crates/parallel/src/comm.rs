@@ -169,6 +169,13 @@ impl Communicator {
         self.stats.borrow_mut().record_sync();
     }
 
+    /// Record participation in one repartition event (adaptive or
+    /// steered); the migrated bytes themselves are accounted under
+    /// [`TagClass::Migration`](crate::stats::TagClass::Migration).
+    pub fn note_rebalance(&self) {
+        self.stats.borrow_mut().record_rebalance();
+    }
+
     /// Run `f` with this rank's observability recorder borrowed mutably.
     /// The recorder is shared by every layer running on this rank, so
     /// phase names should be namespaced (`lb.collide`, `steer.poll`, …).

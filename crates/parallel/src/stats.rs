@@ -140,6 +140,11 @@ pub struct CommStats {
     faults: [u64; 4],
     /// Number of blocking collective entries (synchronisation points).
     pub sync_points: u64,
+    /// Number of repartitions (adaptive or steered) this rank took part
+    /// in. Migration *traffic* is under [`TagClass::Migration`]; this
+    /// counts the events themselves.
+    #[serde(default)]
+    pub rebalances: u64,
 }
 
 impl CommStats {
@@ -160,6 +165,12 @@ impl CommStats {
     #[inline]
     pub fn record_sync(&mut self) {
         self.sync_points += 1;
+    }
+
+    /// Record participation in one repartition event.
+    #[inline]
+    pub fn record_rebalance(&mut self) {
+        self.rebalances += 1;
     }
 
     /// Record wall seconds spent blocked in a `recv` of `class`.
@@ -258,6 +269,10 @@ impl CommStats {
             .sync_points
             .checked_sub(earlier.sync_points)
             .expect("stats snapshots out of order");
+        out.rebalances = self
+            .rebalances
+            .checked_sub(earlier.rebalances)
+            .expect("stats snapshots out of order");
         out
     }
 
@@ -274,6 +289,7 @@ impl CommStats {
             out.faults[i] += other.faults[i];
         }
         out.sync_points += other.sync_points;
+        out.rebalances += other.rebalances;
         out
     }
 }
@@ -346,13 +362,14 @@ impl fmt::Display for StatsSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "ranks={} total_msgs={} total_bytes={} max_bytes/rank={} imbalance={:.3} syncs={}",
+            "ranks={} total_msgs={} total_bytes={} max_bytes/rank={} imbalance={:.3} syncs={} rebalances={}",
             self.ranks,
             self.total.total_msgs(),
             self.total.total_bytes(),
             self.max_bytes_per_rank,
             self.byte_imbalance,
             self.total.sync_points,
+            self.total.rebalances,
         )?;
         for (label, bytes) in self.bytes_by_class() {
             let wait = self.total.recv_wait_secs(
@@ -471,6 +488,20 @@ mod tests {
         let merged = s.merged_with(&snap);
         assert_eq!(merged.faults(FaultStat::Delay), 4);
         assert_eq!(merged.total_faults(), 7);
+    }
+
+    #[test]
+    fn rebalance_counter_records_deltas_and_merges() {
+        let mut s = CommStats::new();
+        s.record_rebalance();
+        assert_eq!(s.rebalances, 1);
+        let snap = s.clone();
+        s.record_rebalance();
+        assert_eq!(s.delta_since(&snap).rebalances, 1);
+        assert_eq!(s.merged_with(&snap).rebalances, 3);
+        let sum = StatsSummary::from_ranks(&[s, snap]);
+        assert_eq!(sum.total.rebalances, 3);
+        assert!(format!("{sum}").contains("rebalances=3"));
     }
 
     #[test]

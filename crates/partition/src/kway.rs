@@ -71,18 +71,27 @@ impl Partitioner for MultilevelKWay {
             coarse_map: Vec::new(),
         };
 
-        // Phase 1: coarsen.
+        // Phase 1: coarsen, with an explicit stall guard. Heavy-edge
+        // matching makes no real progress on adversarial topologies — a
+        // star graph collapses only one pair per round, an edgeless
+        // graph not at all — so a level shrinking by less than 5% breaks
+        // straight to initial partitioning + refinement on what we have.
+        // Without the guard such a level could be re-coarsened forever
+        // while never approaching the target size.
         let mut levels = vec![base];
         let target = (self.coarsen_factor * k).max(64);
         let mut rng = self.seed | 1;
-        while levels.last().expect("nonempty").len() > target {
+        loop {
             let last = levels.last().expect("nonempty");
+            if last.len() <= target {
+                break;
+            }
             let (coarse, map) = coarsen(last, &mut rng);
-            let shrank = coarse.len() < last.len() * 95 / 100;
-            let coarse_len = coarse.len();
+            let stalled = coarse.len() >= last.len() * 95 / 100;
+            let reached_target = coarse.len() <= target;
             levels.last_mut().expect("nonempty").coarse_map = map;
             levels.push(coarse);
-            if !shrank || coarse_len <= target {
+            if stalled || reached_target {
                 break;
             }
         }
@@ -414,6 +423,67 @@ mod tests {
         let coarse_w: f64 = coarse.vwgt.iter().sum();
         assert!((fine_w - coarse_w).abs() < 1e-9);
         assert!(map.iter().all(|&c| (c as usize) < coarse.len()));
+    }
+
+    /// A star: vertex 0 joined to every other vertex, no other edges.
+    /// Heavy-edge matching collapses exactly one pair per round (the hub
+    /// and one spoke; every other spoke's only neighbour is then
+    /// matched), the worst case for coarsening progress.
+    fn star_graph(n: usize) -> SiteGraph {
+        let mut xadj = vec![0usize];
+        let mut adjncy = Vec::new();
+        for v in 0..n {
+            if v == 0 {
+                adjncy.extend(1..n as u32);
+            } else {
+                adjncy.push(0);
+            }
+            xadj.push(adjncy.len());
+        }
+        SiteGraph {
+            xadj,
+            adjncy,
+            vwgt: vec![1.0; n],
+            vwgt2: None,
+            coords: (0..n).map(|v| [v as f64, 0.0, 0.0]).collect(),
+        }
+    }
+
+    #[test]
+    fn coarsening_terminates_on_a_star_graph() {
+        // Stall-guard regression: matching shrinks a star by one vertex
+        // per level, so coarsening can never reach the target size; the
+        // progress guard must break to refinement instead of spinning.
+        let g = star_graph(400);
+        let owner = MultilevelKWay::default().partition(&g, 4);
+        assert_eq!(owner.len(), 400);
+        assert!(owner.iter().all(|&o| o < 4));
+        let q = quality(&g, &owner, 4);
+        assert!(q.imbalance < 1.5, "imbalance {}", q.imbalance);
+    }
+
+    #[test]
+    fn coarsening_terminates_on_an_edgeless_graph() {
+        // Every vertex self-matches, so a level does not shrink at all —
+        // the zero-progress extreme of the stall case.
+        let n = 300;
+        let g = SiteGraph {
+            xadj: vec![0; n + 1],
+            adjncy: Vec::new(),
+            vwgt: vec![1.0; n],
+            vwgt2: None,
+            coords: (0..n).map(|v| [v as f64, 0.0, 0.0]).collect(),
+        };
+        let owner = MultilevelKWay::default().partition(&g, 3);
+        assert_eq!(owner.len(), n);
+        assert!(owner.iter().all(|&o| o < 3));
+        let q = quality(&g, &owner, 3);
+        assert!(
+            (q.imbalance - 1.0).abs() < 0.05,
+            "imbalance {}",
+            q.imbalance
+        );
+        assert_eq!(q.edge_cut, 0);
     }
 
     #[test]

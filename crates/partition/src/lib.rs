@@ -18,7 +18,9 @@
 //! communication volume, neighbour counts), and [`visaware`] implements
 //! the paper's proposal that *visualisation* work must enter the balance
 //! equation: multi-constraint rebalancing with migration accounting
-//! (experiment E10).
+//! (experiment E10). [`adaptive`] closes the loop: measured per-rank
+//! cost → hysteresis-filtered trigger → planned rebalance → cost/benefit
+//! gate (experiment E15).
 //!
 //! ```
 //! use hemelb_geometry::VesselBuilder;
@@ -34,6 +36,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
+pub mod error;
 pub mod graph;
 pub mod kway;
 pub mod metrics;
@@ -41,6 +45,11 @@ pub mod rcb;
 pub mod sfc;
 pub mod visaware;
 
+pub use adaptive::{
+    derive_site_weights, payoff_gate, plan_rebalance, AdaptiveLb, AdaptiveLbConfig, GateDecision,
+    Observation, WindowCosts,
+};
+pub use error::{PartitionError, PartitionResult};
 pub use graph::SiteGraph;
 pub use kway::MultilevelKWay;
 pub use metrics::{quality, PartitionQuality};

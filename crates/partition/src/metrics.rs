@@ -28,6 +28,20 @@ pub struct PartitionQuality {
     pub max_neighbours: usize,
 }
 
+impl PartitionQuality {
+    /// The secondary (visualisation) imbalance, or the neutral `1.0`
+    /// when the graph carries no secondary weights.
+    ///
+    /// Callers used to `unwrap()` [`PartitionQuality::imbalance2`]
+    /// directly, which panicked the moment a single-weight graph passed
+    /// through a multi-constraint code path; this accessor makes the
+    /// "no vis weights = perfectly balanced vis load of zero" convention
+    /// explicit.
+    pub fn vis_imbalance(&self) -> f64 {
+        self.imbalance2.unwrap_or(1.0)
+    }
+}
+
 /// Compute the quality of `owner` (values in `0..k`) on `graph`.
 pub fn quality(graph: &SiteGraph, owner: &[usize], k: usize) -> PartitionQuality {
     assert_eq!(owner.len(), graph.len());
@@ -81,7 +95,9 @@ pub fn quality(graph: &SiteGraph, owner: &[usize], k: usize) -> PartitionQuality
     }
 }
 
-fn imbalance_of(loads: &[f64]) -> f64 {
+/// `max/mean` of a load vector (1.0 = perfect, and also 1.0 for an
+/// all-zero or empty load vector, where imbalance is meaningless).
+pub fn imbalance_of(loads: &[f64]) -> f64 {
     let total: f64 = loads.iter().sum();
     let mean = total / loads.len() as f64;
     if mean <= 0.0 {
@@ -166,7 +182,21 @@ mod tests {
         let owner = vec![0, 0, 1, 1];
         let q = quality(&g, &owner, 2);
         assert!((q.imbalance - 1.0).abs() < 1e-12, "primary balanced");
-        let im2 = q.imbalance2.unwrap();
+        let im2 = q.vis_imbalance();
         assert!(im2 > 1.4, "secondary skewed: {im2}");
+    }
+
+    #[test]
+    fn vis_imbalance_is_neutral_without_secondary_weights() {
+        let g = line_graph(4);
+        let q = quality(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(q.imbalance2, None);
+        assert_eq!(q.vis_imbalance(), 1.0, "no weights reads as balanced");
+    }
+
+    #[test]
+    fn imbalance_of_zero_loads_is_neutral() {
+        assert_eq!(imbalance_of(&[0.0, 0.0]), 1.0);
+        assert_eq!(imbalance_of(&[2.0, 1.0, 1.0]), 1.5);
     }
 }

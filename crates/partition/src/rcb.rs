@@ -47,12 +47,14 @@ fn bisect(
             hi[a] = hi[a].max(c[a]);
         }
     }
+    // total_cmp throughout: a single NaN coordinate (e.g. from a
+    // degenerate SDF voxelisation) used to abort the whole partitioning
+    // via partial_cmp().unwrap(). total_cmp gives NaN a fixed place in
+    // the order, so such sites land deterministically at one end of the
+    // split instead of panicking. (hi - lo can itself be NaN when a
+    // subset is all-NaN on an axis; total_cmp handles that too.)
     let axis = (0..3)
-        .max_by(|&a, &b| {
-            (hi[a] - lo[a])
-                .partial_cmp(&(hi[b] - lo[b]))
-                .expect("finite extents")
-        })
+        .max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b])))
         .expect("three axes");
 
     // Sort along that axis (tie-break on the others for determinism).
@@ -60,10 +62,9 @@ fn bisect(
         let ca = graph.coords[a as usize];
         let cb = graph.coords[b as usize];
         ca[axis]
-            .partial_cmp(&cb[axis])
-            .unwrap()
-            .then(ca[(axis + 1) % 3].partial_cmp(&cb[(axis + 1) % 3]).unwrap())
-            .then(ca[(axis + 2) % 3].partial_cmp(&cb[(axis + 2) % 3]).unwrap())
+            .total_cmp(&cb[axis])
+            .then(ca[(axis + 1) % 3].total_cmp(&cb[(axis + 1) % 3]))
+            .then(ca[(axis + 2) % 3].total_cmp(&cb[(axis + 2) % 3]))
             .then(a.cmp(&b))
     });
 
@@ -132,6 +133,26 @@ mod tests {
             }
             assert!(seen.iter().all(|&s| s), "k={k}: empty part");
         }
+    }
+
+    #[test]
+    fn rcb_survives_nan_coordinates() {
+        // Regression: partial_cmp().unwrap() panicked the moment any
+        // site coordinate was NaN. With total_cmp the partition must
+        // complete, stay deterministic, and still produce a valid cover.
+        let geo = VesselBuilder::aneurysm(24.0, 4.0, 6.0).voxelise(1.0);
+        let mut g = SiteGraph::from_geometry(&geo, Connectivity::Six);
+        g.coords[3] = [f64::NAN, 1.0, 2.0];
+        g.coords[17] = [f64::NAN, f64::NAN, f64::NAN];
+        let owner = Rcb.partition(&g, 4);
+        assert_eq!(owner.len(), g.len());
+        assert!(owner.iter().all(|&o| o < 4));
+        let mut seen = [false; 4];
+        for &o in &owner {
+            seen[o] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every part non-empty");
+        assert_eq!(owner, Rcb.partition(&g, 4), "deterministic under NaN");
     }
 
     #[test]

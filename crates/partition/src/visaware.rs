@@ -11,6 +11,7 @@
 //! reports how much data had to move — the migration cost the paper says
 //! repartitioning must be weighed against.
 
+use crate::error::{PartitionError, PartitionResult};
 use crate::graph::SiteGraph;
 use crate::metrics::quality;
 use serde::{Deserialize, Serialize};
@@ -42,20 +43,83 @@ pub struct RebalanceOutcome {
 /// visualisation weight (`graph.vwgt2`, required) are balanced to within
 /// `1 + epsilon`, starting from `owner`.
 ///
-/// # Panics
-/// Panics if the graph has no secondary weights or `owner` is malformed.
+/// # Errors
+/// Returns [`PartitionError::MissingSecondaryWeights`] when the graph
+/// carries no secondary weights (use [`rebalance_or_single`] to fall
+/// back to single-constraint behaviour instead), and
+/// [`PartitionError::OwnerLengthMismatch`] /
+/// [`PartitionError::OwnerOutOfRange`] / [`PartitionError::ZeroParts`]
+/// for malformed inputs. Historically these were panics, which meant a
+/// mid-run rebalance could abort the whole SPMD job.
 pub fn rebalance(
     graph: &SiteGraph,
     owner: &[usize],
     k: usize,
     epsilon: f64,
     max_passes: usize,
-) -> RebalanceOutcome {
+) -> PartitionResult<RebalanceOutcome> {
+    validate_owner(graph, owner, k)?;
     let w2 = graph
         .vwgt2
         .as_ref()
-        .expect("rebalance requires secondary (visualisation) weights");
-    assert_eq!(owner.len(), graph.len());
+        .ok_or(PartitionError::MissingSecondaryWeights)?;
+    Ok(rebalance_impl(graph, w2, owner, k, epsilon, max_passes))
+}
+
+/// Like [`rebalance`], but a graph without secondary weights degrades to
+/// a *single-constraint* rebalance (all secondary weights zero) instead
+/// of erroring: overloaded parts shed boundary vertices under the
+/// compute cap only. This is the entry point the adaptive load balancer
+/// uses — a missing visualisation signal must never stop a rebalance
+/// that the compute imbalance alone justifies.
+///
+/// # Errors
+/// Returns an error only for malformed `owner` maps or `k == 0`.
+pub fn rebalance_or_single(
+    graph: &SiteGraph,
+    owner: &[usize],
+    k: usize,
+    epsilon: f64,
+    max_passes: usize,
+) -> PartitionResult<RebalanceOutcome> {
+    validate_owner(graph, owner, k)?;
+    match graph.vwgt2.as_ref() {
+        Some(w2) => Ok(rebalance_impl(graph, w2, owner, k, epsilon, max_passes)),
+        None => {
+            let zeros = vec![0.0f64; graph.len()];
+            Ok(rebalance_impl(graph, &zeros, owner, k, epsilon, max_passes))
+        }
+    }
+}
+
+fn validate_owner(graph: &SiteGraph, owner: &[usize], k: usize) -> PartitionResult<()> {
+    if k == 0 {
+        return Err(PartitionError::ZeroParts);
+    }
+    if owner.len() != graph.len() {
+        return Err(PartitionError::OwnerLengthMismatch {
+            owner_len: owner.len(),
+            graph_len: graph.len(),
+        });
+    }
+    if let Some((vertex, &o)) = owner.iter().enumerate().find(|&(_, &o)| o >= k) {
+        return Err(PartitionError::OwnerOutOfRange {
+            vertex,
+            owner: o,
+            k,
+        });
+    }
+    Ok(())
+}
+
+fn rebalance_impl(
+    graph: &SiteGraph,
+    w2: &[f64],
+    owner: &[usize],
+    k: usize,
+    epsilon: f64,
+    max_passes: usize,
+) -> RebalanceOutcome {
     let n = graph.len();
 
     let q_before = quality(graph, owner, k);
@@ -175,8 +239,8 @@ pub fn rebalance(
         migration_volume,
         imbalance_before: q_before.imbalance,
         imbalance_after: q_after.imbalance,
-        imbalance2_before: q_before.imbalance2.unwrap_or(1.0),
-        imbalance2_after: q_after.imbalance2.unwrap_or(1.0),
+        imbalance2_before: q_before.vis_imbalance(),
+        imbalance2_after: q_after.vis_imbalance(),
         cut_before: q_before.edge_cut,
         cut_after: q_after.edge_cut,
     }
@@ -235,7 +299,9 @@ pub fn synthetic_view_weights(
             )
         })
         .collect();
-    depth.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    // total_cmp, not partial_cmp().unwrap(): a NaN coordinate (degenerate
+    // SDF voxelisation) must not abort weight synthesis mid-run.
+    depth.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let visible = ((graph.len() as f64 * visible_fraction) as usize).min(graph.len());
     let mut w = vec![0.0; graph.len()];
     for &(_, v) in depth.iter().take(visible) {
@@ -264,7 +330,7 @@ mod tests {
         // Camera looking along +x: only the front third is visible.
         let w2 = synthetic_view_weights(&g, [1.0, 0.0, 0.0], 0.34);
         let g = g.with_secondary_weights(w2);
-        let out = rebalance(&g, &owner, 4, 0.10, 30);
+        let out = rebalance(&g, &owner, 4, 0.10, 30).unwrap();
         assert!(
             out.imbalance2_before > 1.5,
             "compute-only partition should be vis-skewed, got {}",
@@ -287,7 +353,7 @@ mod tests {
         // Uniform vis weight: the compute-balanced partition is already
         // vis-balanced.
         let g = g.with_secondary_weights(vec![1.0; owner.len()]);
-        let out = rebalance(&g, &owner, 4, 0.10, 30);
+        let out = rebalance(&g, &owner, 4, 0.10, 30).unwrap();
         assert!(out.imbalance2_before <= 1.06);
         assert!(
             out.cut_after <= out.cut_before,
@@ -300,7 +366,7 @@ mod tests {
         let (g, owner) = setup();
         let w2 = synthetic_view_weights(&g, [0.0, 0.0, 1.0], 0.25);
         let g = g.with_secondary_weights(w2);
-        let out = rebalance(&g, &owner, 4, 0.10, 30);
+        let out = rebalance(&g, &owner, 4, 0.10, 30).unwrap();
         assert!(
             out.imbalance_after <= 1.15,
             "compute imbalance after: {}",
@@ -309,10 +375,73 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "secondary")]
-    fn rebalance_requires_secondary_weights() {
+    fn rebalance_without_secondary_weights_is_a_typed_error() {
         let (g, owner) = setup();
-        rebalance(&g, &owner, 4, 0.1, 5);
+        // Regression: this was an `.expect` panic, which could take down
+        // a whole SPMD run when the adaptive loop fired before the first
+        // render produced visualisation weights.
+        let err = rebalance(&g, &owner, 4, 0.1, 5).unwrap_err();
+        assert_eq!(err, crate::PartitionError::MissingSecondaryWeights);
+        assert!(err.to_string().contains("secondary"));
+    }
+
+    #[test]
+    fn rebalance_rejects_malformed_owner_maps() {
+        let (g, owner) = setup();
+        let g2 = g.clone().with_secondary_weights(vec![1.0; g.len()]);
+        let short = &owner[..owner.len() - 1];
+        assert!(matches!(
+            rebalance(&g2, short, 4, 0.1, 5),
+            Err(crate::PartitionError::OwnerLengthMismatch { .. })
+        ));
+        let mut bad = owner.clone();
+        bad[0] = 99;
+        assert!(matches!(
+            rebalance(&g2, &bad, 4, 0.1, 5),
+            Err(crate::PartitionError::OwnerOutOfRange { vertex: 0, .. })
+        ));
+        assert!(matches!(
+            rebalance(&g2, &owner, 0, 0.1, 5),
+            Err(crate::PartitionError::ZeroParts)
+        ));
+    }
+
+    #[test]
+    fn single_constraint_fallback_fixes_compute_skew() {
+        let (g, _) = setup();
+        // Deliberately skewed: rank 0 owns ~70% of the sites.
+        let n = g.len();
+        let heavy = n * 7 / 10;
+        let owner: Vec<usize> = (0..n)
+            .map(|v| {
+                if v < heavy {
+                    0
+                } else {
+                    1 + (v - heavy) * 3 / (n - heavy)
+                }
+            })
+            .collect();
+        let out = rebalance_or_single(&g, &owner, 4, 0.10, 40).unwrap();
+        assert!(
+            out.imbalance_after < out.imbalance_before,
+            "fallback should reduce compute imbalance: {} -> {}",
+            out.imbalance_before,
+            out.imbalance_after
+        );
+        assert!(out.moved_vertices > 0);
+        // No secondary weights: the vis imbalance reports the neutral 1.0.
+        assert_eq!(out.imbalance2_before, 1.0);
+        assert_eq!(out.imbalance2_after, 1.0);
+    }
+
+    #[test]
+    fn synthetic_weights_survive_nan_coordinates() {
+        let (g, _) = setup();
+        let mut g = g;
+        g.coords[0] = [f64::NAN, f64::NAN, f64::NAN];
+        let w = synthetic_view_weights(&g, [1.0, 0.0, 0.0], 0.5);
+        assert_eq!(w.len(), g.len());
+        assert!(w.iter().all(|x| x.is_finite()));
     }
 
     #[test]

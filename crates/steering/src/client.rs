@@ -309,6 +309,8 @@ mod tests {
             problems: vec![],
             eta_steps: 95,
             paused: false,
+            rebalances: 0,
+            lb_imbalance: 1.0,
         };
         server_end
             .send_frame(ServerMessage::Status(status.clone()).to_bytes())

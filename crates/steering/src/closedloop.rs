@@ -16,6 +16,7 @@
 //!    ships the image plus a status report (consistency checks, ETA)
 //!    back to the client.
 
+use crate::adaptive::AdaptiveDriver;
 use crate::error::{SteeringError, SteeringResult};
 use crate::protocol::{FieldChoice, ImageFrame, StatusReport, SteeringCommand};
 use crate::server::{ClientLossPolicy, SteeringServer, SteeringState};
@@ -30,6 +31,7 @@ use hemelb_insitu::volume::{render_brick_opts, Brick, RenderOptions};
 use hemelb_parallel::{Communicator, Wire, WireReader, WireWriter};
 use hemelb_partition::graph::{Connectivity, SiteGraph};
 use hemelb_partition::visaware::{rebalance, synthetic_view_weights};
+use hemelb_partition::AdaptiveLbConfig;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -58,6 +60,14 @@ pub struct ClosedLoopConfig {
     /// terminate (default, the historical behaviour) or keep simulating
     /// headless until a new client attaches through the acceptor.
     pub on_client_loss: ClientLossPolicy,
+    /// Measurement-driven adaptive load balancing: when set, an
+    /// [`AdaptiveDriver`] closes each decision window of
+    /// `adaptive_lb.window_steps` steps with measured per-rank costs and
+    /// repartitions when the hysteresis *and* the cost/benefit gate
+    /// agree. A steering client can toggle the running driver live with
+    /// [`SteeringCommand::SetAdaptiveLb`]; the config default applies
+    /// until the first such command.
+    pub adaptive_lb: Option<AdaptiveLbConfig>,
 }
 
 impl Default for ClosedLoopConfig {
@@ -70,6 +80,7 @@ impl Default for ClosedLoopConfig {
             vis_aware_repartition: false,
             frame_deadline: None,
             on_client_loss: ClientLossPolicy::Terminate,
+            adaptive_lb: None,
         }
     }
 }
@@ -177,6 +188,9 @@ pub fn run_closed_loop_opts(
     let mut last_frame_step = 0u64;
     let mut prev_speed: Option<Vec<f64>> = None;
     let mut compositor = cfg.frame_deadline.map(|_| DeadlineCompositor::new());
+    let mut adaptive = cfg.adaptive_lb.map(|c| AdaptiveDriver::new(&geo, c));
+    let mut window_steps_done = 0u64;
+    let mut loop_problems: Vec<String> = Vec::new();
 
     loop {
         // Step 3–4 of the paper's loop: client → master → all ranks.
@@ -228,16 +242,28 @@ pub fn run_closed_loop_opts(
             let w2 =
                 synthetic_view_weights(&graph, [dir[0] / norm, dir[1] / norm, dir[2] / norm], 0.3);
             let graph = graph.with_secondary_weights(w2);
-            let out = rebalance(&graph, solver.owner(), comm.size(), 0.10, 20);
-            outcome.sites_migrated += solver.repartition(out.owner)? as u64;
-            outcome.repartitions += 1;
-            // The render path indexes by local site; refresh the cache.
-            local_positions = solver
-                .local_sites()
-                .iter()
-                .map(|&g| geo.position(g))
-                .collect();
-            prev_speed = None; // residual baseline is decomposition-local
+            // The rebalance is fallible now; a degenerate input skips
+            // the repartition (reported to the client) instead of
+            // taking the whole run down. Every rank computes the same
+            // verdict from the same replicated inputs, so the skip is
+            // collectively consistent.
+            match rebalance(&graph, solver.owner(), comm.size(), 0.10, 20) {
+                Ok(out) => {
+                    outcome.sites_migrated += solver.repartition(out.owner)? as u64;
+                    outcome.repartitions += 1;
+                    // The render path indexes by local site; refresh the
+                    // cache.
+                    local_positions = solver
+                        .local_sites()
+                        .iter()
+                        .map(|&g| geo.position(g))
+                        .collect();
+                    prev_speed = None; // residual baseline is decomposition-local
+                }
+                Err(e) => {
+                    loop_problems.push(format!("view-aware repartition skipped: {e}"));
+                }
+            }
         }
         if state.terminate {
             outcome.terminated_by_client = true;
@@ -254,6 +280,33 @@ pub fn run_closed_loop_opts(
             solver.step_n(burst)?;
             comm.with_obs(|o| span.end(o, "sim.step"));
             outcome.steps_done += burst;
+            window_steps_done += burst;
+        }
+
+        // Measurement-driven adaptive load balancing: close the
+        // decision window once enough steps have accumulated. The live
+        // toggle arrives through the replicated command stream
+        // (`SetAdaptiveLb`), so every rank agrees on whether the
+        // collective window exchange happens.
+        if let Some(driver) = adaptive.as_mut() {
+            let enabled = state.adaptive_lb_override.unwrap_or(true);
+            if enabled && window_steps_done >= driver.config().window_steps && !state.terminate {
+                let remaining = cfg.max_steps.saturating_sub(outcome.steps_done);
+                let decision =
+                    driver.end_window(comm, &mut solver, window_steps_done, remaining)?;
+                window_steps_done = 0;
+                if decision.applied {
+                    outcome.repartitions += 1;
+                    outcome.sites_migrated += decision.sites_moved_local as u64;
+                    // The render path indexes by local site; refresh.
+                    local_positions = solver
+                        .local_sites()
+                        .iter()
+                        .map(|&g| geo.position(g))
+                        .collect();
+                    prev_speed = None;
+                }
+            }
         }
 
         // In situ observable extraction over the ROI (collective
@@ -398,10 +451,12 @@ pub fn run_closed_loop_opts(
             // so the queue is identical everywhere); reported by the
             // master as part of the status problems.
             let rejections = state.take_rejections();
+            let loop_notes = std::mem::take(&mut loop_problems);
             if let (Some(server), Some(image)) = (&server, composited) {
                 let span = comm.with_obs(|o| o.begin());
                 let mut problems = solver.local_snapshot().validity_report();
                 problems.extend(rejections);
+                problems.extend(loop_notes);
                 if !dropped_ranks.is_empty() {
                     problems.push(format!(
                         "degraded frame: compositing deadline dropped ranks {dropped_ranks:?}"
@@ -416,6 +471,8 @@ pub fn run_closed_loop_opts(
                     problems,
                     eta_steps: cfg.max_steps.saturating_sub(outcome.steps_done),
                     paused: state.paused,
+                    rebalances: outcome.repartitions,
+                    lb_imbalance: adaptive.as_ref().map_or(1.0, |d| d.last_imbalance()),
                 });
                 server.send_image(ImageFrame {
                     step: outcome.steps_done,
@@ -791,6 +848,99 @@ mod tests {
             assert!(r.terminated_by_client, "second client's Terminate landed");
             assert!(r.frames_rendered >= 2);
         }
+    }
+
+    #[test]
+    fn adaptive_lb_rebalances_a_skewed_start_and_reports_it() {
+        let geo = demo_geo();
+        let (client_end, server_end) = duplex_pair();
+        let server_slot = Arc::new(Mutex::new(Some(Box::new(server_end) as Box<dyn Transport>)));
+        let geo2 = geo.clone();
+
+        let client_thread = std::thread::spawn(move || {
+            let client = SteeringClient::new(Box::new(client_end));
+            // Let the adaptive windows run, then switch the balancer
+            // off live and run some more; finally terminate.
+            let mut toggled = false;
+            let mut reports = Vec::new();
+            loop {
+                client.send(&SteeringCommand::RequestFrame).unwrap();
+                let (img, statuses) = client.wait_for_image().unwrap();
+                reports.extend(statuses);
+                if img.step >= 120 && !toggled {
+                    toggled = true;
+                    client.send(&SteeringCommand::SetAdaptiveLb(false)).unwrap();
+                }
+                if img.step >= 200 {
+                    break;
+                }
+            }
+            client.send(&SteeringCommand::Terminate).unwrap();
+            while client.recv().is_ok() {}
+            reports
+        });
+
+        let results = run_spmd(3, move |comm| {
+            let transport = if comm.is_master() {
+                server_slot.lock().take()
+            } else {
+                None
+            };
+            // Deliberately skewed: rank 0 starts with 75% of the sites.
+            let n = geo2.fluid_count();
+            let heavy = n * 3 / 4;
+            let p = comm.size();
+            let owner: Vec<usize> = (0..n)
+                .map(|s| {
+                    if s < heavy {
+                        0
+                    } else {
+                        (1 + (s - heavy) * (p - 1) / (n - heavy)).min(p - 1)
+                    }
+                })
+                .collect();
+            run_closed_loop(
+                geo2.clone(),
+                owner,
+                SolverConfig::pressure_driven(1.01, 0.99),
+                comm,
+                transport,
+                &ClosedLoopConfig {
+                    max_steps: u64::MAX / 2,
+                    image: (16, 12),
+                    initial_vis_rate: 20,
+                    steps_per_cycle: 10,
+                    adaptive_lb: Some(hemelb_partition::AdaptiveLbConfig {
+                        window_steps: 20,
+                        threshold: 1.1,
+                        hysteresis_windows: 1,
+                        min_payoff: 0.0,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        });
+        let reports = client_thread.join().unwrap();
+        for r in &results {
+            assert_eq!(
+                r.repartitions, results[0].repartitions,
+                "the adaptive decision is collective"
+            );
+            assert!(
+                r.repartitions >= 1,
+                "a 75% skew with an open gate must rebalance at least once"
+            );
+        }
+        assert!(
+            results.iter().map(|r| r.sites_migrated).sum::<u64>() > 0,
+            "the rebalance must move sites"
+        );
+        // The status stream carries the adaptive surface.
+        let last = reports.last().expect("status reports shipped");
+        assert_eq!(last.rebalances, results[0].repartitions);
+        assert!(last.lb_imbalance >= 1.0);
     }
 
     #[test]

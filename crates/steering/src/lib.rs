@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod client;
 pub mod closedloop;
 pub mod error;
@@ -30,6 +31,7 @@ pub mod protocol;
 pub mod server;
 pub mod transport;
 
+pub use adaptive::{AdaptiveDriver, WindowDecision};
 pub use client::{BackoffPolicy, SteeringClient, TransportFactory};
 pub use closedloop::{run_closed_loop, run_closed_loop_opts, ClosedLoopConfig, ClosedLoopOutcome};
 pub use error::{SteeringError, SteeringResult};

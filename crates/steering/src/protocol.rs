@@ -87,6 +87,9 @@ pub enum SteeringCommand {
     /// whole domain if none is set) — §I's "extraction of hydrodynamic
     /// observables from a user-defined subset of the simulation volume".
     RequestObservables,
+    /// Enable or disable measurement-driven adaptive load balancing
+    /// mid-run (the `ClosedLoopConfig::adaptive_lb` loop).
+    SetAdaptiveLb(bool),
     /// End the run.
     Terminate,
 }
@@ -130,6 +133,10 @@ impl Wire for SteeringCommand {
             SteeringCommand::RequestFrame => w.put_u8(7),
             SteeringCommand::Terminate => w.put_u8(8),
             SteeringCommand::RequestObservables => w.put_u8(9),
+            SteeringCommand::SetAdaptiveLb(on) => {
+                w.put_u8(10);
+                w.put_bool(*on);
+            }
         }
     }
 
@@ -158,6 +165,7 @@ impl Wire for SteeringCommand {
             7 => Ok(SteeringCommand::RequestFrame),
             8 => Ok(SteeringCommand::Terminate),
             9 => Ok(SteeringCommand::RequestObservables),
+            10 => Ok(SteeringCommand::SetAdaptiveLb(r.get_bool()?)),
             k => Err(CommError::Decode {
                 reason: format!("invalid steering command kind {k}"),
             }),
@@ -183,6 +191,11 @@ pub struct StatusReport {
     pub eta_steps: u64,
     /// Whether time stepping is currently paused.
     pub paused: bool,
+    /// Repartitions applied so far (steered and adaptive).
+    pub rebalances: u64,
+    /// Most recently measured max/mean step-time imbalance (1.0 when no
+    /// adaptive-LB window has completed yet).
+    pub lb_imbalance: f64,
 }
 
 impl Wire for StatusReport {
@@ -194,6 +207,8 @@ impl Wire for StatusReport {
         w.put(&self.problems);
         w.put_u64(self.eta_steps);
         w.put_bool(self.paused);
+        w.put_u64(self.rebalances);
+        w.put_f64(self.lb_imbalance);
     }
     fn decode(r: &mut WireReader) -> CommResult<Self> {
         Ok(StatusReport {
@@ -204,6 +219,8 @@ impl Wire for StatusReport {
             problems: r.get()?,
             eta_steps: r.get_u64()?,
             paused: r.get_bool()?,
+            rebalances: r.get_u64()?,
+            lb_imbalance: r.get_f64()?,
         })
     }
 }
@@ -390,6 +407,8 @@ mod tests {
         round_trip(SteeringCommand::Resume);
         round_trip(SteeringCommand::RequestFrame);
         round_trip(SteeringCommand::RequestObservables);
+        round_trip(SteeringCommand::SetAdaptiveLb(true));
+        round_trip(SteeringCommand::SetAdaptiveLb(false));
         round_trip(SteeringCommand::Terminate);
     }
 
@@ -403,6 +422,8 @@ mod tests {
             problems: vec!["example".into()],
             eta_steps: 500,
             paused: false,
+            rebalances: 2,
+            lb_imbalance: 1.37,
         });
         round_trip(ServerMessage::Image(ImageFrame {
             step: 7,
@@ -475,6 +496,8 @@ mod tests {
             problems: vec!["p".into()],
             eta_steps: 3,
             paused: true,
+            rebalances: 1,
+            lb_imbalance: 1.2,
         });
         let full = msg.to_bytes();
         for n in 0..full.len() {
@@ -485,7 +508,7 @@ mod tests {
 
     #[test]
     fn bad_tags_are_errors_on_both_directions() {
-        for kind in [10u8, 42, 255] {
+        for kind in [11u8, 42, 255] {
             let mut w = hemelb_parallel::WireWriter::new();
             w.put_u8(kind);
             assert!(SteeringCommand::from_bytes(w.finish()).is_err());

@@ -34,6 +34,11 @@ pub struct SteeringState {
     pub terminate: bool,
     /// Pending inlet-pressure changes `(id, rho)`.
     pub pressure_changes: Vec<(u32, f64)>,
+    /// Client override for adaptive load balancing: `None` until a
+    /// client sends [`SteeringCommand::SetAdaptiveLb`], then the last
+    /// value sent. The closed loop combines this with its configured
+    /// default (`ClosedLoopConfig::adaptive_lb`).
+    pub adaptive_lb_override: Option<bool>,
     /// Domain shape in lattice cells; ROIs are validated against it.
     pub domain: [u32; 3],
     /// Notices about rejected commands, drained into the next status
@@ -63,6 +68,7 @@ impl SteeringState {
             observables_requested: false,
             terminate: false,
             pressure_changes: Vec::new(),
+            adaptive_lb_override: None,
             domain: [
                 domain_shape[0] as u32,
                 domain_shape[1] as u32,
@@ -121,6 +127,7 @@ impl SteeringState {
             SteeringCommand::Resume => self.paused = false,
             SteeringCommand::RequestFrame => self.frame_requested = true,
             SteeringCommand::RequestObservables => self.observables_requested = true,
+            SteeringCommand::SetAdaptiveLb(on) => self.adaptive_lb_override = Some(*on),
             SteeringCommand::Terminate => self.terminate = true,
         }
     }
@@ -434,6 +441,8 @@ mod tests {
             problems: vec![],
             eta_steps: 10,
             paused: false,
+            rebalances: 0,
+            lb_imbalance: 1.0,
         }); // no-op while detached
 
         // First client attaches and steers.
@@ -496,6 +505,8 @@ mod tests {
             problems: vec![],
             eta_steps: 10,
             paused: false,
+            rebalances: 0,
+            lb_imbalance: 1.0,
         });
         assert!(!server.is_attached(), "failed send detaches the client");
         assert!(server.take_events().iter().any(|e| e.contains("lost")));

@@ -1,0 +1,129 @@
+//! Adaptive load balancing, end to end: whatever the measured costs
+//! make the balancer do mid-run — nothing, one repartition, several —
+//! the physics must stay bit-identical to a serial solver that never
+//! repartitions, and the decision machinery (hysteresis, cost/benefit
+//! gate) must behave deterministically on known cost sequences.
+
+use hemelb::core::{DistSolver, Solver, SolverConfig};
+use hemelb::parallel::run_spmd;
+use hemelb::partition::{payoff_gate, plan_rebalance, AdaptiveLb, AdaptiveLbConfig, WindowCosts};
+use hemelb::steering::AdaptiveDriver;
+use hemelb_bench::adaptive::skewed_owner;
+use hemelb_bench::workloads::{self, Size};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn costs(sim: &[f64], steps: u64) -> WindowCosts {
+    WindowCosts {
+        sim_secs: sim.to_vec(),
+        vis_secs: vec![0.0; sim.len()],
+        steps,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole guarantee: run the full measured pipeline
+    /// (obs spans → all-reduced window costs → hysteresis → diffusive
+    /// plan → cost/benefit gate → migrating repartition) with randomised
+    /// skew, rank count and window length, and the final density field
+    /// is bit-identical to the never-repartitioned serial reference —
+    /// whether or not any window actually triggered.
+    #[test]
+    fn adaptive_midrun_repartition_is_bitwise_invisible(
+        ranks in 2usize..4,
+        skew in 0.3f64..0.85,
+        window in 10u64..30,
+        windows in 2u64..5,
+    ) {
+        let geo = workloads::aneurysm(Size::Tiny);
+        let cfg = SolverConfig::pressure_driven(1.01, 0.99);
+        let steps = window * windows;
+        let lb_cfg = AdaptiveLbConfig {
+            window_steps: window,
+            threshold: 1.1,
+            hysteresis_windows: 1,
+            min_payoff: 0.0,
+            ..Default::default()
+        };
+
+        let (geo2, cfg2) = (geo.clone(), cfg.clone());
+        let results = run_spmd(ranks, move |comm| {
+            let owner = skewed_owner(&geo2, comm.size(), skew);
+            let mut ds = DistSolver::new(geo2.clone(), owner, cfg2.clone(), comm).unwrap();
+            let mut driver = AdaptiveDriver::new(&geo2, lb_cfg);
+            let mut applied = 0u64;
+            while ds.step_count() < steps {
+                ds.step_n(window.min(steps - ds.step_count())).unwrap();
+                let remaining = steps - ds.step_count();
+                let d = driver
+                    .end_window(comm, &mut ds, window, remaining)
+                    .unwrap();
+                applied += u64::from(d.applied);
+            }
+            (ds.gather_snapshot().unwrap(), applied)
+        });
+
+        let mut reference = Solver::new(geo, cfg);
+        reference.step_n(steps);
+        let rho = &results[0].0.as_ref().expect("master gathers").rho;
+        prop_assert_eq!(rho, &reference.snapshot().rho);
+        // The decision is collective: every rank applied the same count.
+        for (_, applied) in &results {
+            prop_assert_eq!(*applied, results[0].1);
+        }
+    }
+}
+
+#[test]
+fn hysteresis_does_not_thrash_on_oscillating_load() {
+    // A load that alternates hot/cold every window never accumulates
+    // the required consecutive-hot streak, so it never triggers — the
+    // whole point of the hysteresis.
+    let mut lb = AdaptiveLb::new(AdaptiveLbConfig {
+        threshold: 1.25,
+        hysteresis_windows: 2,
+        ..Default::default()
+    });
+    for i in 0..10 {
+        let w = if i % 2 == 0 {
+            costs(&[3.0, 1.0], 50) // imbalance 1.5: hot
+        } else {
+            costs(&[1.0, 1.0], 50) // balanced: cold, streak resets
+        };
+        let o = lb.observe(&w);
+        assert!(!o.triggered, "window {i} must not trigger: {o:?}");
+    }
+    // Sustained heat, by contrast, triggers on the second hot window.
+    let o = lb.observe(&costs(&[3.0, 1.0], 50));
+    assert!(!o.triggered);
+    let o = lb.observe(&costs(&[3.0, 1.0], 50));
+    assert!(o.triggered);
+}
+
+#[test]
+fn gate_rejects_migrations_that_cannot_amortise() {
+    let geo = workloads::aneurysm(Size::Tiny);
+    let geo = Arc::clone(&geo);
+    let graph = hemelb::partition::graph::SiteGraph::from_geometry(
+        &geo,
+        hemelb::partition::graph::Connectivity::Six,
+    );
+    let owner = skewed_owner(&geo, 2, 0.75);
+    let cfg = AdaptiveLbConfig::default();
+    let w = costs(&[3.0, 1.0], 50);
+    let plan = plan_rebalance(&graph, &owner, 2, &cfg, &w).expect("plan");
+    assert!(plan.moved_vertices > 0);
+
+    // Plenty of steps left and a cheap network: apply.
+    let open = payoff_gate(&plan, &w, 1e-6, 10_000, &cfg);
+    assert!(open.apply, "{open:?}");
+    // Same plan with no horizon left: the one-off cost cannot pay for
+    // itself, so the gate closes.
+    let closed = payoff_gate(&plan, &w, 1e-6, 0, &cfg);
+    assert!(!closed.apply, "{closed:?}");
+    // Same horizon, preposterous migration cost: closed too.
+    let closed = payoff_gate(&plan, &w, 1e9, 10_000, &cfg);
+    assert!(!closed.apply, "{closed:?}");
+}
