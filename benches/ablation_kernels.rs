@@ -1,11 +1,12 @@
 //! Ablation bench: design choices the DESIGN.md calls out — collision
-//! kernel (LBGK vs TRT), velocity set (D3Q15 vs D3Q19) and lattice
-//! resolution — measured on the LB step they affect.
+//! kernel (LBGK vs TRT), velocity set (D3Q15 vs D3Q19), kernel memory
+//! layout (legacy brick vs SoA site list) and lattice resolution —
+//! measured on the LB step they affect.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hemelb::core::collision::CollisionKind;
 use hemelb::core::solver::ModelKind;
-use hemelb::core::{Solver, SolverConfig};
+use hemelb::core::{KernelLayout, Solver, SolverConfig};
 use hemelb_bench::workloads::{self, Size};
 
 fn bench(c: &mut Criterion) {
@@ -25,6 +26,20 @@ fn bench(c: &mut Criterion) {
             let mut solver = Solver::new(
                 geo.clone(),
                 SolverConfig::pressure_driven(1.01, 0.99).with_collision(kind),
+            );
+            b.iter(|| solver.step());
+        });
+    }
+
+    for (name, layout) in [
+        ("legacy", KernelLayout::Legacy),
+        ("soa_scalar", KernelLayout::SoaScalar),
+        ("soa_simd", KernelLayout::SoaSimd),
+    ] {
+        g.bench_with_input(BenchmarkId::new("layout", name), &layout, |b, &layout| {
+            let mut solver = Solver::new(
+                geo.clone(),
+                SolverConfig::pressure_driven(1.01, 0.99).with_layout(layout),
             );
             b.iter(|| solver.step());
         });

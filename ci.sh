@@ -3,13 +3,14 @@
 #
 #   ./ci.sh --quick        # lint + tier1: format, clippy, release
 #                          #   build, root-package tests
-#   ./ci.sh                # + determinism, obs, render and
-#                          #   fault-injection suites + bench smokes
-#   ./ci.sh --soak         # + long soaks: golden --ignored and the
+#   ./ci.sh                # + determinism, kernel-layout, obs, render
+#                          #   and fault-injection suites + bench smokes
+#   ./ci.sh --soak         # + long soaks: golden --ignored, the
+#                          #   500-step SoA kernel soak and the
 #                          #   200-step two-kill fault recovery
 #   ./ci.sh --only GROUP   # one group: lint | tier1 | determinism |
-#                          #   faults | smoke | soak (what the staged
-#                          #   GitHub workflow jobs shell into)
+#                          #   kernel | faults | smoke | soak (what the
+#                          #   staged GitHub workflow jobs shell into)
 #
 # Each stage is timed; a per-stage summary prints on exit (also on
 # failure, so CI logs show where the time — or the break — went).
@@ -17,15 +18,15 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 TIER="full"
-CI_GROUPS=(lint tier1 determinism faults smoke)
+CI_GROUPS=(lint tier1 determinism kernel faults smoke)
 case "${1:-}" in
     --quick) TIER="quick"; CI_GROUPS=(lint tier1) ;;
     --soak)  TIER="soak";  CI_GROUPS+=(soak) ;;
     --only)
         TIER="only:${2:-}"
         case "${2:-}" in
-            lint|tier1|determinism|faults|smoke|soak) CI_GROUPS=("$2") ;;
-            *) echo "usage: ./ci.sh --only {lint|tier1|determinism|faults|smoke|soak}" >&2; exit 2 ;;
+            lint|tier1|determinism|kernel|faults|smoke|soak) CI_GROUPS=("$2") ;;
+            *) echo "usage: ./ci.sh --only {lint|tier1|determinism|kernel|faults|smoke|soak}" >&2; exit 2 ;;
         esac ;;
     "") ;;
     *) echo "usage: ./ci.sh [--quick|--soak|--only GROUP]" >&2; exit 2 ;;
@@ -82,6 +83,14 @@ group_determinism() {
     stage render      cargo test -q --test render_compositing
 }
 
+# Kernel memory layouts: legacy / SoA-scalar / SoA-SIMD bitwise
+# equivalence across operators and boundary conditions, mid-run
+# checkpoint hand-off between layouts, and the corrupted-streaming-index
+# negative test against the golden digests.
+group_kernel() {
+    stage kernel cargo test -q --test kernel_layout
+}
+
 # Fault injection: benign-fault transparency, kill/checkpoint replay,
 # degraded frames under a dead render rank, steering reconnect.
 group_faults() {
@@ -89,17 +98,19 @@ group_faults() {
 }
 
 # Release bench smokes, exercising the reproduce binary end to end:
-# E13 (render), E14 (faults) and E15 (adaptive LB) also write
-# out/BENCH_*.json.
+# E13 (render), E14 (faults), E15 (adaptive LB) and E16 (kernel
+# layouts) also write out/BENCH_*.json.
 group_smoke() {
     stage render-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- render --size small --ranks 2
     stage faults-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- faults --size tiny --ranks 3
     stage adaptive-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- adaptive --size tiny --ranks 3
+    stage kernel-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- kernel --size tiny
 }
 
 # Long soaks.
 group_soak() {
     stage golden-soak cargo test -q --test golden -- --ignored
+    stage kernel-soak cargo test -q --test kernel_layout -- --ignored
     stage fault-soak  cargo test -q --test fault_injection -- --ignored
 }
 

@@ -1,7 +1,7 @@
 //! `reproduce` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|ablation|all]
+//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|ablation|all]
 //!           [--size tiny|small|medium] [--ranks N]
 //! ```
 //!
@@ -10,8 +10,8 @@
 
 use hemelb_bench::workloads::Size;
 use hemelb_bench::{
-    ablation, adaptive, extract, faults, fig1, fig2, fig3, fig4, multires, obs, preprocess, render,
-    repartition, scaling, table1,
+    ablation, adaptive, extract, faults, fig1, fig2, fig3, fig4, kernel, multires, obs, preprocess,
+    render, repartition, scaling, table1,
 };
 
 struct Args {
@@ -49,7 +49,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|ablation|all] [--size tiny|small|medium] [--ranks N]"
+                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|ablation|all] [--size tiny|small|medium] [--ranks N]"
                 );
                 std::process::exit(0);
             }
@@ -164,6 +164,16 @@ fn main() {
         ran = true;
         println!("=== E15: adaptive load balancing (measure -> plan -> gate -> migrate) ===");
         println!("{}", adaptive::run(args.size, args.ranks.clamp(2, 8)));
+    }
+    if run_all || args.what == "kernel" {
+        ran = true;
+        println!("=== E16: kernel memory-layout ablation (legacy vs SoA vs SoA-SIMD) ===");
+        let steps = match args.size {
+            Size::Tiny => 50,
+            Size::Small => 40,
+            Size::Medium => 10,
+        };
+        println!("{}", kernel::run(args.size, steps));
     }
     if run_all || args.what == "ablation" {
         ran = true;

@@ -14,7 +14,7 @@
 //!    the quantity that decides whether "scales well" holds.
 
 use crate::workloads::{self, Size};
-use hemelb_core::{DistSolver, ParallelSolver, Solver, SolverConfig};
+use hemelb_core::{DistSolver, KernelLayout, ParallelSolver, Solver, SolverConfig};
 use hemelb_parallel::{run_spmd_with_stats, CostModel, MachineModel};
 use hemelb_partition::graph::{Connectivity, SiteGraph};
 use hemelb_partition::{quality, HilbertSfc, MultilevelKWay, NaiveBlock, Partitioner};
@@ -47,9 +47,9 @@ pub struct ScalingRow {
 /// one exactly (`f64::to_bits`) after the measured steps.
 #[derive(Debug, Clone)]
 pub struct KernelRow {
-    /// "serial" or "threaded".
+    /// "legacy", "soa-scalar", "soa-simd" or "threaded".
     pub kernel: &'static str,
-    /// Rayon worker threads (1 for the serial row).
+    /// Rayon worker threads (1 for the serial rows).
     pub threads: usize,
     /// Measured wall seconds per LB step.
     pub seconds_per_step: f64,
@@ -135,17 +135,39 @@ pub fn run(size: Size, rank_counts: &[usize], steps: u64) -> ScalingResult {
     // everywhere is bit-identical output.
     let cfg = SolverConfig::pressure_driven(1.01, 0.99);
     let mut kernel_rows = Vec::new();
-    let mut serial = Solver::new(geo.clone(), cfg.clone());
+    let mut serial = Solver::new(geo.clone(), cfg.clone().with_layout(KernelLayout::Legacy));
     let t0 = Instant::now();
     serial.step_n(steps);
     let s_per_step = t0.elapsed().as_secs_f64() / steps as f64;
     kernel_rows.push(KernelRow {
-        kernel: "serial",
+        kernel: "legacy",
         threads: 1,
         seconds_per_step: s_per_step,
         site_updates_per_sec: geo.fluid_count() as f64 / s_per_step,
         bit_identical: true,
     });
+    // The SoA layouts, serially: same arithmetic, different memory walk.
+    for (name, layout) in [
+        ("soa-scalar", KernelLayout::SoaScalar),
+        ("soa-simd", KernelLayout::SoaSimd),
+    ] {
+        let mut soa = Solver::new(geo.clone(), cfg.clone().with_layout(layout));
+        let t0 = Instant::now();
+        soa.step_n(steps);
+        let s_per_step = t0.elapsed().as_secs_f64() / steps as f64;
+        let bit_identical = soa
+            .raw_distributions()
+            .iter()
+            .zip(serial.raw_distributions().iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        kernel_rows.push(KernelRow {
+            kernel: name,
+            threads: 1,
+            seconds_per_step: s_per_step,
+            site_updates_per_sec: geo.fluid_count() as f64 / s_per_step,
+            bit_identical,
+        });
+    }
     for t in [1usize, 2, 4] {
         let mut par = ParallelSolver::new(geo.clone(), cfg.clone(), t);
         let t0 = Instant::now();
@@ -154,7 +176,7 @@ pub fn run(size: Size, rank_counts: &[usize], steps: u64) -> ScalingResult {
         let bit_identical = par
             .raw_distributions()
             .iter()
-            .zip(serial.raw_distributions())
+            .zip(serial.raw_distributions().iter())
             .all(|(a, b)| a.to_bits() == b.to_bits());
         kernel_rows.push(KernelRow {
             kernel: "threaded",
@@ -284,8 +306,8 @@ mod tests {
         // The projection must be in the regime the paper claims.
         assert!(result.projection.comm_fraction < 0.5);
         assert!(result.projection.comm_fraction > 0.0);
-        // Serial row + three threaded rows, all bit-identical.
-        assert_eq!(result.kernel_rows.len(), 4);
+        // Legacy + two SoA rows + three threaded rows, all bit-identical.
+        assert_eq!(result.kernel_rows.len(), 6);
         for k in &result.kernel_rows {
             assert!(k.bit_identical, "threads={} diverged", k.threads);
             assert!(k.site_updates_per_sec > 0.0);

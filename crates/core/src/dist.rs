@@ -14,19 +14,17 @@
 
 use crate::equilibrium::feq_all;
 use crate::fields::FieldSnapshot;
+use crate::layout::{KernelLayout, SoaLattice, HALO_FLAG, LINK_BOUNDARY as BOUNDARY};
 use crate::model::LatticeModel;
 use crate::solver::{boundary_rule, precompute_bc_velocities, SolverConfig};
 use bytes::Bytes;
-use hemelb_geometry::SparseGeometry;
+use hemelb_geometry::{SiteKind, SparseGeometry};
 use hemelb_parallel::{CommResult, Communicator, Tag, WireReader, WireWriter};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 const T_HALO: Tag = Tag::halo(0);
 const T_MIGRATE: Tag = Tag::migration(0);
-
-/// Pull-table entry flags (local table).
-const BOUNDARY: u32 = u32::MAX;
-const HALO_FLAG: u32 = 1 << 31;
 
 /// One rank's share of the distributed solver. Construct collectively
 /// with the same arguments on every rank.
@@ -55,6 +53,11 @@ pub struct DistSolver<'a> {
     halo: Vec<f64>,
     /// MRT operator when configured.
     mrt: Option<crate::mrt::MrtOperator>,
+    /// SoA state when `cfg.layout` is not [`KernelLayout::Legacy`]; the
+    /// site-major `f`/`f_next` stay empty in that case.
+    soa: Option<SoaLattice>,
+    /// Site kinds of the owned sites, local order.
+    kinds: Vec<SiteKind>,
     step: u64,
 }
 
@@ -259,6 +262,16 @@ impl<'a> DistSolver<'a> {
             }
             _ => None,
         };
+        let kinds: Vec<SiteKind> = locals.iter().map(|&g| geo.kind(g)).collect();
+        let soa = match cfg.layout {
+            KernelLayout::Legacy => None,
+            _ => Some(SoaLattice::new(q, &pull, &f)),
+        };
+        let (f, f_next) = if soa.is_some() {
+            (Vec::new(), Vec::new())
+        } else {
+            (f.clone(), f)
+        };
         Ok(DistSolver {
             comm,
             geo,
@@ -266,7 +279,7 @@ impl<'a> DistSolver<'a> {
             locals,
             model,
             cfg,
-            f_next: f.clone(),
+            f_next,
             moments: vec![(1.0, [0.0; 3]); nl],
             f,
             bc_velocity,
@@ -275,6 +288,8 @@ impl<'a> DistSolver<'a> {
             recv_plan,
             halo: vec![0.0; n_halo],
             mrt,
+            soa,
+            kinds,
             step: 0,
         })
     }
@@ -334,14 +349,27 @@ impl<'a> DistSolver<'a> {
 
         // Collide in place (f becomes f*).
         let span = self.comm.with_obs(|o| o.begin());
-        crate::kernel::par_collide(
-            &self.model,
-            self.cfg.collision,
-            self.cfg.tau,
-            self.mrt.as_ref(),
-            &mut self.f,
-            &mut self.moments,
-        );
+        if let Some(soa) = self.soa.as_mut() {
+            let simd = self.cfg.layout == KernelLayout::SoaSimd;
+            crate::kernel::par_collide_soa(
+                &self.model,
+                self.cfg.collision,
+                self.cfg.tau,
+                self.mrt.as_ref(),
+                &mut soa.f,
+                &mut self.moments,
+                simd,
+            );
+        } else {
+            crate::kernel::par_collide(
+                &self.model,
+                self.cfg.collision,
+                self.cfg.tau,
+                self.mrt.as_ref(),
+                &mut self.f,
+                &mut self.moments,
+            );
+        }
         self.comm.with_obs(|o| span.end(o, "lb.collide"));
 
         // Halo exchange of requested post-collision populations.
@@ -351,8 +379,17 @@ impl<'a> DistSolver<'a> {
             .iter()
             .map(|(peer, requests)| {
                 let mut w = WireWriter::with_capacity(requests.len() * 8);
-                for &(l, d) in requests {
-                    w.put_f64(self.f[l as usize * q + d as usize]);
+                match &self.soa {
+                    Some(soa) => {
+                        for &(l, d) in requests {
+                            w.put_f64(soa.f[d as usize][l as usize]);
+                        }
+                    }
+                    None => {
+                        for &(l, d) in requests {
+                            w.put_f64(self.f[l as usize * q + d as usize]);
+                        }
+                    }
                 }
                 (*peer, w.finish())
             })
@@ -374,7 +411,32 @@ impl<'a> DistSolver<'a> {
 
         // Stream: disjoint chunks of f_next, all reading the immutable
         // post-collision state (local f + halo) — race-free, bit-exact.
-        {
+        if let Some(soa) = self.soa.as_mut() {
+            let model = &self.model;
+            let cfg = &self.cfg;
+            let kinds = &self.kinds[..];
+            let moments = &self.moments[..];
+            let bc_velocity = &self.bc_velocity[..];
+            let halo = &self.halo[..];
+            let step = self.step;
+            let comm = self.comm;
+            let (f_old, f_next, plan) = soa.split_for_stream();
+            let span = comm.with_obs(|o| o.begin());
+            crate::kernel::par_stream_soa(
+                model,
+                cfg,
+                kinds,
+                f_old,
+                plan,
+                moments,
+                bc_velocity,
+                halo,
+                step,
+                f_next,
+            );
+            comm.with_obs(|o| span.end(o, "lb.stream"));
+            soa.swap_buffers();
+        } else {
             let model = &self.model;
             let cfg = &self.cfg;
             let geo = &*self.geo;
@@ -410,8 +472,8 @@ impl<'a> DistSolver<'a> {
                 }
             });
             self.comm.with_obs(|o| span.end(o, "lb.stream"));
+            std::mem::swap(&mut self.f, &mut self.f_next);
         }
-        std::mem::swap(&mut self.f, &mut self.f_next);
         self.step += 1;
         Ok(())
     }
@@ -445,7 +507,7 @@ impl<'a> DistSolver<'a> {
         let mut outgoing: Vec<Vec<(u32, Vec<f64>)>> = vec![Vec::new(); self.comm.size()];
         let mut moved = 0usize;
         for (l, &g) in self.locals.iter().enumerate() {
-            let fs = self.f[l * q..(l + 1) * q].to_vec();
+            let fs = self.site_f(l);
             let no = new_owner[g as usize];
             if no == me {
                 kept.push((g, fs));
@@ -510,7 +572,7 @@ impl<'a> DistSolver<'a> {
         for (g, fs) in kept {
             let l = g2l[g as usize];
             assert_ne!(l, u32::MAX, "migrated site {g} not owned under new map");
-            fresh.f[l as usize * q..(l as usize + 1) * q].copy_from_slice(&fs);
+            fresh.set_site_f(l as usize, &fs);
             installed += 1;
         }
         assert_eq!(
@@ -537,14 +599,24 @@ impl<'a> DistSolver<'a> {
         let mut u = vec![[0.0; 3]; nl];
         let mut shear = vec![0.0; nl];
         let span = self.comm.with_obs(|o| o.begin());
-        crate::kernel::par_macroscopics(
-            &self.model,
-            self.cfg.tau,
-            &self.f,
-            &mut rho,
-            &mut u,
-            &mut shear,
-        );
+        match &self.soa {
+            Some(soa) => crate::kernel::par_macroscopics_soa(
+                &self.model,
+                self.cfg.tau,
+                &soa.f,
+                &mut rho,
+                &mut u,
+                &mut shear,
+            ),
+            None => crate::kernel::par_macroscopics(
+                &self.model,
+                self.cfg.tau,
+                &self.f,
+                &mut rho,
+                &mut u,
+                &mut shear,
+            ),
+        }
         self.comm.with_obs(|o| span.end(o, "lb.macroscopics"));
         FieldSnapshot {
             step: self.step,
@@ -601,7 +673,10 @@ impl<'a> DistSolver<'a> {
 
     /// Global mass via all-reduce (collective).
     pub fn mass(&self) -> CommResult<f64> {
-        let local: f64 = self.f.iter().sum();
+        let local: f64 = match &self.soa {
+            Some(soa) => soa.mass(),
+            None => self.f.iter().sum(),
+        };
         self.comm.all_reduce_f64(local, |a, b| a + b)
     }
 
@@ -620,9 +695,36 @@ impl<'a> DistSolver<'a> {
         self.model.q
     }
 
-    /// This rank's whole local distribution array, site-major.
-    pub fn raw_distributions(&self) -> &[f64] {
-        &self.f
+    /// This rank's whole local distribution array in the canonical
+    /// site-major order (borrowed for the legacy layout, transposed on
+    /// the fly for SoA).
+    pub fn raw_distributions(&self) -> Cow<'_, [f64]> {
+        match &self.soa {
+            Some(soa) => Cow::Owned(soa.to_site_major()),
+            None => Cow::Borrowed(&self.f),
+        }
+    }
+
+    /// The `q` populations of local site `l`, direction order.
+    fn site_f(&self, l: usize) -> Vec<f64> {
+        match &self.soa {
+            Some(soa) => soa.site_values(l),
+            None => {
+                let q = self.model.q;
+                self.f[l * q..(l + 1) * q].to_vec()
+            }
+        }
+    }
+
+    /// Overwrite the `q` populations of local site `l`.
+    fn set_site_f(&mut self, l: usize, values: &[f64]) {
+        match self.soa.as_mut() {
+            Some(soa) => soa.set_site_values(l, values),
+            None => {
+                let q = self.model.q;
+                self.f[l * q..(l + 1) * q].copy_from_slice(values);
+            }
+        }
     }
 
     /// Block until every rank reaches this point (checkpoint fencing).
@@ -630,10 +732,14 @@ impl<'a> DistSolver<'a> {
         self.comm.barrier()
     }
 
-    /// Overwrite the local dynamical state (checkpoint restore).
+    /// Overwrite the local dynamical state from a site-major array
+    /// (checkpoint restore); layout-agnostic.
     pub(crate) fn install_state(&mut self, step: u64, f: Vec<f64>) {
-        assert_eq!(f.len(), self.f.len());
-        self.f = f;
+        assert_eq!(f.len(), self.locals.len() * self.model.q);
+        match self.soa.as_mut() {
+            Some(soa) => soa.install_site_major(&f),
+            None => self.f = f,
+        }
         self.step = step;
     }
 
@@ -860,6 +966,86 @@ mod tests {
         });
         assert!(out.results.iter().all(|&m| m == 0), "nothing moves");
         assert_eq!(out.summary.total.bytes(TagClass::Migration), 0);
+    }
+
+    /// Satellite: validate streaming-index construction at **rank
+    /// boundaries per link orientation**. With an explicit x-slab
+    /// decomposition, every pull entry must agree with an independent
+    /// geometry + owner-map query: boundary sentinel for missing links,
+    /// a local index resolving to the right global site for owned
+    /// sources, and a halo slot exactly when the source belongs to the
+    /// peer. Orientation coverage: the low-x rank may only have halo
+    /// links on directions pulling from higher x (`c_x = −1`), the
+    /// high-x rank only on `c_x = +1`, and x-neutral directions never
+    /// cross the cut.
+    #[test]
+    fn halo_slots_marked_per_orientation_at_rank_boundaries() {
+        let geo = demo_geo();
+        let x_cut = geo.shape()[0] as u32 / 2;
+        let owner: Vec<usize> = (0..geo.fluid_count() as u32)
+            .map(|s| usize::from(geo.position(s)[0] >= x_cut))
+            .collect();
+        for layout in [KernelLayout::Legacy, KernelLayout::SoaSimd] {
+            let cfg = SolverConfig::pressure_driven(1.01, 0.99).with_layout(layout);
+            let geo2 = geo.clone();
+            let owner2 = owner.clone();
+            run_spmd(2, move |comm| {
+                let ds = DistSolver::new(geo2.clone(), owner2.clone(), cfg.clone(), comm).unwrap();
+                let me = comm.rank();
+                let q = ds.model.q;
+                let mut halo_links = vec![0usize; q];
+                for (l, &g) in ds.locals.iter().enumerate() {
+                    let [x, y, z] = geo2.position(g);
+                    for (i, links) in halo_links.iter_mut().enumerate() {
+                        let c = ds.model.c[i];
+                        let src = geo2.site_at(
+                            x as i64 - c[0] as i64,
+                            y as i64 - c[1] as i64,
+                            z as i64 - c[2] as i64,
+                        );
+                        let entry = ds.pull[l * q + i];
+                        if let Some(soa) = &ds.soa {
+                            assert_eq!(
+                                soa.stream_entry(i, l),
+                                entry,
+                                "SoA stream table must mirror the pull table"
+                            );
+                        }
+                        match src {
+                            None => assert_eq!(entry, BOUNDARY, "dir {i} at local {l}"),
+                            Some(sg) if owner2[sg as usize] == me => {
+                                assert_eq!(entry & HALO_FLAG, 0, "owned source marked halo");
+                                assert_eq!(
+                                    ds.locals[entry as usize], sg,
+                                    "dir {i} at local {l}: wrong local source"
+                                );
+                            }
+                            Some(_) => {
+                                assert_ne!(entry, BOUNDARY);
+                                assert_ne!(entry & HALO_FLAG, 0, "peer source must be a halo slot");
+                                assert!(((entry & !HALO_FLAG) as usize) < ds.halo.len());
+                                *links += 1;
+                            }
+                        }
+                    }
+                }
+                for (i, &links) in halo_links.iter().enumerate().take(q) {
+                    let cx = ds.model.c[i][0];
+                    let crosses = (me == 0 && cx == -1) || (me == 1 && cx == 1);
+                    if crosses {
+                        assert!(
+                            links > 0,
+                            "rank {me}: direction {i} (c_x = {cx}) must cross the cut"
+                        );
+                    } else {
+                        assert_eq!(
+                            links, 0,
+                            "rank {me}: direction {i} (c_x = {cx}) must not cross the cut"
+                        );
+                    }
+                }
+            });
+        }
     }
 
     #[test]

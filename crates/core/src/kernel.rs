@@ -17,7 +17,8 @@ use crate::fields::FieldSnapshot;
 use crate::model::LatticeModel;
 use crate::mrt::MrtOperator;
 use crate::solver::{boundary_rule, Solver, SolverConfig, LINK_BOUNDARY};
-use hemelb_geometry::SparseGeometry;
+use hemelb_geometry::{SiteKind, SparseGeometry};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// Collide the sites in `f` (a span of `moments.len()` sites, site-major)
@@ -220,6 +221,121 @@ pub(crate) fn par_macroscopics(
     });
 }
 
+/// Split each SoA lane at `len`, collecting the heads into one per-lane
+/// chunk bundle and leaving the tails in `rest` — the safe-Rust way to
+/// hand disjoint site spans of every lane to a worker.
+fn take_lane_chunk<'a>(rest: &mut [&'a mut [f64]], len: usize) -> Vec<&'a mut [f64]> {
+    rest.iter_mut()
+        .map(|lane| {
+            let taken = std::mem::take(lane);
+            let (head, tail) = taken.split_at_mut(len);
+            *lane = tail;
+            head
+        })
+        .collect()
+}
+
+/// Chunk-parallel collide over SoA lanes: each worker gets the same
+/// site span of every lane plus its moments span.
+pub(crate) fn par_collide_soa(
+    model: &LatticeModel,
+    collision: CollisionKind,
+    tau: f64,
+    mrt: Option<&MrtOperator>,
+    f: &mut [Vec<f64>],
+    moments: &mut [(f64, [f64; 3])],
+    simd: bool,
+) {
+    rayon::scope(|sc| {
+        let mut lane_rest: Vec<&mut [f64]> = f.iter_mut().map(|l| l.as_mut_slice()).collect();
+        let mut m_rest = moments;
+        for (_, len) in site_chunks(m_rest.len()) {
+            let chunk = take_lane_chunk(&mut lane_rest, len);
+            let (m_chunk, m_tail) = m_rest.split_at_mut(len);
+            m_rest = m_tail;
+            let mut op = mrt.cloned();
+            sc.spawn(move |_| {
+                let mut chunk = chunk;
+                crate::layout::collide_span_soa(
+                    model,
+                    collision,
+                    tau,
+                    op.as_mut(),
+                    &mut chunk,
+                    m_chunk,
+                    simd,
+                );
+            });
+        }
+    });
+}
+
+/// Chunk-parallel pull-stream over SoA lanes: disjoint site spans of
+/// `f_next` are written from the shared immutable previous state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn par_stream_soa(
+    model: &LatticeModel,
+    cfg: &SolverConfig,
+    kinds: &[SiteKind],
+    f_old: &[Vec<f64>],
+    plan: &crate::layout::StreamPlan,
+    moments: &[(f64, [f64; 3])],
+    bc_velocity: &[[f64; 3]],
+    halo: &[f64],
+    step: u64,
+    f_next: &mut [Vec<f64>],
+) {
+    rayon::scope(|sc| {
+        let mut lane_rest: Vec<&mut [f64]> = f_next.iter_mut().map(|l| l.as_mut_slice()).collect();
+        for (first, len) in site_chunks(moments.len()) {
+            let chunk = take_lane_chunk(&mut lane_rest, len);
+            sc.spawn(move |_| {
+                let mut chunk = chunk;
+                crate::layout::stream_span_soa(
+                    model,
+                    cfg,
+                    kinds,
+                    f_old,
+                    plan,
+                    moments,
+                    bc_velocity,
+                    halo,
+                    step,
+                    first,
+                    &mut chunk,
+                );
+            });
+        }
+    });
+}
+
+/// Chunk-parallel macroscopic-field extraction from SoA lanes.
+pub(crate) fn par_macroscopics_soa(
+    model: &LatticeModel,
+    tau: f64,
+    f: &[Vec<f64>],
+    rho: &mut [f64],
+    u: &mut [[f64; 3]],
+    shear: &mut [f64],
+) {
+    rayon::scope(|sc| {
+        let mut rho_rest = rho;
+        let mut u_rest = u;
+        let mut sh_rest = shear;
+        for (first, len) in site_chunks(rho_rest.len()) {
+            let (rho_c, rho_t) = rho_rest.split_at_mut(len);
+            let (u_c, u_t) = u_rest.split_at_mut(len);
+            let (sh_c, sh_t) = sh_rest.split_at_mut(len);
+            rho_rest = rho_t;
+            u_rest = u_t;
+            sh_rest = sh_t;
+            sc.spawn(move |_| {
+                crate::layout::macroscopics_span_soa(model, tau, f, first, rho_c, u_c, sh_c)
+            });
+        }
+    });
+}
+
 /// The thread-parallel solver: the serial [`Solver`]'s state stepped by
 /// the chunked kernels above inside a dedicated rayon pool.
 ///
@@ -274,36 +390,11 @@ impl ParallelSolver {
         self.inner.step_count()
     }
 
-    /// Advance one time step (collide + stream), chunk-parallel.
+    /// Advance one time step (collide + stream), chunk-parallel over the
+    /// configured layout.
     pub fn step(&mut self) {
         let s = &mut self.inner;
-        self.pool.install(|| {
-            let span = s.obs.borrow().begin();
-            par_collide(
-                &s.model,
-                s.cfg.collision,
-                s.cfg.tau,
-                s.mrt.as_ref(),
-                &mut s.f,
-                &mut s.moments,
-            );
-            span.end(&mut s.obs.borrow_mut(), "lb.collide");
-            let span = s.obs.borrow().begin();
-            par_stream(
-                &s.model,
-                &s.cfg,
-                &s.geo,
-                &s.f,
-                &s.moments,
-                &s.bc_velocity,
-                &s.pull,
-                s.step,
-                &mut s.f_next,
-            );
-            span.end(&mut s.obs.borrow_mut(), "lb.stream");
-        });
-        std::mem::swap(&mut s.f, &mut s.f_next);
-        s.step += 1;
+        self.pool.install(|| s.step_impl(true));
     }
 
     /// Advance `count` steps.
@@ -317,21 +408,7 @@ impl ParallelSolver {
     /// [`Solver::snapshot`] on the same state.
     pub fn snapshot(&self) -> FieldSnapshot {
         let s = &self.inner;
-        let n = s.geo.fluid_count();
-        let mut rho = vec![0.0; n];
-        let mut u = vec![[0.0; 3]; n];
-        let mut shear = vec![0.0; n];
-        self.pool.install(|| {
-            let span = s.obs.borrow().begin();
-            par_macroscopics(&s.model, s.cfg.tau, &s.f, &mut rho, &mut u, &mut shear);
-            span.end(&mut s.obs.borrow_mut(), "lb.macroscopics");
-        });
-        FieldSnapshot {
-            step: s.step,
-            rho,
-            u,
-            shear,
-        }
+        self.pool.install(|| s.snapshot_impl(true))
     }
 
     /// Total mass (delegates to the serial implementation).
@@ -339,8 +416,8 @@ impl ParallelSolver {
         self.inner.mass()
     }
 
-    /// Raw distributions, site-major.
-    pub fn raw_distributions(&self) -> &[f64] {
+    /// Raw distributions, canonical site-major order.
+    pub fn raw_distributions(&self) -> Cow<'_, [f64]> {
         self.inner.raw_distributions()
     }
 
@@ -377,8 +454,14 @@ mod tests {
             par1.step();
             par4.step();
         }
-        assert!(bit_eq(serial.raw_distributions(), par1.raw_distributions()));
-        assert!(bit_eq(serial.raw_distributions(), par4.raw_distributions()));
+        assert!(bit_eq(
+            &serial.raw_distributions(),
+            &par1.raw_distributions()
+        ));
+        assert!(bit_eq(
+            &serial.raw_distributions(),
+            &par4.raw_distributions()
+        ));
         let ss = serial.snapshot();
         let ps = par4.snapshot();
         assert!(bit_eq(&ss.rho, &ps.rho));
@@ -398,6 +481,9 @@ mod tests {
         let mut par = ParallelSolver::new(geo, cfg, 3);
         serial.step_n(20);
         par.step_n(20);
-        assert!(bit_eq(serial.raw_distributions(), par.raw_distributions()));
+        assert!(bit_eq(
+            &serial.raw_distributions(),
+            &par.raw_distributions()
+        ));
     }
 }

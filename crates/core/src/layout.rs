@@ -1,0 +1,851 @@
+//! Data-oriented memory layout for the LB kernels: the structure-of-
+//! arrays (SoA) fluid-site list.
+//!
+//! The legacy layout stores distributions site-major (`f[site][dir]`,
+//! one contiguous block per site). The SoA layout of this module keeps
+//! **one contiguous `f64` lane per velocity direction** (`f[dir][site]`)
+//! plus a streaming-index table built once at setup: `stream[dir][site]`
+//! names the site whose direction-`dir` population streams *into*
+//! `site` (pull streaming), with missing links resolved to the sentinel
+//! [`LINK_BOUNDARY`] (bounce-back / iolet rule) and cross-rank links to
+//! `HALO_FLAG | slot`. Sites are additionally classified into runs
+//! ([`SiteRun`]): maximal index ranges whose links are all plain local
+//! sources, so the bulk streaming loop is a branch-free per-lane gather
+//! and only the (thin) boundary runs pay the per-link dispatch.
+//!
+//! The site *numbering* is untouched — site `s` is the same fluid site
+//! in every layout — so snapshots, checkpoints (site-major on disk),
+//! in situ sampling and the distributed owner maps are layout-agnostic.
+//!
+//! ## Bitwise parity
+//!
+//! Every code path over this layout performs the exact per-site
+//! operation sequence of the legacy kernels (same associativity, same
+//! visit order within a site), so `legacy == SoA-scalar == SoA-SIMD`
+//! holds by `f64::to_bits` for **all** collision operators and boundary
+//! conditions — there are no documented-divergent cases in the solver
+//! core (contrast the renderer's LUT fast path, which is documented as
+//! tolerance-compared). The equivalence suite `tests/kernel_layout.rs`
+//! and the golden fixtures pin this.
+
+use crate::collision::{collide, CollisionKind};
+use crate::equilibrium::{moments as site_moments, pi_neq, shear_rate_magnitude};
+use crate::model::LatticeModel;
+use crate::mrt::MrtOperator;
+use crate::solver::{boundary_rule, SolverConfig};
+use crate::CS2;
+use hemelb_geometry::SiteKind;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel in streaming/pull tables marking a missing (boundary) link.
+/// Shared by the serial, thread-parallel and distributed tables.
+pub(crate) const LINK_BOUNDARY: u32 = u32::MAX;
+
+/// Flag bit marking a streaming source that lives in the halo buffer of
+/// the distributed solver; the low bits are the halo slot. Check
+/// [`LINK_BOUNDARY`] first — the sentinel has this bit set too.
+pub(crate) const HALO_FLAG: u32 = 1 << 31;
+
+/// Which kernel memory layout / instruction mix a solver runs.
+///
+/// All three produce bit-identical states; the layout only changes how
+/// fast the same arithmetic runs. Selectable per solver via
+/// [`SolverConfig::with_layout`](crate::SolverConfig::with_layout).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelLayout {
+    /// Site-major two-buffer layout (the original reference kernels).
+    Legacy,
+    /// SoA fluid-site list, scalar per-site collision.
+    SoaScalar,
+    /// SoA fluid-site list with the chunked-lane vectorised BGK
+    /// collision path (TRT/MRT fall back to the scalar site loop over
+    /// the same lanes).
+    #[default]
+    SoaSimd,
+}
+
+/// A maximal run of consecutive site indices with uniform streaming
+/// character: `bulk` runs have every link resolved to a plain local
+/// source (branch-free gather), non-bulk runs contain at least one
+/// boundary or halo link per site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteRun {
+    /// First site index of the run.
+    pub start: u32,
+    /// Number of sites in the run.
+    pub len: u32,
+    /// Whether every `(site, dir)` link in the run is a local source.
+    pub bulk: bool,
+}
+
+/// One contiguous copy segment of the bulk streaming plan: destination
+/// sites `dst..dst+len` of a lane pull from the consecutive sources
+/// `src..src+len` of the same lane, so the gather collapses to a
+/// `copy_from_slice` (bit-identical by construction — it moves the same
+/// values to the same places). Raster site numbering makes such
+/// segments long: within a column of fluid sites every direction's
+/// sources are themselves consecutive.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CopySeg {
+    /// First destination site.
+    pub dst: u32,
+    /// First source site.
+    pub src: u32,
+    /// Segment length in sites.
+    pub len: u32,
+}
+
+/// The fully resolved streaming schedule: every `(site, dir)` link of
+/// the table appears in exactly one of the three lists, so the
+/// streaming phase has no per-link dispatch left — local links run as
+/// segment copies, boundary links as a flat list of rule applications,
+/// halo links as a flat list of buffer reads. Link order never matters
+/// for the result: each output slot is written exactly once from inputs
+/// that the phase only reads.
+pub(crate) struct StreamPlan {
+    /// Per-direction contiguous-copy segments over all plain-local
+    /// links, sorted by destination.
+    pub copy: Vec<Vec<CopySeg>>,
+    /// `(site, dir)` links resolved by the boundary rule, sorted by site.
+    pub boundary: Vec<(u32, u32)>,
+    /// `(site, dir, slot)` links fed from the halo buffer, sorted by site.
+    pub halo: Vec<(u32, u32, u32)>,
+}
+
+/// Compile the streaming table into a [`StreamPlan`].
+fn build_stream_plan(stream: &[Vec<u32>], n: usize) -> StreamPlan {
+    let mut boundary = Vec::new();
+    let mut halo = Vec::new();
+    for s in 0..n {
+        for (i, lane) in stream.iter().enumerate() {
+            let e = lane[s];
+            if e == LINK_BOUNDARY {
+                boundary.push((s as u32, i as u32));
+            } else if e & HALO_FLAG != 0 {
+                halo.push((s as u32, i as u32, e & !HALO_FLAG));
+            }
+        }
+    }
+    let copy = stream
+        .iter()
+        .map(|lane| {
+            let mut segs = Vec::new();
+            let mut s = 0;
+            while s < n {
+                let e = lane[s];
+                if e == LINK_BOUNDARY || e & HALO_FLAG != 0 {
+                    s += 1;
+                    continue;
+                }
+                let mut len = 1usize;
+                while s + len < n {
+                    let e2 = lane[s + len];
+                    if e2 == LINK_BOUNDARY || e2 & HALO_FLAG != 0 || e2 != e + len as u32 {
+                        break;
+                    }
+                    len += 1;
+                }
+                segs.push(CopySeg {
+                    dst: s as u32,
+                    src: e,
+                    len: len as u32,
+                });
+                s += len;
+            }
+            segs
+        })
+        .collect();
+    StreamPlan {
+        copy,
+        boundary,
+        halo,
+    }
+}
+
+fn site_is_bulk(stream: &[Vec<u32>], s: usize) -> bool {
+    stream.iter().all(|lane| {
+        let e = lane[s];
+        e != LINK_BOUNDARY && e & HALO_FLAG == 0
+    })
+}
+
+fn classify_runs(stream: &[Vec<u32>], n: usize) -> Vec<SiteRun> {
+    let mut runs = Vec::new();
+    let mut s = 0;
+    while s < n {
+        let bulk = site_is_bulk(stream, s);
+        let start = s;
+        s += 1;
+        while s < n && site_is_bulk(stream, s) == bulk {
+            s += 1;
+        }
+        runs.push(SiteRun {
+            start: start as u32,
+            len: (s - start) as u32,
+            bulk,
+        });
+    }
+    runs
+}
+
+/// The SoA state of one solver (or one rank): per-direction lanes for
+/// the double-buffered distributions plus the lane-major streaming
+/// table and its run classification.
+pub struct SoaLattice {
+    n: usize,
+    q: usize,
+    /// Current distributions, `f[dir][site]`.
+    pub(crate) f: Vec<Vec<f64>>,
+    /// Streaming destination buffer, same shape.
+    pub(crate) f_next: Vec<Vec<f64>>,
+    /// Streaming source table, `stream[dir][site]`: local site index,
+    /// `HALO_FLAG | slot`, or [`LINK_BOUNDARY`].
+    pub(crate) stream: Vec<Vec<u32>>,
+    runs: Vec<SiteRun>,
+    /// The compiled streaming schedule (copies + boundary + halo lists).
+    plan: StreamPlan,
+}
+
+impl SoaLattice {
+    /// Build the SoA state from a site-major pull table and the
+    /// site-major initial distributions (both `n × q`).
+    pub(crate) fn new(q: usize, pull: &[u32], f_site_major: &[f64]) -> Self {
+        assert!(q > 0 && pull.len().is_multiple_of(q), "pull table shape");
+        let n = pull.len() / q;
+        assert_eq!(f_site_major.len(), n * q, "distribution array shape");
+        let mut f = vec![vec![0.0f64; n]; q];
+        let mut stream = vec![vec![0u32; n]; q];
+        for s in 0..n {
+            for i in 0..q {
+                f[i][s] = f_site_major[s * q + i];
+                stream[i][s] = pull[s * q + i];
+            }
+        }
+        let runs = classify_runs(&stream, n);
+        let plan = build_stream_plan(&stream, n);
+        SoaLattice {
+            n,
+            q,
+            f_next: f.clone(),
+            f,
+            stream,
+            runs,
+            plan,
+        }
+    }
+
+    /// Number of fluid sites.
+    pub fn site_count(&self) -> usize {
+        self.n
+    }
+
+    /// The run classification (bulk runs stream branch-free).
+    pub fn runs(&self) -> &[SiteRun] {
+        &self.runs
+    }
+
+    /// Fraction of sites living in branch-free bulk runs.
+    pub fn bulk_fraction(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let bulk: usize = self
+            .runs
+            .iter()
+            .filter(|r| r.bulk)
+            .map(|r| r.len as usize)
+            .sum();
+        bulk as f64 / self.n as f64
+    }
+
+    /// The streaming source entry for `(dir, site)` (tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn stream_entry(&self, dir: usize, site: usize) -> u32 {
+        self.stream[dir][site]
+    }
+
+    /// Transpose the current distributions back to the canonical
+    /// site-major order (checkpointing, cross-layout comparison).
+    pub(crate) fn to_site_major(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.n * self.q];
+        for (i, lane) in self.f.iter().enumerate() {
+            for (s, &v) in lane.iter().enumerate() {
+                out[s * self.q + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Overwrite the current distributions from a site-major array
+    /// (checkpoint restore).
+    pub(crate) fn install_site_major(&mut self, f_site_major: &[f64]) {
+        assert_eq!(f_site_major.len(), self.n * self.q);
+        for s in 0..self.n {
+            for i in 0..self.q {
+                self.f[i][s] = f_site_major[s * self.q + i];
+            }
+        }
+    }
+
+    /// The `q` populations of one site, in direction order.
+    pub(crate) fn site_values(&self, s: usize) -> Vec<f64> {
+        self.f.iter().map(|lane| lane[s]).collect()
+    }
+
+    /// Overwrite the `q` populations of one site.
+    pub(crate) fn set_site_values(&mut self, s: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.q);
+        for (lane, &v) in self.f.iter_mut().zip(values) {
+            lane[s] = v;
+        }
+    }
+
+    /// Total mass, summed in the canonical site-major order so the
+    /// result is bit-identical to the legacy `f.iter().sum()`.
+    pub(crate) fn mass(&self) -> f64 {
+        let mut acc = 0.0;
+        for s in 0..self.n {
+            for lane in &self.f {
+                acc += lane[s];
+            }
+        }
+        acc
+    }
+
+    /// Swap the double buffers after streaming.
+    pub(crate) fn swap_buffers(&mut self) {
+        std::mem::swap(&mut self.f, &mut self.f_next);
+    }
+
+    /// Disjoint borrows for the streaming phase:
+    /// `(f_old, f_next, plan)`.
+    pub(crate) fn split_for_stream(&mut self) -> (&[Vec<f64>], &mut [Vec<f64>], &StreamPlan) {
+        (&self.f, &mut self.f_next, &self.plan)
+    }
+
+    /// Deliberately corrupt the streaming table by swapping the sources
+    /// of two `(dir, site)` links, then re-classify runs so the corrupt
+    /// table is still self-consistent (no out-of-range bulk gathers).
+    /// Returns `true` if the two entries actually differed. Test-only
+    /// hook for the golden-digest negative test.
+    #[doc(hidden)]
+    pub fn debug_swap_stream_entries(&mut self, dir: usize, a: usize, b: usize) -> bool {
+        let lane = &mut self.stream[dir];
+        if lane[a] == lane[b] {
+            return false;
+        }
+        lane.swap(a, b);
+        self.runs = classify_runs(&self.stream, self.n);
+        self.plan = build_stream_plan(&self.stream, self.n);
+        true
+    }
+}
+
+/// Collide a span of sites over per-lane chunks, recording pre-collision
+/// moments. `lanes[i]` and `moments` cover the same site span. The SIMD
+/// flag routes BGK through the chunked-lane vectorised path; TRT/MRT
+/// always take the scalar gather/scatter site loop (identical values
+/// either way — the chunked path replicates the scalar operation order).
+pub(crate) fn collide_span_soa(
+    model: &LatticeModel,
+    collision: CollisionKind,
+    tau: f64,
+    mut mrt: Option<&mut MrtOperator>,
+    lanes: &mut [&mut [f64]],
+    moments: &mut [(f64, [f64; 3])],
+    simd: bool,
+) {
+    debug_assert_eq!(lanes.len(), model.q);
+    if simd && matches!(collision, CollisionKind::Bgk) && mrt.is_none() {
+        bgk_collide_chunked(model, tau, lanes, moments);
+        return;
+    }
+    let q = model.q;
+    let mut buf = vec![0.0; q];
+    let mut scratch = vec![0.0; q];
+    for (s, m) in moments.iter_mut().enumerate() {
+        for (b, lane) in buf.iter_mut().zip(lanes.iter()) {
+            *b = lane[s];
+        }
+        *m = match mrt.as_deref_mut() {
+            Some(op) => op.collide(model, tau, &mut buf),
+            None => collide(model, collision, tau, &mut buf, &mut scratch),
+        };
+        for (b, lane) in buf.iter().zip(lanes.iter_mut()) {
+            lane[s] = *b;
+        }
+    }
+}
+
+/// Width of the chunked-lane BGK path: small fixed-size accumulator
+/// arrays the compiler keeps in vector registers.
+const CHUNK: usize = 8;
+
+/// The vectorised BGK collision: process `CHUNK` sites at a time, one
+/// lane pass for the moments, one lane pass per opposite-direction pair
+/// for the relaxation. Every per-site operation sequence (moment
+/// accumulation order, the guarded `u = m/ρ`, the equilibrium
+/// polynomial, the `f += ω (f_eq − f)` update) matches the scalar
+/// kernels operand-for-operand — the only rewrites are exact IEEE-754
+/// identities (`1 − t ≡ 1 + (−t)`, `(−x)/c ≡ −(x/c)`, `(−x)² ≡ x²`,
+/// `x ± 0 ≡ x` in the polynomial), so the result is bit-identical.
+fn bgk_collide_chunked(
+    model: &LatticeModel,
+    tau: f64,
+    lanes: &mut [&mut [f64]],
+    moments: &mut [(f64, [f64; 3])],
+) {
+    let q = model.q;
+    let omega = 1.0 / tau;
+    let n = moments.len();
+    let cs: Vec<[f64; 3]> = model
+        .c
+        .iter()
+        .map(|c| [c[0] as f64, c[1] as f64, c[2] as f64])
+        .collect();
+    // Opposite-direction pairs share the two equilibrium divisions:
+    // `c_j = −c_i` gives `cu_j = −cu_i` exactly (IEEE negation commutes
+    // with the dot product), so `cu_j / cs² = −(cu_i / cs²)` and
+    // `cu_j² = cu_i²` bit-for-bit — half the fdivs of the naive loop.
+    // The rest direction (`c = 0`, its own opposite) has `cu = ±0`, so
+    // its polynomial collapses to `1 − u²/2cs²` with no division at all.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut rests: Vec<usize> = Vec::new();
+    for i in 0..q {
+        match model.opp[i] {
+            j if i < j => pairs.push((i, j)),
+            j if i == j => rests.push(i),
+            _ => {}
+        }
+    }
+    let mut s0 = 0;
+    // Full chunks: fixed-size `[f64; CHUNK]` windows, so every index is
+    // statically in range (no bounds checks) and the loops vectorise.
+    while s0 + CHUNK <= n {
+        let mut rho = [0.0f64; CHUNK];
+        let mut mx = [0.0f64; CHUNK];
+        let mut my = [0.0f64; CHUNK];
+        let mut mz = [0.0f64; CHUNK];
+        for i in 0..q {
+            let [cx, cy, cz] = cs[i];
+            let lane: &[f64; CHUNK] = lanes[i][s0..s0 + CHUNK].try_into().expect("chunk window");
+            for l in 0..CHUNK {
+                let fi = lane[l];
+                rho[l] += fi;
+                mx[l] += cx * fi;
+                my[l] += cy * fi;
+                mz[l] += cz * fi;
+            }
+        }
+        let mut ux = [0.0f64; CHUNK];
+        let mut uy = [0.0f64; CHUNK];
+        let mut uz = [0.0f64; CHUNK];
+        let mut u2h = [0.0f64; CHUNK];
+        for l in 0..CHUNK {
+            // Branchless form of the `ρ ≠ 0` guard: compute the
+            // quotients unconditionally, keep them only when the guard
+            // holds — identical values, and the lane loop vectorises.
+            let nz = rho[l] != 0.0;
+            let qx = mx[l] / rho[l];
+            let qy = my[l] / rho[l];
+            let qz = mz[l] / rho[l];
+            ux[l] = if nz { qx } else { 0.0 };
+            uy[l] = if nz { qy } else { 0.0 };
+            uz[l] = if nz { qz } else { 0.0 };
+            // The direction-independent `u² / (2 cs²)` term of the
+            // equilibrium, hoisted out of the lane loop: same operands,
+            // same operation, computed once instead of q times.
+            let u2 = ux[l] * ux[l] + uy[l] * uy[l] + uz[l] * uz[l];
+            u2h[l] = u2 / (2.0 * CS2);
+        }
+        for &(i, j) in &pairs {
+            let [cx, cy, cz] = cs[i];
+            let wi = model.w[i];
+            let wj = model.w[j];
+            let mut t = [0.0f64; CHUNK];
+            let mut sq = [0.0f64; CHUNK];
+            for l in 0..CHUNK {
+                let cu = cx * ux[l] + cy * uy[l] + cz * uz[l];
+                t[l] = cu / CS2;
+                sq[l] = cu * cu / (2.0 * CS2 * CS2);
+            }
+            let (left, right) = lanes.split_at_mut(j);
+            let li: &mut [f64; CHUNK] = (&mut left[i][s0..s0 + CHUNK])
+                .try_into()
+                .expect("chunk window");
+            for l in 0..CHUNK {
+                let fi = li[l];
+                let fe = wi * rho[l] * (1.0 + t[l] + sq[l] - u2h[l]);
+                li[l] = fi + omega * (fe - fi);
+            }
+            let lj: &mut [f64; CHUNK] = (&mut right[0][s0..s0 + CHUNK])
+                .try_into()
+                .expect("chunk window");
+            for l in 0..CHUNK {
+                let fj = lj[l];
+                let fe = wj * rho[l] * (1.0 - t[l] + sq[l] - u2h[l]);
+                lj[l] = fj + omega * (fe - fj);
+            }
+        }
+        for &i in &rests {
+            let wi = model.w[i];
+            let lane: &mut [f64; CHUNK] = (&mut lanes[i][s0..s0 + CHUNK])
+                .try_into()
+                .expect("chunk window");
+            for l in 0..CHUNK {
+                let fi = lane[l];
+                let fe = wi * rho[l] * (1.0 - u2h[l]);
+                lane[l] = fi + omega * (fe - fi);
+            }
+        }
+        for (l, m) in moments[s0..s0 + CHUNK].iter_mut().enumerate() {
+            *m = (rho[l], [ux[l], uy[l], uz[l]]);
+        }
+        s0 += CHUNK;
+    }
+    // Ragged tail (< CHUNK sites): same operation order, plain loops.
+    if s0 < n {
+        let w = n - s0;
+        let mut rho = [0.0f64; CHUNK];
+        let mut mx = [0.0f64; CHUNK];
+        let mut my = [0.0f64; CHUNK];
+        let mut mz = [0.0f64; CHUNK];
+        for i in 0..q {
+            let [cx, cy, cz] = cs[i];
+            let lane = &lanes[i][s0..s0 + w];
+            for (l, &fi) in lane.iter().enumerate() {
+                rho[l] += fi;
+                mx[l] += cx * fi;
+                my[l] += cy * fi;
+                mz[l] += cz * fi;
+            }
+        }
+        let mut ux = [0.0f64; CHUNK];
+        let mut uy = [0.0f64; CHUNK];
+        let mut uz = [0.0f64; CHUNK];
+        let mut u2h = [0.0f64; CHUNK];
+        for l in 0..w {
+            if rho[l] != 0.0 {
+                ux[l] = mx[l] / rho[l];
+                uy[l] = my[l] / rho[l];
+                uz[l] = mz[l] / rho[l];
+            }
+            let u2 = ux[l] * ux[l] + uy[l] * uy[l] + uz[l] * uz[l];
+            u2h[l] = u2 / (2.0 * CS2);
+        }
+        for i in 0..q {
+            let [cx, cy, cz] = cs[i];
+            let wi = model.w[i];
+            let lane = &mut lanes[i][s0..s0 + w];
+            for (l, fi) in lane.iter_mut().enumerate() {
+                let cu = cx * ux[l] + cy * uy[l] + cz * uz[l];
+                let fe = wi * rho[l] * (1.0 + cu / CS2 + cu * cu / (2.0 * CS2 * CS2) - u2h[l]);
+                *fi += omega * (fe - *fi);
+            }
+        }
+        for (l, m) in moments[s0..s0 + w].iter_mut().enumerate() {
+            *m = (rho[l], [ux[l], uy[l], uz[l]]);
+        }
+    }
+}
+
+/// Pull-stream a span of sites into per-lane output chunks. `out[i]`
+/// covers sites `first..first + out[i].len()`. The whole phase runs off
+/// the compiled [`StreamPlan`]: plain-local links as clipped segment
+/// copies (`copy_from_slice` — the dominant case under raster site
+/// numbering), boundary links as a flat list of rule applications, halo
+/// links as a flat list of buffer reads. No per-link dispatch remains.
+/// `halo` feeds the halo list (empty slice for non-distributed
+/// solvers); `kinds` and `bc_velocity` are indexed by (local) site.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stream_span_soa(
+    model: &LatticeModel,
+    cfg: &SolverConfig,
+    kinds: &[SiteKind],
+    f_old: &[Vec<f64>],
+    plan: &StreamPlan,
+    moments: &[(f64, [f64; 3])],
+    bc_velocity: &[[f64; 3]],
+    halo: &[f64],
+    step: u64,
+    first: usize,
+    out: &mut [&mut [f64]],
+) {
+    let q = model.q;
+    debug_assert_eq!(out.len(), q);
+    let hi = first + out[0].len();
+
+    // Local links: clipped segment copies. Segments are sorted by
+    // destination, so skip straight to the first one overlapping the
+    // span and stop at the first one past it.
+    for i in 0..q {
+        let fo = &f_old[i][..];
+        let o = &mut *out[i];
+        let segs = &plan.copy[i];
+        let k0 = segs.partition_point(|seg| (seg.dst + seg.len) as usize <= first);
+        for seg in &segs[k0..] {
+            let d = seg.dst as usize;
+            if d >= hi {
+                break;
+            }
+            let a = d.max(first);
+            let b = (d + seg.len as usize).min(hi);
+            let s = seg.src as usize + (a - d);
+            o[a - first..b - first].copy_from_slice(&fo[s..s + (b - a)]);
+        }
+    }
+
+    // Boundary links: bounce-back / iolet rule per listed link.
+    let k0 = plan
+        .boundary
+        .partition_point(|&(s, _)| (s as usize) < first);
+    for &(s, i) in &plan.boundary[k0..] {
+        let s = s as usize;
+        if s >= hi {
+            break;
+        }
+        let i = i as usize;
+        out[i][s - first] = boundary_rule(
+            model,
+            cfg,
+            kinds[s],
+            bc_velocity[s],
+            i,
+            f_old[model.opp[i]][s],
+            moments[s],
+            step,
+        );
+    }
+
+    // Halo links: direct reads from the exchanged buffer.
+    let k0 = plan.halo.partition_point(|&(s, _, _)| (s as usize) < first);
+    for &(s, i, slot) in &plan.halo[k0..] {
+        let s = s as usize;
+        if s >= hi {
+            break;
+        }
+        out[i as usize][s - first] = halo[slot as usize];
+    }
+}
+
+/// Macroscopic fields of the site span `first..first + rho.len()` over
+/// SoA lanes: gather each site into a scratch buffer and reuse the
+/// scalar moment/stress code, so values are bit-identical to the
+/// site-major extraction.
+pub(crate) fn macroscopics_span_soa(
+    model: &LatticeModel,
+    tau: f64,
+    f: &[Vec<f64>],
+    first: usize,
+    rho: &mut [f64],
+    u: &mut [[f64; 3]],
+    shear: &mut [f64],
+) {
+    let q = model.q;
+    let mut buf = vec![0.0; q];
+    for k in 0..rho.len() {
+        let s = first + k;
+        for (b, lane) in buf.iter_mut().zip(f.iter()) {
+            *b = lane[s];
+        }
+        let (r, v) = site_moments(model, &buf);
+        let pi = pi_neq(model, &buf, r, v);
+        rho[k] = r;
+        u[k] = v;
+        shear[k] = shear_rate_magnitude(pi, r, tau);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::feq_all;
+    use crate::solver::build_pull_table;
+    use hemelb_geometry::{SparseGeometry, VesselBuilder};
+    use std::sync::Arc;
+
+    fn tube() -> Arc<SparseGeometry> {
+        Arc::new(VesselBuilder::straight_tube(12.0, 3.0).voxelise(1.0))
+    }
+
+    fn soa_for(geo: &SparseGeometry, model: &LatticeModel) -> SoaLattice {
+        let n = geo.fluid_count();
+        let q = model.q;
+        let pull = build_pull_table(geo, model);
+        // Distinct per-entry values so transposition bugs cannot cancel.
+        let f: Vec<f64> = (0..n * q).map(|k| k as f64 + 0.25).collect();
+        SoaLattice::new(q, &pull, &f)
+    }
+
+    #[test]
+    fn transpose_round_trips_site_major() {
+        let geo = tube();
+        let model = LatticeModel::d3q15();
+        let n = geo.fluid_count();
+        let q = model.q;
+        let f: Vec<f64> = (0..n * q).map(|k| (k as f64).sin()).collect();
+        let pull = build_pull_table(&geo, &model);
+        let mut soa = SoaLattice::new(q, &pull, &f);
+        assert_eq!(soa.to_site_major(), f);
+        let g: Vec<f64> = f.iter().map(|v| v * 2.0 + 1.0).collect();
+        soa.install_site_major(&g);
+        assert_eq!(soa.to_site_major(), g);
+        assert_eq!(soa.site_values(3), g[3 * q..4 * q].to_vec());
+    }
+
+    #[test]
+    fn runs_partition_the_site_range_and_bulk_runs_are_all_local() {
+        let geo = tube();
+        for model in [LatticeModel::d3q15(), LatticeModel::d3q19()] {
+            let soa = soa_for(&geo, &model);
+            let mut next = 0u32;
+            for run in soa.runs() {
+                assert_eq!(run.start, next, "runs must tile the range in order");
+                assert!(run.len > 0);
+                next += run.len;
+                for s in run.start..run.start + run.len {
+                    assert_eq!(
+                        run.bulk,
+                        site_is_bulk(&soa.stream, s as usize),
+                        "site {s} misclassified"
+                    );
+                }
+            }
+            assert_eq!(next as usize, geo.fluid_count());
+            assert!(soa.bulk_fraction() > 0.0, "a tube interior has bulk sites");
+            assert!(soa.bulk_fraction() < 1.0, "a tube has boundary sites");
+        }
+    }
+
+    /// Satellite: validate streaming-index construction at **domain
+    /// edges per boundary orientation** — for every one of the q link
+    /// directions, every site's entry must agree with an independent
+    /// geometry query (fluid neighbour upstream ⇒ its index; otherwise
+    /// the boundary sentinel). Covers all ±x/±y/±z faces and the
+    /// diagonal links of both velocity sets, not just end-to-end digests.
+    #[test]
+    fn stream_table_matches_geometry_per_orientation() {
+        let geo = tube();
+        for model in [LatticeModel::d3q15(), LatticeModel::d3q19()] {
+            let soa = soa_for(&geo, &model);
+            for i in 0..model.q {
+                let c = model.c[i];
+                let mut boundary_links = 0usize;
+                for s in 0..geo.fluid_count() as u32 {
+                    let [x, y, z] = geo.position(s);
+                    let src = geo.site_at(
+                        x as i64 - c[0] as i64,
+                        y as i64 - c[1] as i64,
+                        z as i64 - c[2] as i64,
+                    );
+                    let entry = soa.stream_entry(i, s as usize);
+                    match src {
+                        Some(g) => assert_eq!(
+                            entry, g,
+                            "dir {i} (c = {c:?}) at site {s}: wrong local source"
+                        ),
+                        None => {
+                            assert_eq!(
+                                entry, LINK_BOUNDARY,
+                                "dir {i} (c = {c:?}) at site {s}: missing link not marked"
+                            );
+                            boundary_links += 1;
+                        }
+                    }
+                }
+                if c != [0, 0, 0] {
+                    assert!(
+                        boundary_links > 0,
+                        "a closed tube must clip direction {i} (c = {c:?}) somewhere"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_bgk_is_bit_identical_to_scalar_collide() {
+        let model = LatticeModel::d3q19();
+        let q = model.q;
+        // 37 sites: exercises full chunks and a ragged tail.
+        let n = 37;
+        let mut site_major = vec![0.0; n * q];
+        for s in 0..n {
+            let u = [
+                0.03 * ((s % 5) as f64 - 2.0),
+                0.02 * ((s % 3) as f64 - 1.0),
+                0.01 * ((s % 7) as f64 - 3.0),
+            ];
+            feq_all(
+                &model,
+                1.0 + 0.01 * s as f64,
+                u,
+                &mut site_major[s * q..(s + 1) * q],
+            );
+            site_major[s * q + (s % q)] += 1e-3; // off-equilibrium
+        }
+        // Scalar reference via the legacy collide().
+        let mut reference = site_major.clone();
+        let mut moments_ref = vec![(0.0, [0.0; 3]); n];
+        let mut scratch = vec![0.0; q];
+        for (s, m) in moments_ref.iter_mut().enumerate() {
+            *m = collide(
+                &model,
+                CollisionKind::Bgk,
+                0.8,
+                &mut reference[s * q..(s + 1) * q],
+                &mut scratch,
+            );
+        }
+        // Chunked path over lanes.
+        let mut lanes_store: Vec<Vec<f64>> = (0..q)
+            .map(|i| (0..n).map(|s| site_major[s * q + i]).collect())
+            .collect();
+        let mut lanes: Vec<&mut [f64]> = lanes_store.iter_mut().map(|l| l.as_mut_slice()).collect();
+        let mut moments = vec![(0.0, [0.0; 3]); n];
+        bgk_collide_chunked(&model, 0.8, &mut lanes, &mut moments);
+        for s in 0..n {
+            for i in 0..q {
+                assert_eq!(
+                    lanes_store[i][s].to_bits(),
+                    reference[s * q + i].to_bits(),
+                    "site {s} dir {i}"
+                );
+            }
+            assert_eq!(moments[s].0.to_bits(), moments_ref[s].0.to_bits());
+            for k in 0..3 {
+                assert_eq!(moments[s].1[k].to_bits(), moments_ref[s].1[k].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn swapping_stream_entries_corrupts_and_reclassifies() {
+        let geo = tube();
+        let model = LatticeModel::d3q15();
+        let mut soa = soa_for(&geo, &model);
+        // Find two sites with different sources in direction 1.
+        let (mut a, mut b) = (usize::MAX, usize::MAX);
+        'outer: for s in 0..soa.site_count() {
+            for t in s + 1..soa.site_count() {
+                if soa.stream_entry(1, s) != soa.stream_entry(1, t) {
+                    (a, b) = (s, t);
+                    break 'outer;
+                }
+            }
+        }
+        assert!(a != usize::MAX, "tube must have differing sources");
+        let ea = soa.stream_entry(1, a);
+        let eb = soa.stream_entry(1, b);
+        assert!(soa.debug_swap_stream_entries(1, a, b));
+        assert_eq!(soa.stream_entry(1, a), eb);
+        assert_eq!(soa.stream_entry(1, b), ea);
+        // Runs still tile the range after reclassification.
+        let mut next = 0u32;
+        for run in soa.runs() {
+            assert_eq!(run.start, next);
+            next += run.len;
+        }
+        assert_eq!(next as usize, soa.site_count());
+    }
+}

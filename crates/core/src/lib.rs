@@ -35,6 +35,7 @@ pub mod dist;
 pub mod equilibrium;
 pub mod fields;
 pub mod kernel;
+pub mod layout;
 pub mod model;
 pub mod mrt;
 pub mod solver;
@@ -43,6 +44,7 @@ pub mod units;
 pub use dist::DistSolver;
 pub use fields::FieldSnapshot;
 pub use kernel::ParallelSolver;
+pub use layout::KernelLayout;
 pub use model::LatticeModel;
 pub use solver::{Solver, SolverConfig};
 pub use units::UnitConverter;

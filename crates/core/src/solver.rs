@@ -8,10 +8,12 @@ use crate::boundary::{pressure_anti_bounce_back, velocity_bounce_back, wall_boun
 use crate::collision::CollisionKind;
 use crate::equilibrium::feq_all;
 use crate::fields::FieldSnapshot;
+use crate::layout::{KernelLayout, SoaLattice};
 use crate::model::LatticeModel;
 use hemelb_geometry::{SiteKind, SparseGeometry};
 use hemelb_obs::{ObsReport, Recorder};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -48,6 +50,10 @@ pub struct SolverConfig {
     pub inlet_bcs: Vec<IoletBc>,
     /// Boundary prescriptions for outlets, indexed likewise.
     pub outlet_bcs: Vec<IoletBc>,
+    /// Kernel memory layout (see [`KernelLayout`]); every choice is
+    /// bit-identical, only throughput differs.
+    #[serde(default)]
+    pub layout: KernelLayout,
 }
 
 impl SolverConfig {
@@ -59,6 +65,7 @@ impl SolverConfig {
             collision: CollisionKind::Bgk,
             inlet_bcs: vec![IoletBc::Pressure { rho: rho_in }],
             outlet_bcs: vec![IoletBc::Pressure { rho: rho_out }],
+            layout: KernelLayout::default(),
         }
     }
 
@@ -74,6 +81,7 @@ impl SolverConfig {
                 parabolic: true,
             }],
             outlet_bcs: vec![IoletBc::Pressure { rho: 1.0 }],
+            layout: KernelLayout::default(),
         }
     }
 
@@ -96,6 +104,12 @@ impl SolverConfig {
         self
     }
 
+    /// Override the kernel memory layout.
+    pub fn with_layout(mut self, layout: KernelLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// Lattice kinematic viscosity `cs²(τ−½)`.
     pub fn viscosity(&self) -> f64 {
         crate::CS2 * (self.tau - 0.5)
@@ -114,8 +128,9 @@ impl SolverConfig {
     }
 }
 
-/// Sentinel in the pull table marking a missing (boundary) link.
-pub(crate) const LINK_BOUNDARY: u32 = u32::MAX;
+/// Sentinel in the pull table marking a missing (boundary) link
+/// (canonical definition lives with the layout machinery).
+pub(crate) use crate::layout::LINK_BOUNDARY;
 
 /// Build the pull-streaming source table: `table[s*q + i]` is the fluid
 /// site found at `pos(s) − c_i`, or [`LINK_BOUNDARY`].
@@ -215,6 +230,9 @@ pub struct Solver {
     pub(crate) bc_velocity: Vec<[f64; 3]>,
     /// MRT operator when `cfg.collision` is [`CollisionKind::Mrt`].
     pub(crate) mrt: Option<crate::mrt::MrtOperator>,
+    /// SoA state when `cfg.layout` is not [`KernelLayout::Legacy`]; the
+    /// legacy `f`/`f_next` buffers stay empty in that case.
+    pub(crate) soa: Option<SoaLattice>,
     /// Completed time steps.
     pub(crate) step: u64,
     /// Per-phase observability recorder (`lb.collide`, `lb.stream`,
@@ -242,13 +260,23 @@ impl Solver {
             }
             _ => None,
         };
+        let soa = match cfg.layout {
+            KernelLayout::Legacy => None,
+            _ => Some(SoaLattice::new(q, &pull, &f)),
+        };
+        let (f, f_next) = if soa.is_some() {
+            (Vec::new(), Vec::new())
+        } else {
+            (f.clone(), f)
+        };
         Solver {
-            f_next: f.clone(),
+            f_next,
             moments: vec![(1.0, [0.0; 3]); n],
             f,
             pull,
             bc_velocity,
             mrt,
+            soa,
             geo,
             cfg,
             model,
@@ -317,37 +345,151 @@ impl Solver {
 
     /// Advance one time step (collide + stream).
     ///
-    /// Both phases run through the span primitives in [`crate::kernel`],
-    /// the same per-site code the parallel and distributed solvers use —
-    /// which is what makes the three bit-identical.
+    /// Both phases run through the span primitives in [`crate::kernel`]
+    /// / [`crate::layout`], the same per-site code the parallel and
+    /// distributed solvers use — which is what makes them bit-identical.
     pub fn step(&mut self) {
+        self.step_impl(false);
+    }
+
+    /// One step, serial or chunk-parallel, dispatched on the configured
+    /// layout. The parallel flavour must run inside a rayon pool (see
+    /// [`crate::kernel::ParallelSolver`]).
+    pub(crate) fn step_impl(&mut self, parallel: bool) {
+        if self.soa.is_some() {
+            self.step_soa(parallel);
+            return;
+        }
         // Collide in place: f becomes f*.
         let span = self.obs.borrow().begin();
-        crate::kernel::collide_span(
-            &self.model,
-            self.cfg.collision,
-            self.cfg.tau,
-            self.mrt.as_mut(),
-            &mut self.f,
-            &mut self.moments,
-        );
+        if parallel {
+            crate::kernel::par_collide(
+                &self.model,
+                self.cfg.collision,
+                self.cfg.tau,
+                self.mrt.as_ref(),
+                &mut self.f,
+                &mut self.moments,
+            );
+        } else {
+            crate::kernel::collide_span(
+                &self.model,
+                self.cfg.collision,
+                self.cfg.tau,
+                self.mrt.as_mut(),
+                &mut self.f,
+                &mut self.moments,
+            );
+        }
         span.end(&mut self.obs.borrow_mut(), "lb.collide");
         // Stream (pull) with boundary rules on missing links.
         let span = self.obs.borrow().begin();
-        crate::kernel::stream_span(
-            &self.model,
-            &self.cfg,
-            &self.geo,
-            &self.f,
-            &self.moments,
-            &self.bc_velocity,
-            &self.pull,
-            self.step,
-            0,
-            &mut self.f_next,
-        );
+        if parallel {
+            crate::kernel::par_stream(
+                &self.model,
+                &self.cfg,
+                &self.geo,
+                &self.f,
+                &self.moments,
+                &self.bc_velocity,
+                &self.pull,
+                self.step,
+                &mut self.f_next,
+            );
+        } else {
+            crate::kernel::stream_span(
+                &self.model,
+                &self.cfg,
+                &self.geo,
+                &self.f,
+                &self.moments,
+                &self.bc_velocity,
+                &self.pull,
+                self.step,
+                0,
+                &mut self.f_next,
+            );
+        }
         span.end(&mut self.obs.borrow_mut(), "lb.stream");
         std::mem::swap(&mut self.f, &mut self.f_next);
+        self.step += 1;
+    }
+
+    /// One step over the SoA lanes. The SIMD flavour only changes the
+    /// BGK collide loop shape, never the per-site arithmetic.
+    fn step_soa(&mut self, parallel: bool) {
+        let simd = self.cfg.layout == KernelLayout::SoaSimd;
+        let span = self.obs.borrow().begin();
+        {
+            let soa = self.soa.as_mut().expect("SoA state");
+            if parallel {
+                crate::kernel::par_collide_soa(
+                    &self.model,
+                    self.cfg.collision,
+                    self.cfg.tau,
+                    self.mrt.as_ref(),
+                    &mut soa.f,
+                    &mut self.moments,
+                    simd,
+                );
+            } else {
+                let mut lanes: Vec<&mut [f64]> =
+                    soa.f.iter_mut().map(|l| l.as_mut_slice()).collect();
+                crate::layout::collide_span_soa(
+                    &self.model,
+                    self.cfg.collision,
+                    self.cfg.tau,
+                    self.mrt.as_mut(),
+                    &mut lanes,
+                    &mut self.moments,
+                    simd,
+                );
+            }
+        }
+        span.end(&mut self.obs.borrow_mut(), "lb.collide");
+        let span = self.obs.borrow().begin();
+        {
+            let model = &self.model;
+            let cfg = &self.cfg;
+            let kinds = self.geo.kinds();
+            let moments = &self.moments[..];
+            let bc_velocity = &self.bc_velocity[..];
+            let step = self.step;
+            let soa = self.soa.as_mut().expect("SoA state");
+            let (f_old, f_next, plan) = soa.split_for_stream();
+            if parallel {
+                crate::kernel::par_stream_soa(
+                    model,
+                    cfg,
+                    kinds,
+                    f_old,
+                    plan,
+                    moments,
+                    bc_velocity,
+                    &[],
+                    step,
+                    f_next,
+                );
+            } else {
+                let mut out: Vec<&mut [f64]> =
+                    f_next.iter_mut().map(|l| l.as_mut_slice()).collect();
+                crate::layout::stream_span_soa(
+                    model,
+                    cfg,
+                    kinds,
+                    f_old,
+                    plan,
+                    moments,
+                    bc_velocity,
+                    &[],
+                    step,
+                    0,
+                    &mut out,
+                );
+            }
+        }
+        span.end(&mut self.obs.borrow_mut(), "lb.stream");
+        self.soa.as_mut().expect("SoA state").swap_buffers();
         self.step += 1;
     }
 
@@ -360,19 +502,51 @@ impl Solver {
 
     /// Macroscopic snapshot of the current state.
     pub fn snapshot(&self) -> FieldSnapshot {
+        self.snapshot_impl(false)
+    }
+
+    /// Snapshot, serial or chunk-parallel, dispatched on the layout.
+    pub(crate) fn snapshot_impl(&self, parallel: bool) -> FieldSnapshot {
         let n = self.geo.fluid_count();
         let mut rho = vec![0.0; n];
         let mut u = vec![[0.0; 3]; n];
         let mut shear = vec![0.0; n];
         let span = self.obs.borrow().begin();
-        crate::kernel::macroscopics_span(
-            &self.model,
-            self.cfg.tau,
-            &self.f,
-            &mut rho,
-            &mut u,
-            &mut shear,
-        );
+        match (&self.soa, parallel) {
+            (Some(soa), false) => crate::layout::macroscopics_span_soa(
+                &self.model,
+                self.cfg.tau,
+                &soa.f,
+                0,
+                &mut rho,
+                &mut u,
+                &mut shear,
+            ),
+            (Some(soa), true) => crate::kernel::par_macroscopics_soa(
+                &self.model,
+                self.cfg.tau,
+                &soa.f,
+                &mut rho,
+                &mut u,
+                &mut shear,
+            ),
+            (None, false) => crate::kernel::macroscopics_span(
+                &self.model,
+                self.cfg.tau,
+                &self.f,
+                &mut rho,
+                &mut u,
+                &mut shear,
+            ),
+            (None, true) => crate::kernel::par_macroscopics(
+                &self.model,
+                self.cfg.tau,
+                &self.f,
+                &mut rho,
+                &mut u,
+                &mut shear,
+            ),
+        }
         span.end(&mut self.obs.borrow_mut(), "lb.macroscopics");
         FieldSnapshot {
             step: self.step,
@@ -383,31 +557,77 @@ impl Solver {
     }
 
     /// Total mass `Σ_s Σ_i f_si` (conserved by interior dynamics; open
-    /// boundaries exchange mass by design).
+    /// boundaries exchange mass by design). Summed in site-major order
+    /// regardless of layout, so the value is layout-independent.
     pub fn mass(&self) -> f64 {
-        self.f.iter().sum()
+        match &self.soa {
+            Some(soa) => soa.mass(),
+            None => self.f.iter().sum(),
+        }
     }
 
     /// Raw distributions of one site (for tests and the distributed
-    /// equality check).
-    pub fn distributions(&self, site: u32) -> &[f64] {
-        let q = self.model.q;
-        &self.f[site as usize * q..(site as usize + 1) * q]
+    /// equality check), in direction order.
+    pub fn distributions(&self, site: u32) -> Vec<f64> {
+        match &self.soa {
+            Some(soa) => soa.site_values(site as usize),
+            None => {
+                let q = self.model.q;
+                self.f[site as usize * q..(site as usize + 1) * q].to_vec()
+            }
+        }
     }
 
-    /// The whole distribution array, site-major (checkpointing).
-    pub fn raw_distributions(&self) -> &[f64] {
-        &self.f
+    /// The whole distribution array in the canonical site-major order
+    /// (checkpointing, cross-layout comparison). Borrowed for the legacy
+    /// layout, transposed on the fly for SoA.
+    pub fn raw_distributions(&self) -> Cow<'_, [f64]> {
+        match &self.soa {
+            Some(soa) => Cow::Owned(soa.to_site_major()),
+            None => Cow::Borrowed(&self.f),
+        }
     }
 
-    /// Overwrite the dynamical state (checkpoint restore).
+    /// Overwrite the dynamical state from a site-major array (checkpoint
+    /// restore). Works across layouts: a checkpoint written under any
+    /// layout restores into any other.
     ///
     /// # Panics
     /// Panics if the array length does not match `sites × q`.
     pub(crate) fn install_state(&mut self, step: u64, f: Vec<f64>) {
-        assert_eq!(f.len(), self.f.len());
-        self.f = f;
+        assert_eq!(f.len(), self.geo.fluid_count() * self.model.q);
+        match self.soa.as_mut() {
+            Some(soa) => soa.install_site_major(&f),
+            None => self.f = f,
+        }
         self.step = step;
+    }
+
+    /// Deliberately corrupt the streaming-index table by swapping the
+    /// sources of two `(direction, site)` links. Test-only harness hook
+    /// (the golden-digest negative test proves a single swapped
+    /// neighbour fails the FNV digest); works on every layout. Returns
+    /// `true` if the two entries actually differed.
+    #[doc(hidden)]
+    pub fn debug_swap_stream_entries(&mut self, dir: usize, a: usize, b: usize) -> bool {
+        match self.soa.as_mut() {
+            Some(soa) => soa.debug_swap_stream_entries(dir, a, b),
+            None => {
+                let q = self.model.q;
+                if self.pull[a * q + dir] == self.pull[b * q + dir] {
+                    return false;
+                }
+                self.pull.swap(a * q + dir, b * q + dir);
+                true
+            }
+        }
+    }
+
+    /// Fraction of sites in branch-free bulk runs, when running a SoA
+    /// layout (`None` under the legacy layout). Reported by the kernel
+    /// bench.
+    pub fn bulk_fraction(&self) -> Option<f64> {
+        self.soa.as_ref().map(|soa| soa.bulk_fraction())
     }
 
     /// Run until the RMS velocity change over `check_every` steps drops
@@ -584,6 +804,7 @@ mod tests {
                 period,
             }],
             outlet_bcs: vec![IoletBc::Pressure { rho: 1.0 }],
+            layout: KernelLayout::default(),
         };
         let mut s = tube_solver(cfg);
         // Skip the initial transient, then record mean inflow speed over
@@ -642,7 +863,11 @@ mod tests {
         quiet.set_obs_enabled(false);
         quiet.step_n(7);
         assert!(quiet.obs_report().phases.is_empty());
-        for (a, b) in s.raw_distributions().iter().zip(quiet.raw_distributions()) {
+        for (a, b) in s
+            .raw_distributions()
+            .iter()
+            .zip(quiet.raw_distributions().iter())
+        {
             assert_eq!(a.to_bits(), b.to_bits(), "obs must not perturb physics");
         }
     }

@@ -45,6 +45,7 @@ fn main() {
             period: PERIOD,
         }],
         outlet_bcs: vec![IoletBc::Pressure { rho: 1.0 }],
+        layout: Default::default(),
     };
 
     let geo2 = geo.clone();

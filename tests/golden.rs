@@ -9,15 +9,19 @@
 //! GOLDEN_BLESS=1 cargo test --test golden
 //! ```
 //!
-//! Each case is run twice, on the serial `Solver` and on the
-//! chunk-parallel `ParallelSolver`; both must match the same fixture,
-//! which pins the bit-exact determinism contract to stored bytes.
+//! Each case is run on every kernel layout — the legacy site-major
+//! brick, the SoA fluid-site list with scalar collision, and the SoA
+//! chunked-lane SIMD path — serially and on the chunk-parallel
+//! `ParallelSolver`; all must match the *same* fixture, which pins the
+//! bit-exact determinism contract to stored bytes. (The SoA refactor
+//! re-blessed here was a no-op: every digest was reproduced unchanged,
+//! so the fixtures still certify the original arithmetic.)
 
 mod common;
 
 use hemelb::core::collision::CollisionKind;
 use hemelb::core::solver::ModelKind;
-use hemelb::core::{ParallelSolver, Solver, SolverConfig};
+use hemelb::core::{KernelLayout, ParallelSolver, Solver, SolverConfig};
 use hemelb::geometry::VesselBuilder;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -88,12 +92,26 @@ fn digest_lines(solver: &Solver, steps: u64) -> String {
 fn run_case(case: &GoldenCase) {
     let (geo, cfg) = (case.build)();
 
-    let mut serial = Solver::new(geo.clone(), cfg.clone());
-    serial.step_n(case.steps);
-    let got = digest_lines(&serial, case.steps);
+    // Legacy layout is the reference the fixtures were blessed against.
+    let mut legacy = Solver::new(geo.clone(), cfg.clone().with_layout(KernelLayout::Legacy));
+    legacy.step_n(case.steps);
+    let got = digest_lines(&legacy, case.steps);
 
-    // The parallel solver must produce the *same* fixture.
-    let mut par = ParallelSolver::new(geo, cfg, 3);
+    // Both SoA layouts must reproduce the legacy digests bit-for-bit.
+    for layout in [KernelLayout::SoaScalar, KernelLayout::SoaSimd] {
+        let mut soa = Solver::new(geo.clone(), cfg.clone().with_layout(layout));
+        soa.step_n(case.steps);
+        assert_eq!(
+            got,
+            digest_lines(&soa, case.steps),
+            "{}: {layout:?} diverged from the legacy layout",
+            case.name
+        );
+    }
+
+    // The parallel solver (SoA-SIMD layout) must produce the *same*
+    // fixture.
+    let mut par = ParallelSolver::new(geo, cfg.with_layout(KernelLayout::SoaSimd), 3);
     par.step_n(case.steps);
     let got_par = digest_lines(par.solver(), case.steps);
     assert_eq!(
@@ -151,7 +169,7 @@ fn soak_500_steps_8_threads_bit_exact() {
     serial.step_n(500);
     par.step_n(500);
     assert!(
-        common::bits_eq(serial.raw_distributions(), par.raw_distributions()),
+        common::bits_eq(&serial.raw_distributions(), &par.raw_distributions()),
         "8-thread soak diverged from serial after 500 steps"
     );
 }

@@ -1,0 +1,270 @@
+//! Kernel-layout equivalence suite: the legacy site-major brick layout,
+//! the SoA fluid-site list with scalar collision, and the SoA
+//! chunked-lane (SIMD-style) BGK path must be **bit-identical** — per
+//! field, per step — over random geometries × velocity sets × collision
+//! operators × boundary-condition families. Checkpoints written under
+//! one layout must restore under any other and continue on the same
+//! trajectory, and a single corrupted streaming-index entry must break
+//! the golden digest (the negative control that the digests actually
+//! watch the streaming table).
+
+mod common;
+
+use hemelb::core::collision::CollisionKind;
+use hemelb::core::solver::ModelKind;
+use hemelb::core::{KernelLayout, ParallelSolver, Solver, SolverConfig};
+use hemelb::geometry::VesselBuilder;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const LAYOUTS: [KernelLayout; 3] = [
+    KernelLayout::Legacy,
+    KernelLayout::SoaScalar,
+    KernelLayout::SoaSimd,
+];
+
+fn layout_name(layout: KernelLayout) -> &'static str {
+    match layout {
+        KernelLayout::Legacy => "legacy",
+        KernelLayout::SoaScalar => "soa-scalar",
+        KernelLayout::SoaSimd => "soa-simd",
+    }
+}
+
+/// Step `reference` and `candidates` together, asserting full bit
+/// equality of the distribution array and of every macroscopic field
+/// after *each* step (not just at the end — divergence must be caught
+/// at the step it first appears).
+fn assert_lockstep_equal(
+    reference: &mut Solver,
+    candidates: &mut [(&'static str, &mut Solver)],
+    par: &mut ParallelSolver,
+    steps: u64,
+    ctx: &dyn std::fmt::Debug,
+) -> Result<(), TestCaseError> {
+    for step in 1..=steps {
+        reference.step_n(1);
+        par.step_n(1);
+        let want_f = reference.raw_distributions();
+        let want_snap = common::snapshot_digests(&reference.snapshot());
+        for (name, solver) in candidates.iter_mut() {
+            solver.step_n(1);
+            prop_assert!(
+                common::bits_eq(&want_f, &solver.raw_distributions()),
+                "{name} f diverged from legacy at step {step} for {ctx:?}"
+            );
+            let got = common::snapshot_digests(&solver.snapshot());
+            prop_assert_eq!(
+                want_snap,
+                got,
+                "{} (rho,u,shear) diverged at step {} for {:?}",
+                name,
+                step,
+                ctx
+            );
+        }
+        prop_assert!(
+            common::bits_eq(&want_f, &par.raw_distributions()),
+            "soa-simd ParallelSolver f diverged at step {step} for {ctx:?}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random geometries × {D3Q15, D3Q19} × {BGK, TRT, MRT} ×
+    /// {pressure, velocity}: legacy == SoA-scalar == SoA-SIMD ==
+    /// SoA-SIMD-parallel by `to_bits`, per field, per step.
+    #[test]
+    fn layouts_agree_bitwise_per_step(case in common::case_strategy()) {
+        let geo = case.geo.build();
+        let cfg = case.config();
+        let mut legacy = Solver::new(geo.clone(), cfg.clone().with_layout(KernelLayout::Legacy));
+        let mut scalar = Solver::new(geo.clone(), cfg.clone().with_layout(KernelLayout::SoaScalar));
+        let mut simd = Solver::new(geo.clone(), cfg.clone().with_layout(KernelLayout::SoaSimd));
+        let mut par = ParallelSolver::new(geo, cfg.with_layout(KernelLayout::SoaSimd), 3);
+        assert_lockstep_equal(
+            &mut legacy,
+            &mut [("soa-scalar", &mut scalar), ("soa-simd", &mut simd)],
+            &mut par,
+            12,
+            &case,
+        )?;
+    }
+}
+
+/// Exhaustive operator sweep the random cases only sample: both velocity
+/// sets × three collision operators × both BC families, on a cylinder
+/// and a porous block, all three layouts bit-identical after 10 steps.
+#[test]
+fn layouts_agree_across_all_operator_combinations() {
+    let geos = [
+        common::GeoSpec::Cylinder {
+            len: 10.0,
+            radius: 2.5,
+        },
+        common::GeoSpec::Porous {
+            nx: 7,
+            ny: 5,
+            nz: 5,
+            seed: 42,
+        },
+    ];
+    for geo_spec in &geos {
+        let geo = geo_spec.build();
+        for model in [ModelKind::D3Q15, ModelKind::D3Q19] {
+            for collision in [
+                CollisionKind::Bgk,
+                CollisionKind::trt_magic(),
+                CollisionKind::Mrt { omega_ghost: 1.2 },
+            ] {
+                for velocity_inlet in [false, true] {
+                    let case = common::CaseSpec {
+                        geo: geo_spec.clone(),
+                        model,
+                        collision,
+                        velocity_inlet,
+                    };
+                    let cfg = case.config();
+                    let mut runs = LAYOUTS.map(|layout| {
+                        let mut s = Solver::new(geo.clone(), cfg.clone().with_layout(layout));
+                        s.step_n(10);
+                        s
+                    });
+                    let want = runs[0].raw_distributions().to_vec();
+                    let want_snap = common::snapshot_digests(&runs[0].snapshot());
+                    for (s, layout) in runs.iter_mut().zip(LAYOUTS).skip(1) {
+                        assert!(
+                            common::bits_eq(&want, &s.raw_distributions()),
+                            "{} f diverged for {case:?}",
+                            layout_name(layout)
+                        );
+                        assert_eq!(
+                            want_snap,
+                            common::snapshot_digests(&s.snapshot()),
+                            "{} fields diverged for {case:?}",
+                            layout_name(layout)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Mid-run checkpoint/restore through the new layout: state written
+/// under SoA-SIMD at step 10 restores into *any* layout and continues
+/// on exactly the uninterrupted trajectory (and the reverse direction,
+/// legacy-written → SoA-restored, holds too).
+#[test]
+fn checkpoint_round_trips_across_layouts_mid_run() {
+    let geo = Arc::new(VesselBuilder::aneurysm(12.0, 2.5, 3.5).voxelise(1.0));
+    let cfg = SolverConfig::pressure_driven(1.005, 0.995);
+    let dir = std::env::temp_dir().join(format!("hlb_layout_chkp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Uninterrupted 20-step reference on the legacy layout.
+    let mut reference = Solver::new(geo.clone(), cfg.clone().with_layout(KernelLayout::Legacy));
+    reference.step_n(20);
+    let want = reference.raw_distributions().to_vec();
+
+    for writer in [KernelLayout::SoaSimd, KernelLayout::Legacy] {
+        let path = dir.join(format!("{}.chkp", layout_name(writer)));
+        let mut w = Solver::new(geo.clone(), cfg.clone().with_layout(writer));
+        w.step_n(10);
+        w.checkpoint(&path).unwrap();
+        for reader in LAYOUTS {
+            let mut r = Solver::new(geo.clone(), cfg.clone().with_layout(reader));
+            r.restore(&path).unwrap();
+            assert_eq!(r.step_count(), 10, "restored step count");
+            r.step_n(10);
+            assert!(
+                common::bits_eq(&want, &r.raw_distributions()),
+                "checkpoint written under {} + 10 more steps under {} diverged \
+                 from the uninterrupted run",
+                layout_name(writer),
+                layout_name(reader)
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Negative control for the golden fixtures: swapping one pair of
+/// streaming-index entries (a single-direction source mix-up between two
+/// sites) must change the blessed `f` digest of the
+/// `cylinder_bgk_pressure_d3q15` case. If this test ever passes with an
+/// *unchanged* digest, the fixtures have stopped watching the streaming
+/// table.
+#[test]
+fn corrupted_streaming_index_fails_golden_digest() {
+    let geo = Arc::new(VesselBuilder::straight_tube(12.0, 3.0).voxelise(1.0));
+    let cfg = SolverConfig::pressure_driven(1.01, 0.99);
+    let fixture = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/cylinder_bgk_pressure_d3q15.txt");
+    let blessed = std::fs::read_to_string(&fixture)
+        .expect("golden fixture must exist (GOLDEN_BLESS=1 cargo test --test golden)");
+    let blessed_f = blessed
+        .lines()
+        .find_map(|l| l.strip_prefix("f="))
+        .expect("fixture has an f= digest line")
+        .to_string();
+
+    for layout in [KernelLayout::SoaSimd, KernelLayout::Legacy] {
+        let mut solver = Solver::new(geo.clone(), cfg.clone().with_layout(layout));
+        // Find a swappable pair: distinct sources for the same non-rest
+        // direction at two different lattice positions.
+        let n = geo.fluid_count();
+        let q = solver.model().q;
+        let mut swapped = false;
+        'search: for dir in 1..q {
+            for b in 1..n {
+                if geo.position(0) != geo.position(b as u32)
+                    && solver.debug_swap_stream_entries(dir, 0, b)
+                {
+                    swapped = true;
+                    break 'search;
+                }
+            }
+        }
+        assert!(swapped, "no swappable streaming-index pair found");
+        solver.step_n(50);
+        let got_f = format!(
+            "{:016x}",
+            common::fnv1a_bits(solver.raw_distributions().iter().copied())
+        );
+        assert_ne!(
+            got_f,
+            blessed_f,
+            "{}: a corrupted streaming index reproduced the blessed f digest — \
+             the golden fixtures are not sensitive to the streaming table",
+            layout_name(layout)
+        );
+    }
+}
+
+/// Long SoA soak: 500 steps; legacy, SoA-SIMD serial and SoA-SIMD at 8
+/// threads must all stay bit-identical. Run with
+/// `cargo test --test kernel_layout -- --ignored` (nightly ci.sh soak).
+#[test]
+#[ignore = "long soak; run via cargo test -- --ignored"]
+fn soak_500_steps_soa_bit_exact() {
+    let geo = Arc::new(VesselBuilder::aneurysm(14.0, 3.0, 4.0).voxelise(1.0));
+    let cfg = SolverConfig::pressure_driven(1.005, 0.995);
+    let mut legacy = Solver::new(geo.clone(), cfg.clone().with_layout(KernelLayout::Legacy));
+    let mut simd = Solver::new(geo.clone(), cfg.clone().with_layout(KernelLayout::SoaSimd));
+    let mut par = ParallelSolver::new(geo, cfg.with_layout(KernelLayout::SoaSimd), 8);
+    legacy.step_n(500);
+    simd.step_n(500);
+    par.step_n(500);
+    assert!(
+        common::bits_eq(&legacy.raw_distributions(), &simd.raw_distributions()),
+        "SoA-SIMD serial diverged from legacy after 500 steps"
+    );
+    assert!(
+        common::bits_eq(&legacy.raw_distributions(), &par.raw_distributions()),
+        "SoA-SIMD 8-thread soak diverged from legacy after 500 steps"
+    );
+}

@@ -291,11 +291,11 @@ proptest! {
         par1.step_n(24);
         par4.step_n(24);
         prop_assert!(
-            common::bits_eq(serial.raw_distributions(), par1.raw_distributions()),
+            common::bits_eq(&serial.raw_distributions(), &par1.raw_distributions()),
             "threads=1 diverged for {:?}", case
         );
         prop_assert!(
-            common::bits_eq(serial.raw_distributions(), par4.raw_distributions()),
+            common::bits_eq(&serial.raw_distributions(), &par4.raw_distributions()),
             "threads=4 diverged for {:?}", case
         );
         // Snapshot extraction (serial loop vs chunk-parallel) agrees too.
@@ -346,7 +346,7 @@ fn parallel_kernel_is_bit_exact_across_all_operator_combinations() {
                     serial.step_n(20);
                     par.step_n(20);
                     assert!(
-                        common::bits_eq(serial.raw_distributions(), par.raw_distributions()),
+                        common::bits_eq(&serial.raw_distributions(), &par.raw_distributions()),
                         "diverged for {case:?}"
                     );
                 }
