@@ -9,8 +9,9 @@
 #                          #   500-step SoA kernel soak and the
 #                          #   200-step two-kill fault recovery
 #   ./ci.sh --only GROUP   # one group: lint | tier1 | determinism |
-#                          #   kernel | faults | smoke | soak (what the
-#                          #   staged GitHub workflow jobs shell into)
+#                          #   kernel | faults | gateway | smoke | soak
+#                          #   (what the staged GitHub workflow jobs
+#                          #   shell into)
 #
 # Each stage is timed; a per-stage summary prints on exit (also on
 # failure, so CI logs show where the time — or the break — went).
@@ -18,15 +19,15 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 TIER="full"
-CI_GROUPS=(lint tier1 determinism kernel faults smoke)
+CI_GROUPS=(lint tier1 determinism kernel faults gateway smoke)
 case "${1:-}" in
     --quick) TIER="quick"; CI_GROUPS=(lint tier1) ;;
     --soak)  TIER="soak";  CI_GROUPS+=(soak) ;;
     --only)
         TIER="only:${2:-}"
         case "${2:-}" in
-            lint|tier1|determinism|kernel|faults|smoke|soak) CI_GROUPS=("$2") ;;
-            *) echo "usage: ./ci.sh --only {lint|tier1|determinism|kernel|faults|smoke|soak}" >&2; exit 2 ;;
+            lint|tier1|determinism|kernel|faults|gateway|smoke|soak) CI_GROUPS=("$2") ;;
+            *) echo "usage: ./ci.sh --only {lint|tier1|determinism|kernel|faults|gateway|smoke|soak}" >&2; exit 2 ;;
         esac ;;
     "") ;;
     *) echo "usage: ./ci.sh [--quick|--soak|--only GROUP]" >&2; exit 2 ;;
@@ -95,6 +96,16 @@ group_kernel() {
 # degraded frames under a dead render rank, steering reconnect.
 group_faults() {
     stage faults cargo test -q --test fault_injection
+}
+
+# Multi-client steering gateway: observer churn bit-exactness,
+# deterministic driver hand-off, the wedged-observer degradation
+# ladder, and the E17 load-test smoke (≥100 synthetic observers,
+# frame RTT p50/p99, broadcast fan-out, cache hit rate) writing
+# out/BENCH_gateway.json.
+group_gateway() {
+    stage gateway cargo test -q --test steering_gateway
+    stage gateway-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- gateway --size tiny --ranks 2
 }
 
 # Release bench smokes, exercising the reproduce binary end to end:

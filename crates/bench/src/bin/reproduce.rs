@@ -1,7 +1,7 @@
 //! `reproduce` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|ablation|all]
+//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|gateway|ablation|all]
 //!           [--size tiny|small|medium] [--ranks N]
 //! ```
 //!
@@ -10,8 +10,8 @@
 
 use hemelb_bench::workloads::Size;
 use hemelb_bench::{
-    ablation, adaptive, extract, faults, fig1, fig2, fig3, fig4, kernel, multires, obs, preprocess,
-    render, repartition, scaling, table1,
+    ablation, adaptive, extract, faults, fig1, fig2, fig3, fig4, gateway, kernel, multires, obs,
+    preprocess, render, repartition, scaling, table1,
 };
 
 struct Args {
@@ -49,7 +49,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|ablation|all] [--size tiny|small|medium] [--ranks N]"
+                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|gateway|ablation|all] [--size tiny|small|medium] [--ranks N]"
                 );
                 std::process::exit(0);
             }
@@ -174,6 +174,19 @@ fn main() {
             Size::Medium => 10,
         };
         println!("{}", kernel::run(args.size, steps));
+    }
+    if run_all || args.what == "gateway" {
+        ran = true;
+        println!("=== E17: steering gateway load test (fan-out + frame cache) ===");
+        let (observers, frames) = match args.size {
+            Size::Tiny => (120, 5),
+            Size::Small => (200, 8),
+            Size::Medium => (400, 10),
+        };
+        println!(
+            "{}",
+            gateway::run(args.size, args.ranks.clamp(2, 8), observers, frames)
+        );
     }
     if run_all || args.what == "ablation" {
         ran = true;

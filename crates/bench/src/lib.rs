@@ -17,6 +17,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod gateway;
 pub mod kernel;
 pub mod multires;
 pub mod obs;

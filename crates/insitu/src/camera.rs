@@ -65,6 +65,29 @@ impl Camera {
         (self.eye, dir)
     }
 
+    /// FNV-1a hash over the exact bit patterns of every camera
+    /// parameter. Two cameras hash equal iff they produce identical
+    /// rays, so the steering gateway can key its rendered-frame cache
+    /// on this without ever comparing floats for "closeness".
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |bits: u64| {
+            for b in bits.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for v in [self.eye, self.target, self.up] {
+            mix(v.x.to_bits());
+            mix(v.y.to_bits());
+            mix(v.z.to_bits());
+        }
+        mix(self.fov_y.to_bits());
+        mix(self.width as u64);
+        mix(self.height as u64);
+        h
+    }
+
     /// Project a world point to pixel coordinates and view depth.
     /// Returns `None` behind the eye.
     pub fn project(&self, p: Vec3) -> Option<(f64, f64, f64)> {
@@ -164,6 +187,18 @@ mod tests {
         let cam = demo_cam();
         let (_, _, f) = cam.basis();
         assert!(cam.project(cam.eye - f * 5.0).is_none());
+    }
+
+    #[test]
+    fn content_hash_separates_views_and_is_stable() {
+        let cam = demo_cam();
+        assert_eq!(cam.content_hash(), demo_cam().content_hash());
+        let mut moved = cam;
+        moved.eye.x += 1e-12; // even sub-visual nudges are a new view
+        assert_ne!(cam.content_hash(), moved.content_hash());
+        let mut resized = cam;
+        resized.width += 1;
+        assert_ne!(cam.content_hash(), resized.content_hash());
     }
 
     #[test]

@@ -41,6 +41,32 @@ impl TransferFunction {
         }
     }
 
+    /// FNV-1a hash of the transfer-function *family*: the control
+    /// points and opacity scale, excluding the scalar range `lo`/`hi`.
+    /// The closed loop derives the range deterministically from the
+    /// displayed data (a global min/max reduction over the step, field
+    /// and ROI), so a frame-cache key built from `(step, field, ROI,
+    /// family)` already pins the range — hashing `lo`/`hi` here would
+    /// force the reduction to run before the cache can be consulted,
+    /// defeating the point of a hit.
+    pub fn family_hash(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |bits: u64| {
+            for b in bits.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.stops.len() as u64);
+        for stop in &self.stops {
+            for c in stop {
+                mix(c.to_bits() as u64);
+            }
+        }
+        mix(self.opacity_scale.to_bits() as u64);
+        h
+    }
+
     /// Classify a scalar: straight RGB and opacity in `[0, 1]`.
     pub fn classify(&self, v: f64) -> [f32; 4] {
         let t = if self.hi > self.lo {
@@ -243,6 +269,25 @@ mod tests {
             ..TransferFunction::grey(0.0, 1.0)
         };
         assert!(clear.zero_opacity_over(-5.0, 5.0));
+    }
+
+    #[test]
+    fn family_hash_ignores_range_but_not_stops() {
+        // Same family, different data-derived range: one cache family.
+        assert_eq!(
+            TransferFunction::heat(0.0, 1.0).family_hash(),
+            TransferFunction::heat(-3.0, 42.0).family_hash()
+        );
+        assert_ne!(
+            TransferFunction::heat(0.0, 1.0).family_hash(),
+            TransferFunction::grey(0.0, 1.0).family_hash()
+        );
+        let mut scaled = TransferFunction::heat(0.0, 1.0);
+        scaled.opacity_scale = 2.0;
+        assert_ne!(
+            TransferFunction::heat(0.0, 1.0).family_hash(),
+            scaled.family_hash()
+        );
     }
 
     #[test]

@@ -18,11 +18,15 @@
 
 use crate::adaptive::AdaptiveDriver;
 use crate::error::{SteeringError, SteeringResult};
-use crate::protocol::{FieldChoice, ImageFrame, StatusReport, SteeringCommand};
+use crate::gateway::{CacheLookup, FrameCache, FrameKey, GatewayConfig, SessionGateway};
+use crate::protocol::{
+    FieldChoice, ImageFrame, ServerMessage, SparseImageFrame, StatusReport, SteeringCommand,
+};
 use crate::server::{ClientLossPolicy, SteeringServer, SteeringState};
 use crate::transport::{Acceptor, Transport};
+use bytes::Bytes;
 use hemelb_core::boundary::IoletBc;
-use hemelb_core::{DistSolver, SolverConfig};
+use hemelb_core::{DistSolver, FieldSnapshot, SolverConfig};
 use hemelb_geometry::{SparseGeometry, Vec3};
 use hemelb_insitu::camera::Camera;
 use hemelb_insitu::compositing::{binary_swap, DeadlineCompositor};
@@ -68,6 +72,16 @@ pub struct ClosedLoopConfig {
     /// [`SteeringCommand::SetAdaptiveLb`]; the config default applies
     /// until the first such command.
     pub adaptive_lb: Option<AdaptiveLbConfig>,
+    /// Multi-tenant mode: accept N concurrent sessions through the
+    /// acceptor (one driver, any number of observers) with per-session
+    /// send queues and a rendered-frame cache, instead of the single
+    /// pre-connected client. Requires an [`Acceptor`] on the master.
+    pub gateway: Option<GatewayConfig>,
+    /// Gather the final fields to the master at the end of the run
+    /// (collective). `ClosedLoopOutcome::final_fields` is then `Some`
+    /// on the master — the bit-exactness hook for the gateway churn
+    /// tests.
+    pub gather_final_fields: bool,
 }
 
 impl Default for ClosedLoopConfig {
@@ -81,6 +95,8 @@ impl Default for ClosedLoopConfig {
             frame_deadline: None,
             on_client_loss: ClientLossPolicy::Terminate,
             adaptive_lb: None,
+            gateway: None,
+            gather_final_fields: false,
         }
     }
 }
@@ -105,6 +121,74 @@ pub struct ClosedLoopOutcome {
     /// Frames shipped with at least one rank's contribution missing
     /// because it blew the compositing deadline (master rank only).
     pub frames_degraded: u64,
+    /// Due frames served from the rendered-frame cache instead of a
+    /// fresh render (gateway mode; identical on every rank).
+    pub frames_from_cache: u64,
+    /// Frame-cache hits (identical on every rank — the key cache is
+    /// replicated).
+    pub cache_hits: u64,
+    /// Frame-cache misses.
+    pub cache_misses: u64,
+    /// Frame-cache evictions.
+    pub cache_evictions: u64,
+    /// Most concurrent sessions observed (gateway mode, master only).
+    pub sessions_peak: u64,
+    /// Final fields gathered to the master when
+    /// `ClosedLoopConfig::gather_final_fields` is set (master only).
+    pub final_fields: Option<FieldSnapshot>,
+}
+
+/// The master's steering endpoint: the historical single-client server
+/// or the multi-tenant session gateway.
+enum Endpoint {
+    Single(SteeringServer),
+    Gateway(SessionGateway),
+}
+
+impl Endpoint {
+    fn poll_commands(&self) -> Vec<SteeringCommand> {
+        match self {
+            Endpoint::Single(s) => s.poll_commands(),
+            Endpoint::Gateway(g) => g.poll_commands(),
+        }
+    }
+    /// Whether anyone is watching (drives the periodic-frame cadence).
+    fn attached(&self) -> bool {
+        match self {
+            Endpoint::Single(s) => s.is_attached(),
+            Endpoint::Gateway(g) => g.session_count() > 0,
+        }
+    }
+    fn sessions(&self) -> u32 {
+        match self {
+            Endpoint::Single(s) => s.is_attached() as u32,
+            Endpoint::Gateway(g) => g.session_count() as u32,
+        }
+    }
+    fn take_events(&self) -> Vec<String> {
+        match self {
+            Endpoint::Single(s) => s.take_events(),
+            Endpoint::Gateway(g) => g.take_events(),
+        }
+    }
+    fn send_status(&self, status: StatusReport) {
+        match self {
+            Endpoint::Single(s) => s.send_status(status),
+            Endpoint::Gateway(g) => g.broadcast_status(status),
+        }
+    }
+    fn send_observables(&self, report: crate::protocol::ObservableReport) {
+        match self {
+            Endpoint::Single(s) => s.send_observables(report),
+            Endpoint::Gateway(g) => g.broadcast_observables(report),
+        }
+    }
+    fn bytes_sent(&self) -> u64 {
+        match self {
+            Endpoint::Single(s) => s.bytes_sent(),
+            Endpoint::Gateway(g) => g.bytes_sent(),
+        }
+    }
 }
 
 /// Run the closed loop collectively. Rank 0 must pass the server-side
@@ -148,6 +232,20 @@ pub fn run_closed_loop_opts(
                 comm.size()
             )));
         }
+        if cfg.gateway.is_some() && acceptor.is_none() {
+            return Err(SteeringError::Config(
+                "gateway mode needs an acceptor on the master: sessions attach \
+                 by dialing, there is no single pre-connected client"
+                    .into(),
+            ));
+        }
+        if cfg.gateway.is_some() && transport.is_some() {
+            return Err(SteeringError::Config(
+                "gateway mode takes no pre-connected transport: \
+                 let the client dial the acceptor instead"
+                    .into(),
+            ));
+        }
     } else if transport.is_some() || acceptor.is_some() {
         return Err(SteeringError::Config(format!(
             "only the master rank carries steering endpoints \
@@ -156,12 +254,18 @@ pub fn run_closed_loop_opts(
             comm.size()
         )));
     }
-    let server = if comm.is_master() {
-        Some(SteeringServer::with_policy(
-            transport,
-            acceptor,
-            cfg.on_client_loss,
-        ))
+    let endpoint = if comm.is_master() {
+        Some(match &cfg.gateway {
+            Some(gcfg) => Endpoint::Gateway(SessionGateway::new(
+                acceptor.expect("validated above"),
+                gcfg.clone(),
+            )),
+            None => Endpoint::Single(SteeringServer::with_policy(
+                transport,
+                acceptor,
+                cfg.on_client_loss,
+            )),
+        })
     } else {
         None
     };
@@ -184,6 +288,12 @@ pub fn run_closed_loop_opts(
         repartitions: 0,
         sites_migrated: 0,
         frames_degraded: 0,
+        frames_from_cache: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
+        sessions_peak: 0,
+        final_fields: None,
     };
     let mut last_frame_step = 0u64;
     let mut prev_speed: Option<Vec<f64>> = None;
@@ -192,16 +302,31 @@ pub fn run_closed_loop_opts(
     let mut window_steps_done = 0u64;
     let mut loop_problems: Vec<String> = Vec::new();
 
+    // Rendered-frame cache, gateway mode only. Every rank keeps an
+    // identical *key* cache built from replicated state (the master
+    // additionally stores the encoded payload), so all ranks agree on
+    // hit vs miss without communicating — on a hit they all skip the
+    // same render/composite collectives. Deadline compositing can
+    // degrade a frame non-deterministically, so the cache is bypassed
+    // whenever a frame deadline is configured: replaying a degraded
+    // frame forever would be worse than re-rendering.
+    let cache_entries = match (&cfg.gateway, cfg.frame_deadline) {
+        (Some(g), None) => g.frame_cache_entries,
+        _ => 0,
+    };
+    let mut frame_cache = FrameCache::new(cache_entries);
+    let tf_family_hash = TransferFunction::heat(0.0, 1.0).family_hash();
+
     loop {
         // Step 3–4 of the paper's loop: client → master → all ranks.
         // The cycle broadcast carries the attachment flag alongside the
         // commands, so every rank agrees on whether periodic frames are
         // worth rendering (a headless run has nobody to show them to).
-        let (commands, attached): (Vec<SteeringCommand>, bool) = if let Some(server) = &server {
+        let (commands, attached): (Vec<SteeringCommand>, bool) = if let Some(ep) = &endpoint {
             let span = comm.with_obs(|o| o.begin());
-            let cmds = server.poll_commands();
+            let cmds = ep.poll_commands();
             comm.with_obs(|o| span.end(o, "steer.poll"));
-            let attached = server.is_attached();
+            let attached = ep.attached();
             let span = comm.with_obs(|o| o.begin());
             let mut w = WireWriter::new();
             w.put_bool(attached);
@@ -340,9 +465,9 @@ pub fn run_closed_loop_opts(
             let sums =
                 comm.all_reduce_f64_vec(vec![sites as f64, sum_rho, sum_speed], |a, b| a + b)?;
             let maxes = comm.all_reduce_f64_vec(vec![max_speed, max_wss], f64::max)?;
-            if let Some(server) = &server {
+            if let Some(ep) = &endpoint {
                 let n = sums[0].max(1.0);
-                server.send_observables(crate::protocol::ObservableReport {
+                ep.send_observables(crate::protocol::ObservableReport {
                     step: outcome.steps_done,
                     sites: sums[0] as u64,
                     mean_density: sums[1] / n,
@@ -366,31 +491,6 @@ pub fn run_closed_loop_opts(
             state.frame_requested = false;
             last_frame_step = outcome.steps_done;
             let snap = solver.local_snapshot();
-            let values: Vec<f64> = (0..snap.len())
-                .map(|i| match state.field {
-                    FieldChoice::Density => snap.rho[i],
-                    FieldChoice::Speed => snap.speed(i),
-                    FieldChoice::Shear => snap.shear[i],
-                })
-                .collect();
-            // ROI restriction, if any.
-            let (points, values): (Vec<[u32; 3]>, Vec<f64>) = match state.roi {
-                None => (local_positions.clone(), values),
-                Some((lo, hi)) => local_positions
-                    .iter()
-                    .zip(&values)
-                    .filter(|(p, _)| (0..3).all(|a| p[a] >= lo[a] && p[a] < hi[a]))
-                    .map(|(p, v)| (*p, *v))
-                    .unzip(),
-            };
-
-            // A consistent transfer-function range needs the *global*
-            // min/max of the displayed values.
-            let local_min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-            let local_max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let global = comm.all_reduce_f64_vec(vec![-local_min, local_max], f64::max)?;
-            let (lo_v, hi_v) = (-global[0], global[1]);
-            let tf = TransferFunction::heat(lo_v, hi_v.max(lo_v + 1e-9));
 
             let cam = Camera {
                 eye: Vec3::from(state.eye),
@@ -400,34 +500,152 @@ pub fn run_closed_loop_opts(
                 width: cfg.image.0,
                 height: cfg.image.1,
             };
-            let span = comm.with_obs(|o| o.begin());
-            let partial = match Brick::from_points(&points, &values) {
-                Some(brick) => {
-                    let (partial, st) =
-                        render_brick_opts(&brick, &cam, &tf, 0.5, &RenderOptions::default());
-                    comm.with_obs(|o| {
-                        o.count("vis.render.samples_shaded", st.samples_shaded);
-                        o.count("vis.render.samples_skipped", st.samples_skipped);
-                    });
-                    partial
-                }
-                None => hemelb_insitu::image::PartialImage::new(cam.width, cam.height),
+            // The frame key is a pure function of replicated steering
+            // state, so every rank computes the same key and the same
+            // hit/miss verdict without communicating. The data-derived
+            // transfer range is NOT in the key — it is itself a pure
+            // function of (step, field, ROI), which the key pins.
+            let field_tag = match state.field {
+                FieldChoice::Density => 0u8,
+                FieldChoice::Speed => 1,
+                FieldChoice::Shear => 2,
             };
-            comm.with_obs(|o| span.end(o, "vis.render"));
-            let span = comm.with_obs(|o| o.begin());
-            let (composited, dropped_ranks) = match (&mut compositor, cfg.frame_deadline) {
-                (Some(dc), Some(deadline)) => {
-                    let out = dc.composite(comm, partial, deadline)?;
-                    (out.image, out.dropped)
-                }
-                _ => (binary_swap(comm, partial)?, Vec::new()),
+            let key = FrameKey::new(
+                outcome.steps_done,
+                cam.content_hash(),
+                state.roi,
+                field_tag,
+                tf_family_hash,
+            );
+            let lookup = if cache_entries > 0 {
+                frame_cache.lookup(key)
+            } else {
+                CacheLookup::Miss
             };
-            comm.with_obs(|o| span.end(o, "vis.composite"));
-            if !dropped_ranks.is_empty() {
-                outcome.frames_degraded += 1;
+
+            // What the master ships: a dense frame (single-client mode)
+            // or pre-encoded broadcast bytes (gateway mode).
+            let mut dense_image: Option<ImageFrame> = None;
+            let mut frame_bytes: Option<Bytes> = None;
+            let mut dropped_ranks = Vec::new();
+            match lookup {
+                CacheLookup::Hit(payload) => {
+                    // All ranks skip the same three collectives (range
+                    // reduce, render, composite); the master replays the
+                    // cached encode. One render, one encode, N sends.
+                    frame_bytes = payload;
+                    outcome.frames_from_cache += 1;
+                    comm.with_obs(|o| o.count("vis.cache.hit", 1));
+                }
+                CacheLookup::Miss => {
+                    if cache_entries > 0 {
+                        comm.with_obs(|o| o.count("vis.cache.miss", 1));
+                    }
+                    let values: Vec<f64> = (0..snap.len())
+                        .map(|i| match state.field {
+                            FieldChoice::Density => snap.rho[i],
+                            FieldChoice::Speed => snap.speed(i),
+                            FieldChoice::Shear => snap.shear[i],
+                        })
+                        .collect();
+                    // ROI restriction, if any.
+                    let (points, values): (Vec<[u32; 3]>, Vec<f64>) = match state.roi {
+                        None => (local_positions.clone(), values),
+                        Some((lo, hi)) => local_positions
+                            .iter()
+                            .zip(&values)
+                            .filter(|(p, _)| (0..3).all(|a| p[a] >= lo[a] && p[a] < hi[a]))
+                            .map(|(p, v)| (*p, *v))
+                            .unzip(),
+                    };
+
+                    // A consistent transfer-function range needs the
+                    // *global* min/max of the displayed values.
+                    let local_min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let local_max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    let global = comm.all_reduce_f64_vec(vec![-local_min, local_max], f64::max)?;
+                    let (lo_v, hi_v) = (-global[0], global[1]);
+                    let tf = TransferFunction::heat(lo_v, hi_v.max(lo_v + 1e-9));
+
+                    let span = comm.with_obs(|o| o.begin());
+                    let partial = match Brick::from_points(&points, &values) {
+                        Some(brick) => {
+                            let (partial, st) = render_brick_opts(
+                                &brick,
+                                &cam,
+                                &tf,
+                                0.5,
+                                &RenderOptions::default(),
+                            );
+                            comm.with_obs(|o| {
+                                o.count("vis.render.samples_shaded", st.samples_shaded);
+                                o.count("vis.render.samples_skipped", st.samples_skipped);
+                            });
+                            partial
+                        }
+                        None => hemelb_insitu::image::PartialImage::new(cam.width, cam.height),
+                    };
+                    comm.with_obs(|o| span.end(o, "vis.render"));
+                    let span = comm.with_obs(|o| o.begin());
+                    let (composited, dropped) = match (&mut compositor, cfg.frame_deadline) {
+                        (Some(dc), Some(deadline)) => {
+                            let out = dc.composite(comm, partial, deadline)?;
+                            (out.image, out.dropped)
+                        }
+                        _ => (binary_swap(comm, partial)?, Vec::new()),
+                    };
+                    comm.with_obs(|o| span.end(o, "vis.composite"));
+                    dropped_ranks = dropped;
+                    if !dropped_ranks.is_empty() {
+                        outcome.frames_degraded += 1;
+                    }
+
+                    if let Some(image) = composited {
+                        let img = ImageFrame {
+                            step: outcome.steps_done,
+                            width: image.width,
+                            height: image.height,
+                            rgb: image.to_rgb8(),
+                        };
+                        match &endpoint {
+                            Some(Endpoint::Gateway(_)) => {
+                                // Encode once (sparse run-length against
+                                // the white background, or dense); the
+                                // gateway fans the same bytes out to
+                                // every session and the cache replays
+                                // them on later hits.
+                                let sparse = cfg.gateway.as_ref().is_none_or(|g| g.sparse_frames);
+                                let msg = if sparse {
+                                    ServerMessage::ImageSparse(SparseImageFrame::from_dense(
+                                        &img,
+                                        [255, 255, 255],
+                                    ))
+                                } else {
+                                    ServerMessage::Image(img)
+                                };
+                                frame_bytes = Some(msg.to_bytes());
+                            }
+                            _ => dense_image = Some(img),
+                        }
+                    }
+                    if cache_entries > 0 {
+                        // Collective insert: every rank records the key
+                        // (FIFO order is the replicated insertion
+                        // order); only the master holds payload bytes.
+                        let evictions_before = frame_cache.evictions();
+                        frame_cache.insert(key, frame_bytes.clone());
+                        let evicted = frame_cache.evictions() - evictions_before;
+                        if evicted > 0 {
+                            comm.with_obs(|o| o.count("vis.cache.evict", evicted));
+                        }
+                    }
+                    outcome.frames_rendered += 1;
+                }
             }
 
-            // Status: global consistency monitors.
+            // Status: global consistency monitors. These collectives
+            // run on every due frame, cache hit or miss — status must
+            // stay live even when the pixels are replayed.
             let mass = solver.mass()?;
             let speeds: Vec<f64> = (0..snap.len()).map(|i| snap.speed(i)).collect();
             let local_max_speed = speeds.iter().cloned().fold(0.0, f64::max);
@@ -452,9 +670,9 @@ pub fn run_closed_loop_opts(
             // master as part of the status problems.
             let rejections = state.take_rejections();
             let loop_notes = std::mem::take(&mut loop_problems);
-            if let (Some(server), Some(image)) = (&server, composited) {
+            if let Some(ep) = &endpoint {
                 let span = comm.with_obs(|o| o.begin());
-                let mut problems = solver.local_snapshot().validity_report();
+                let mut problems = snap.validity_report();
                 problems.extend(rejections);
                 problems.extend(loop_notes);
                 if !dropped_ranks.is_empty() {
@@ -462,8 +680,8 @@ pub fn run_closed_loop_opts(
                         "degraded frame: compositing deadline dropped ranks {dropped_ranks:?}"
                     ));
                 }
-                problems.extend(server.take_events());
-                server.send_status(StatusReport {
+                problems.extend(ep.take_events());
+                ep.send_status(StatusReport {
                     step: outcome.steps_done,
                     mass,
                     max_speed,
@@ -473,16 +691,24 @@ pub fn run_closed_loop_opts(
                     paused: state.paused,
                     rebalances: outcome.repartitions,
                     lb_imbalance: adaptive.as_ref().map_or(1.0, |d| d.last_imbalance()),
+                    sessions: ep.sessions(),
+                    cache_hits: frame_cache.hits(),
+                    cache_misses: frame_cache.misses(),
                 });
-                server.send_image(ImageFrame {
-                    step: outcome.steps_done,
-                    width: image.width,
-                    height: image.height,
-                    rgb: image.to_rgb8(),
-                });
+                match ep {
+                    Endpoint::Single(server) => {
+                        if let Some(img) = dense_image {
+                            server.send_image(img);
+                        }
+                    }
+                    Endpoint::Gateway(gw) => {
+                        if let Some(bytes) = frame_bytes {
+                            gw.broadcast_frame_bytes(bytes);
+                        }
+                    }
+                }
                 comm.with_obs(|o| span.end(o, "steer.ship"));
             }
-            outcome.frames_rendered += 1;
         }
 
         if state.terminate || outcome.steps_done >= cfg.max_steps {
@@ -490,8 +716,18 @@ pub fn run_closed_loop_opts(
         }
     }
 
-    if let Some(server) = &server {
-        outcome.steering_bytes = server.bytes_sent();
+    if let Some(ep) = &endpoint {
+        outcome.steering_bytes = ep.bytes_sent();
+        if let Endpoint::Gateway(gw) = ep {
+            outcome.sessions_peak = gw.sessions_peak();
+        }
+    }
+    outcome.cache_hits = frame_cache.hits();
+    outcome.cache_misses = frame_cache.misses();
+    outcome.cache_evictions = frame_cache.evictions();
+    if cfg.gather_final_fields {
+        // Collective: cfg is replicated, so every rank takes this path.
+        outcome.final_fields = solver.gather_snapshot()?;
     }
     Ok(outcome)
 }
@@ -1042,5 +1278,107 @@ mod tests {
             assert!(r.frames_rendered >= 1);
             assert!(r.commands_applied >= 5);
         }
+    }
+
+    #[test]
+    fn gateway_mode_broadcasts_to_observers_and_caches_repeated_views() {
+        use crate::gateway::GatewayConfig;
+        use crate::transport::{duplex_listener, Acceptor};
+
+        let geo = demo_geo();
+        let (connector, acceptor) = duplex_listener();
+        let acceptor_slot = Arc::new(Mutex::new(Some(Box::new(acceptor) as Box<dyn Acceptor>)));
+        let geo2 = geo.clone();
+
+        let driver_conn = connector.clone();
+        let obs_conn = connector;
+        let client_thread = std::thread::spawn(move || {
+            // First to attach becomes the driver.
+            let driver = SteeringClient::new(Box::new(driver_conn.connect().unwrap()));
+            let (first, _) = driver.request_frame().unwrap();
+
+            // An observer attaches mid-run and only watches: it sends
+            // nothing, yet receives every broadcast frame (densified
+            // from the sparse wire encoding by the client).
+            let observer = std::thread::spawn(move || {
+                let client = SteeringClient::new(Box::new(obs_conn.connect().unwrap()));
+                let mut images = 0u64;
+                while let Ok(msg) = client.recv() {
+                    if let crate::protocol::ServerMessage::Image(_) = msg {
+                        images += 1;
+                    }
+                }
+                images
+            });
+
+            // Freeze the simulation, then re-request the same view: once
+            // the pause lands, (step, camera, ROI, field, tf) repeats,
+            // so every further frame is served from the cache.
+            driver.send(&SteeringCommand::Pause).unwrap();
+            let mut prev = first.step;
+            let mut repeats = 0;
+            let mut last_statuses = Vec::new();
+            while repeats < 3 {
+                driver.send(&SteeringCommand::RequestFrame).unwrap();
+                let (img, statuses) = driver.wait_for_image().unwrap();
+                if img.step == prev {
+                    repeats += 1;
+                } else {
+                    prev = img.step;
+                }
+                last_statuses = statuses;
+            }
+            driver.send(&SteeringCommand::Terminate).unwrap();
+            while driver.recv().is_ok() {}
+            (last_statuses, observer.join().unwrap())
+        });
+
+        let results = run_spmd(2, move |comm| {
+            let acceptor = if comm.is_master() {
+                acceptor_slot.lock().take()
+            } else {
+                None
+            };
+            run_closed_loop_opts(
+                geo2.clone(),
+                slab_owner(&geo2, comm.size()),
+                SolverConfig::pressure_driven(1.005, 0.995),
+                comm,
+                None,
+                acceptor,
+                &ClosedLoopConfig {
+                    max_steps: 1_000_000, // only the driver stops this run
+                    image: (32, 24),
+                    initial_vis_rate: 1_000_000,
+                    steps_per_cycle: 5,
+                    vis_aware_repartition: false,
+                    gateway: Some(GatewayConfig::default()),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        });
+        let (statuses, observer_images) = client_thread.join().unwrap();
+        assert!(
+            observer_images >= 1,
+            "observer saw broadcast frames without requesting any"
+        );
+        assert!(
+            statuses.iter().any(|s| s.cache_hits > 0),
+            "status reports surface the cache counters"
+        );
+        for r in &results {
+            assert!(r.terminated_by_client);
+            assert!(r.frames_rendered >= 1, "the first view was rendered");
+            assert!(r.frames_from_cache >= 3, "repeat views came from cache");
+            assert_eq!(r.cache_hits, r.frames_from_cache);
+            assert!(r.cache_misses >= r.frames_rendered);
+        }
+        // Hit/miss verdicts are replicated: every rank agrees exactly.
+        assert_eq!(results[0].frames_rendered, results[1].frames_rendered);
+        assert_eq!(results[0].frames_from_cache, results[1].frames_from_cache);
+        assert_eq!(results[0].sessions_peak, 2, "driver + observer");
+        assert_eq!(results[1].sessions_peak, 0, "peak is master-side state");
+        assert!(results[0].steering_bytes > 0);
     }
 }

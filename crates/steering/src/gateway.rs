@@ -1,0 +1,973 @@
+//! Multi-tenant session gateway: one simulation, many steering clients.
+//!
+//! The single-client [`crate::server::SteeringServer`] assumes one
+//! scientist driving one run. The ROADMAP north star is many users
+//! observing (and occasionally steering) shared runs, so the gateway
+//! decouples the one producer from N consumers, SENSEI-style:
+//!
+//! * every client that dials the [`Acceptor`] becomes a **session**
+//!   with a monotonically increasing [`SessionId`];
+//! * exactly one session holds the **driver** role — only its commands
+//!   reach the simulation. Everyone else is an **observer** receiving
+//!   the status/image broadcast. The first session to attach drives;
+//!   on driver disconnect (or an explicit
+//!   [`SteeringCommand::ReleaseDriver`]) the role hands off to the
+//!   *lowest-numbered* remaining session, so arbitration is
+//!   deterministic and replayable;
+//! * broadcasts go through per-session send queues
+//!   ([`Transport::try_send_frame`]), so one slow or dead observer can
+//!   never stall the simulation loop. A backlogged session walks a
+//!   degradation ladder: past `degrade_queued_bytes` it stops receiving
+//!   images (status-only), past `detach_queued_bytes` — or once its
+//!   backlog has failed to drain for `drain_deadline` — it is detached;
+//! * identical observer views are served from a [`FrameCache`] keyed by
+//!   `(step, camera, ROI, transfer-function family)`: one render and
+//!   one run-length encode, N cheap sends.
+//!
+//! The cache is deliberately **FIFO**, not LRU: the closed loop keeps
+//! one key cache per rank (payloads only on the master) and consults it
+//! collectively, so every rank must agree on which key gets evicted.
+//! LRU would touch entries on master-only lookups and silently diverge
+//! the eviction order across ranks; FIFO depends only on the insertion
+//! sequence, which is replicated.
+
+use crate::protocol::{ObservableReport, ServerMessage, StatusReport, SteeringCommand};
+use crate::transport::{Acceptor, Transport};
+use bytes::Bytes;
+use hemelb_parallel::Wire;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Identifies one client session for its lifetime. Ids are assigned in
+/// attach order and never reused, so ordering them orders attachment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session {}", self.0)
+    }
+}
+
+/// What a session may do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Commands are applied to the simulation. Exactly one per gateway
+    /// (whenever any session exists at all).
+    Driver,
+    /// Receives the status/image broadcast; commands are rejected.
+    Observer,
+}
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Hard cap on concurrent sessions; extra dials are refused.
+    pub max_sessions: usize,
+    /// Send backlog (bytes) past which a session degrades to
+    /// status-only: queued image frames stop being sent to it.
+    pub degrade_queued_bytes: u64,
+    /// Send backlog (bytes) past which a session is detached outright.
+    pub detach_queued_bytes: u64,
+    /// How long a session's backlog may stay non-empty before the
+    /// session is declared wedged and detached (PR 4's deadline idea
+    /// applied to the send side).
+    pub drain_deadline: Duration,
+    /// Rendered-frame cache capacity (entries). Zero disables caching.
+    pub frame_cache_entries: usize,
+    /// Broadcast frames in the sparse run-length wire form
+    /// ([`crate::protocol::SparseImageFrame`]) instead of dense RGB.
+    pub sparse_frames: bool,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            max_sessions: 1024,
+            degrade_queued_bytes: 4 << 20,
+            detach_queued_bytes: 16 << 20,
+            drain_deadline: Duration::from_secs(2),
+            frame_cache_entries: 32,
+            sparse_frames: true,
+        }
+    }
+}
+
+/// Everything that identifies a rendered frame, for cache lookups.
+///
+/// `view` folds together the camera (pose, FOV, image dimensions), the
+/// ROI, the displayed field and the transfer-function *family* hash —
+/// the data-derived scalar range is excluded on purpose (it is a pure
+/// function of `(step, field, ROI)`, which the key already pins; see
+/// `TransferFunction::family_hash`). Built from replicated steering
+/// state only, so every rank computes the identical key without
+/// communicating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameKey {
+    /// Simulation step the frame shows.
+    pub step: u64,
+    /// Hash of the full view configuration.
+    pub view: u64,
+}
+
+impl FrameKey {
+    /// Combine the view ingredients into a key.
+    pub fn new(
+        step: u64,
+        camera_hash: u64,
+        roi: Option<([u32; 3], [u32; 3])>,
+        field_tag: u8,
+        tf_family_hash: u64,
+    ) -> Self {
+        let mut h = Fnv::new();
+        h.mix_u64(camera_hash);
+        match roi {
+            None => h.mix_u64(0),
+            Some((lo, hi)) => {
+                h.mix_u64(1);
+                for v in lo.iter().chain(hi.iter()) {
+                    h.mix_u64(*v as u64);
+                }
+            }
+        }
+        h.mix_u64(field_tag as u64);
+        h.mix_u64(tf_family_hash);
+        FrameKey {
+            step,
+            view: h.finish(),
+        }
+    }
+}
+
+/// Incremental FNV-1a, the same mixing the insitu content hashes use.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn mix_u64(&mut self, bits: u64) {
+        for b in bits.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The result of a [`FrameCache::lookup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// The key is cached. The payload is `Some` only on the rank that
+    /// stores payloads (the master); everyone else caches keys alone.
+    Hit(Option<Bytes>),
+    /// Not cached; render, then [`FrameCache::insert`].
+    Miss,
+}
+
+/// A bounded FIFO cache of encoded frames keyed by [`FrameKey`].
+///
+/// FIFO eviction (not LRU) keeps rank-replicated instances in lockstep:
+/// eviction order depends only on the insertion sequence, never on who
+/// looked what up. See the module docs for why that matters.
+#[derive(Debug, Default)]
+pub struct FrameCache {
+    capacity: usize,
+    order: VecDeque<FrameKey>,
+    entries: HashMap<FrameKey, Option<Bytes>>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl FrameCache {
+    /// A cache holding at most `capacity` frames (0 disables it: every
+    /// lookup misses and inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        FrameCache {
+            capacity,
+            ..Default::default()
+        }
+    }
+
+    /// Look `key` up, counting the hit or miss.
+    pub fn lookup(&mut self, key: FrameKey) -> CacheLookup {
+        match self.entries.get(&key) {
+            Some(payload) => {
+                self.hits += 1;
+                CacheLookup::Hit(payload.clone())
+            }
+            None => {
+                self.misses += 1;
+                CacheLookup::Miss
+            }
+        }
+    }
+
+    /// Insert an encoded frame (or just the key, on ranks that don't
+    /// keep payloads), evicting the oldest entry at capacity.
+    pub fn insert(&mut self, key: FrameKey, payload: Option<Bytes>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.insert(key, payload).is_some() {
+            // Same key re-inserted: refresh the payload, keep the FIFO
+            // position (a move-to-back would be an LRU touch).
+            return;
+        }
+        self.order.push_back(key);
+        while self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+struct Session {
+    role: Role,
+    transport: Box<dyn Transport>,
+    /// When the send backlog last became non-empty (`None` = drained).
+    backlog_since: Option<Instant>,
+    /// Degraded: receives status reports but no image frames.
+    status_only: bool,
+}
+
+/// The multi-session steering endpoint living on the master rank.
+///
+/// Interior mutability mirrors [`crate::server::SteeringServer`]: the
+/// closed loop holds it by shared reference.
+pub struct SessionGateway {
+    acceptor: Box<dyn Acceptor>,
+    cfg: GatewayConfig,
+    sessions: RefCell<BTreeMap<SessionId, Session>>,
+    next_id: Cell<u64>,
+    driver: Cell<Option<SessionId>>,
+    events: RefCell<Vec<String>>,
+    /// Driver commands drained off a dying transport at detach time
+    /// (same salvage fix as the single-client server).
+    salvaged: RefCell<Vec<SteeringCommand>>,
+    /// Last broadcast frame, replayed to late joiners so they see a
+    /// picture immediately instead of waiting out the vis cadence.
+    last_frame: RefCell<Option<Bytes>>,
+    bytes_retired: Cell<u64>,
+    attaches: Cell<u64>,
+    detaches: Cell<u64>,
+    sessions_peak: Cell<u64>,
+    frames_skipped_status_only: Cell<u64>,
+}
+
+impl SessionGateway {
+    /// A gateway accepting sessions through `acceptor`.
+    pub fn new(acceptor: Box<dyn Acceptor>, cfg: GatewayConfig) -> Self {
+        SessionGateway {
+            acceptor,
+            cfg,
+            sessions: RefCell::new(BTreeMap::new()),
+            next_id: Cell::new(1),
+            driver: Cell::new(None),
+            events: RefCell::new(Vec::new()),
+            salvaged: RefCell::new(Vec::new()),
+            last_frame: RefCell::new(None),
+            bytes_retired: Cell::new(0),
+            attaches: Cell::new(0),
+            detaches: Cell::new(0),
+            sessions_peak: Cell::new(0),
+            frames_skipped_status_only: Cell::new(0),
+        }
+    }
+
+    /// Concurrent sessions right now.
+    pub fn session_count(&self) -> usize {
+        self.sessions.borrow().len()
+    }
+
+    /// Most sessions ever concurrent.
+    pub fn sessions_peak(&self) -> u64 {
+        self.sessions_peak.get()
+    }
+
+    /// Total attaches over the gateway's lifetime.
+    pub fn attach_count(&self) -> u64 {
+        self.attaches.get()
+    }
+
+    /// Total detaches over the gateway's lifetime.
+    pub fn detach_count(&self) -> u64 {
+        self.detaches.get()
+    }
+
+    /// The session currently holding the driver role, if any.
+    pub fn driver_id(&self) -> Option<SessionId> {
+        self.driver.get()
+    }
+
+    /// Image frames withheld from status-only (degraded) sessions.
+    pub fn frames_skipped_status_only(&self) -> u64 {
+        self.frames_skipped_status_only.get()
+    }
+
+    /// Drain pending session events (attach/detach/hand-off/degrade/
+    /// rejection notices), for `StatusReport.problems`.
+    pub fn take_events(&self) -> Vec<String> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+
+    /// Steering bytes sent across all sessions, past and present.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_retired.get()
+            + self
+                .sessions
+                .borrow()
+                .values()
+                .map(|s| s.transport.bytes_sent())
+                .sum::<u64>()
+    }
+
+    fn event(&self, msg: String) {
+        self.events.borrow_mut().push(msg);
+    }
+
+    /// Remove `id`, salvaging decodable driver commands first, and hand
+    /// the driver role off deterministically if the driver just left.
+    fn detach(&self, id: SessionId, why: &str) {
+        let Some(session) = self.sessions.borrow_mut().remove(&id) else {
+            return;
+        };
+        let was_driver = session.role == Role::Driver;
+        let mut salvaged = 0usize;
+        if was_driver {
+            // Same bug class as the single-client server: the driver's
+            // last commands may still sit on the dying transport.
+            while let Ok(Some(frame)) = session.transport.try_recv_frame() {
+                if let Ok(cmd) = SteeringCommand::from_bytes(frame) {
+                    self.salvaged.borrow_mut().push(cmd);
+                    salvaged += 1;
+                }
+            }
+        }
+        self.bytes_retired
+            .set(self.bytes_retired.get() + session.transport.bytes_sent());
+        self.detaches.set(self.detaches.get() + 1);
+        let mut msg = format!("{id} detached: {why}");
+        if salvaged > 0 {
+            msg.push_str(&format!(" (salvaged {salvaged} queued command(s))"));
+        }
+        self.event(msg);
+        if self.driver.get() == Some(id) {
+            self.driver.set(None);
+            self.promote_driver(None);
+        }
+    }
+
+    /// Give the driver role to the lowest-numbered session other than
+    /// `exclude` (falling back to `exclude` itself if it is the only
+    /// session left). Lowest-id promotion makes hand-off a pure
+    /// function of the session set — deterministic and testable.
+    fn promote_driver(&self, exclude: Option<SessionId>) {
+        let mut sessions = self.sessions.borrow_mut();
+        let chosen = sessions
+            .keys()
+            .find(|id| Some(**id) != exclude)
+            .or_else(|| sessions.keys().next())
+            .copied();
+        if let Some(id) = chosen {
+            if let Some(s) = sessions.get_mut(&id) {
+                s.role = Role::Driver;
+            }
+            self.driver.set(Some(id));
+            if let Some(prev) = exclude {
+                if prev != id {
+                    if let Some(s) = sessions.get_mut(&prev) {
+                        s.role = Role::Observer;
+                    }
+                }
+            }
+            drop(sessions);
+            self.event(format!("driver hand-off: {id} now drives"));
+        }
+    }
+
+    /// Accept every client currently knocking.
+    fn accept_pending(&self) {
+        while let Ok(Some(transport)) = self.acceptor.try_accept() {
+            if self.session_count() >= self.cfg.max_sessions {
+                // Dropping the transport closes the connection.
+                self.event(format!(
+                    "session refused: at capacity ({})",
+                    self.cfg.max_sessions
+                ));
+                continue;
+            }
+            let id = SessionId(self.next_id.get());
+            self.next_id.set(id.0 + 1);
+            let role = if self.driver.get().is_none() {
+                Role::Driver
+            } else {
+                Role::Observer
+            };
+            // Catch-up: late joiners get the last broadcast frame
+            // immediately instead of waiting out the vis cadence.
+            if let Some(frame) = self.last_frame.borrow().clone() {
+                if transport.try_send_frame(frame).is_err() {
+                    self.event(format!("{id} died during attach"));
+                    continue;
+                }
+            }
+            self.sessions.borrow_mut().insert(
+                id,
+                Session {
+                    role,
+                    transport,
+                    backlog_since: None,
+                    status_only: false,
+                },
+            );
+            if role == Role::Driver {
+                self.driver.set(Some(id));
+            }
+            self.attaches.set(self.attaches.get() + 1);
+            self.sessions_peak
+                .set(self.sessions_peak.get().max(self.session_count() as u64));
+            self.event(format!(
+                "{id} attached as {}",
+                match role {
+                    Role::Driver => "driver",
+                    Role::Observer => "observer",
+                }
+            ));
+        }
+    }
+
+    /// Walk every session down the degradation ladder: opportunistic
+    /// flush, then status-only past `degrade_queued_bytes`, then detach
+    /// past `detach_queued_bytes` or the drain deadline.
+    fn pump(&self) {
+        let ids: Vec<SessionId> = self.sessions.borrow().keys().copied().collect();
+        for id in ids {
+            let verdict = {
+                let mut sessions = self.sessions.borrow_mut();
+                let Some(s) = sessions.get_mut(&id) else {
+                    continue;
+                };
+                match s.transport.flush_pending() {
+                    Err(e) => Err(e.to_string()),
+                    Ok(0) => {
+                        if s.backlog_since.take().is_some() && s.status_only {
+                            s.status_only = false;
+                            Ok(Some(format!("{id} recovered: backlog drained")))
+                        } else {
+                            Ok(None)
+                        }
+                    }
+                    Ok(pending) => {
+                        let since = *s.backlog_since.get_or_insert_with(Instant::now);
+                        if pending > self.cfg.detach_queued_bytes
+                            || since.elapsed() > self.cfg.drain_deadline
+                        {
+                            Err(format!(
+                                "wedged: {pending} bytes backlogged for {:.1?}",
+                                since.elapsed()
+                            ))
+                        } else if pending > self.cfg.degrade_queued_bytes && !s.status_only {
+                            s.status_only = true;
+                            Ok(Some(format!(
+                                "{id} degraded to status-only ({pending} bytes backlogged)"
+                            )))
+                        } else {
+                            Ok(None)
+                        }
+                    }
+                }
+            };
+            match verdict {
+                Ok(Some(msg)) => self.event(msg),
+                Ok(None) => {}
+                Err(why) => self.detach(id, &why),
+            }
+        }
+    }
+
+    fn command_name(cmd: &SteeringCommand) -> &'static str {
+        match cmd {
+            SteeringCommand::SetCamera { .. } => "SetCamera",
+            SteeringCommand::SetField(_) => "SetField",
+            SteeringCommand::SetVisRate(_) => "SetVisRate",
+            SteeringCommand::SetRoi { .. } => "SetRoi",
+            SteeringCommand::SetInletPressure { .. } => "SetInletPressure",
+            SteeringCommand::Pause => "Pause",
+            SteeringCommand::Resume => "Resume",
+            SteeringCommand::RequestFrame => "RequestFrame",
+            SteeringCommand::RequestObservables => "RequestObservables",
+            SteeringCommand::SetAdaptiveLb(_) => "SetAdaptiveLb",
+            SteeringCommand::Terminate => "Terminate",
+            SteeringCommand::ReleaseDriver => "ReleaseDriver",
+        }
+    }
+
+    /// Accept dials, drain every session's inbound queue, arbitrate
+    /// roles, and pump the send queues. Returns the commands to apply —
+    /// the driver's stream, in order (salvaged commands first).
+    pub fn poll_commands(&self) -> Vec<SteeringCommand> {
+        self.accept_pending();
+        let mut out = std::mem::take(&mut *self.salvaged.borrow_mut());
+        let ids: Vec<SessionId> = self.sessions.borrow().keys().copied().collect();
+        for id in ids {
+            loop {
+                let polled = {
+                    let sessions = self.sessions.borrow();
+                    match sessions.get(&id) {
+                        None => break,
+                        Some(s) => s.transport.try_recv_frame(),
+                    }
+                };
+                match polled {
+                    Ok(None) => break,
+                    Ok(Some(frame)) => match SteeringCommand::from_bytes(frame) {
+                        Ok(cmd) => {
+                            let is_driver = self.driver.get() == Some(id);
+                            match (&cmd, is_driver) {
+                                (SteeringCommand::ReleaseDriver, true) => {
+                                    self.event(format!("{id} released the driver role"));
+                                    self.promote_driver(Some(id));
+                                }
+                                (_, true) => out.push(cmd),
+                                (_, false) => self.event(format!(
+                                    "rejected {} from observer {id}: only the driver steers",
+                                    Self::command_name(&cmd)
+                                )),
+                            }
+                        }
+                        Err(e) => {
+                            self.detach(id, &format!("undecodable command: {e}"));
+                            break;
+                        }
+                    },
+                    Err(e) => {
+                        self.detach(id, &e.to_string());
+                        break;
+                    }
+                }
+            }
+        }
+        self.pump();
+        out
+    }
+
+    /// Broadcast an encoded [`ServerMessage`] to sessions, skipping
+    /// image frames for status-only sessions when `is_image`. Send
+    /// errors detach the session (terminal — never retry mid-frame).
+    fn broadcast_bytes(&self, bytes: &Bytes, is_image: bool) {
+        let ids: Vec<SessionId> = self.sessions.borrow().keys().copied().collect();
+        for id in ids {
+            let result = {
+                let sessions = self.sessions.borrow();
+                let Some(s) = sessions.get(&id) else { continue };
+                if is_image && s.status_only {
+                    self.frames_skipped_status_only
+                        .set(self.frames_skipped_status_only.get() + 1);
+                    continue;
+                }
+                s.transport.try_send_frame(bytes.clone())
+            };
+            if let Err(e) = result {
+                self.detach(id, &e.to_string());
+            }
+        }
+    }
+
+    /// Broadcast a status report to every session (status-only sessions
+    /// included — status is exactly what they still receive).
+    pub fn broadcast_status(&self, status: StatusReport) {
+        let bytes = ServerMessage::Status(status).to_bytes();
+        self.broadcast_bytes(&bytes, false);
+    }
+
+    /// Broadcast an observable report to every session.
+    pub fn broadcast_observables(&self, report: ObservableReport) {
+        let bytes = ServerMessage::Observables(report).to_bytes();
+        self.broadcast_bytes(&bytes, false);
+    }
+
+    /// Broadcast an already-encoded image message (dense or sparse) and
+    /// remember it for late-joiner catch-up. Taking encoded bytes lets
+    /// the closed loop encode once — cache hit or miss — and fan out N
+    /// cheap sends.
+    pub fn broadcast_frame_bytes(&self, bytes: Bytes) {
+        self.broadcast_bytes(&bytes, true);
+        *self.last_frame.borrow_mut() = Some(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ImageFrame;
+    use crate::transport::{duplex_listener, InMemoryTransport};
+    use crossbeam_channel::{unbounded, Receiver, Sender};
+    use parking_lot::Mutex;
+
+    fn small_cfg() -> GatewayConfig {
+        GatewayConfig {
+            max_sessions: 8,
+            ..Default::default()
+        }
+    }
+
+    fn status(step: u64) -> StatusReport {
+        StatusReport {
+            step,
+            mass: 1.0,
+            max_speed: 0.0,
+            residual: 0.0,
+            problems: vec![],
+            eta_steps: 0,
+            paused: false,
+            rebalances: 0,
+            lb_imbalance: 1.0,
+            sessions: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    fn image_bytes(step: u64) -> Bytes {
+        ServerMessage::Image(ImageFrame {
+            step,
+            width: 1,
+            height: 1,
+            rgb: vec![step as u8, 0, 0],
+        })
+        .to_bytes()
+    }
+
+    #[test]
+    fn first_session_drives_listeners_observe() {
+        let (connector, acceptor) = duplex_listener();
+        let gw = SessionGateway::new(Box::new(acceptor), small_cfg());
+        let driver = connector.connect().unwrap();
+        let observer = connector.connect().unwrap();
+        driver
+            .send_frame(SteeringCommand::Pause.to_bytes())
+            .unwrap();
+        observer
+            .send_frame(SteeringCommand::Resume.to_bytes())
+            .unwrap();
+        let cmds = gw.poll_commands();
+        assert_eq!(cmds, vec![SteeringCommand::Pause]);
+        assert_eq!(gw.driver_id(), Some(SessionId(1)));
+        assert_eq!(gw.session_count(), 2);
+        let events = gw.take_events();
+        assert!(
+            events.iter().any(|e| e.contains("rejected Resume")),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn broadcast_reaches_every_session() {
+        let (connector, acceptor) = duplex_listener();
+        let gw = SessionGateway::new(Box::new(acceptor), small_cfg());
+        let clients: Vec<InMemoryTransport> =
+            (0..3).map(|_| connector.connect().unwrap()).collect();
+        gw.poll_commands();
+        assert_eq!(gw.session_count(), 3);
+        gw.broadcast_status(status(7));
+        gw.broadcast_frame_bytes(image_bytes(7));
+        for c in &clients {
+            let s = ServerMessage::from_bytes(c.recv_frame().unwrap()).unwrap();
+            assert!(matches!(s, ServerMessage::Status(s) if s.step == 7));
+            let img = ServerMessage::from_bytes(c.recv_frame().unwrap()).unwrap();
+            assert!(matches!(img, ServerMessage::Image(i) if i.step == 7));
+        }
+        assert!(gw.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn driver_handoff_on_disconnect_is_deterministic() {
+        let (connector, acceptor) = duplex_listener();
+        let gw = SessionGateway::new(Box::new(acceptor), small_cfg());
+        let c1 = connector.connect().unwrap();
+        let _c2 = connector.connect().unwrap();
+        let _c3 = connector.connect().unwrap();
+        gw.poll_commands();
+        assert_eq!(gw.driver_id(), Some(SessionId(1)));
+        // Driver dies: the lowest remaining id (2) must take over.
+        drop(c1);
+        gw.poll_commands();
+        gw.broadcast_status(status(1)); // a send notices the death too
+        gw.poll_commands();
+        assert_eq!(gw.driver_id(), Some(SessionId(2)));
+        assert_eq!(gw.session_count(), 2);
+        let events = gw.take_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.contains("hand-off") && e.contains("session 2")),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn explicit_release_hands_off_and_demotes() {
+        let (connector, acceptor) = duplex_listener();
+        let gw = SessionGateway::new(Box::new(acceptor), small_cfg());
+        let c1 = connector.connect().unwrap();
+        let c2 = connector.connect().unwrap();
+        gw.poll_commands();
+        c1.send_frame(SteeringCommand::ReleaseDriver.to_bytes())
+            .unwrap();
+        let cmds = gw.poll_commands();
+        assert!(cmds.is_empty(), "release is arbitration, not steering");
+        assert_eq!(gw.driver_id(), Some(SessionId(2)));
+        // The old driver is now an observer: its commands are rejected,
+        // the new driver's are applied.
+        c1.send_frame(SteeringCommand::Pause.to_bytes()).unwrap();
+        c2.send_frame(SteeringCommand::Resume.to_bytes()).unwrap();
+        assert_eq!(gw.poll_commands(), vec![SteeringCommand::Resume]);
+        // Sole-session release keeps them driving (someone must).
+        drop(c1);
+        gw.poll_commands();
+        c2.send_frame(SteeringCommand::ReleaseDriver.to_bytes())
+            .unwrap();
+        gw.poll_commands();
+        assert_eq!(gw.driver_id(), Some(SessionId(2)));
+    }
+
+    #[test]
+    fn driver_commands_are_salvaged_at_detach() {
+        let (connector, acceptor) = duplex_listener();
+        let gw = SessionGateway::new(Box::new(acceptor), small_cfg());
+        let c1 = connector.connect().unwrap();
+        gw.poll_commands();
+        c1.send_frame(SteeringCommand::Pause.to_bytes()).unwrap();
+        drop(c1);
+        // The loss is noticed on a send before the commands are polled.
+        gw.broadcast_status(status(0));
+        assert_eq!(gw.session_count(), 0);
+        assert_eq!(gw.poll_commands(), vec![SteeringCommand::Pause]);
+        assert!(gw.take_events().iter().any(|e| e.contains("salvaged 1")));
+    }
+
+    #[test]
+    fn late_joiner_gets_the_last_frame_immediately() {
+        let (connector, acceptor) = duplex_listener();
+        let gw = SessionGateway::new(Box::new(acceptor), small_cfg());
+        let _c1 = connector.connect().unwrap();
+        gw.poll_commands();
+        gw.broadcast_frame_bytes(image_bytes(42));
+        let late = connector.connect().unwrap();
+        gw.poll_commands();
+        let msg = ServerMessage::from_bytes(late.recv_frame().unwrap()).unwrap();
+        assert!(matches!(msg, ServerMessage::Image(i) if i.step == 42));
+    }
+
+    #[test]
+    fn session_cap_refuses_extra_dials() {
+        let (connector, acceptor) = duplex_listener();
+        let gw = SessionGateway::new(
+            Box::new(acceptor),
+            GatewayConfig {
+                max_sessions: 2,
+                ..Default::default()
+            },
+        );
+        let _a = connector.connect().unwrap();
+        let _b = connector.connect().unwrap();
+        let refused = connector.connect().unwrap();
+        gw.poll_commands();
+        assert_eq!(gw.session_count(), 2);
+        assert!(gw.take_events().iter().any(|e| e.contains("refused")));
+        // The refused client's transport is closed server-side.
+        assert!(refused.try_recv_frame().is_err());
+    }
+
+    /// A transport whose send side wedges: try_send accepts frames into
+    /// a fake backlog that never drains.
+    struct WedgedTransport {
+        pending: Mutex<u64>,
+        sent: Mutex<u64>,
+    }
+
+    impl Transport for WedgedTransport {
+        fn send_frame(&self, frame: Bytes) -> std::io::Result<()> {
+            self.try_send_frame(frame)
+        }
+        fn try_recv_frame(&self) -> std::io::Result<Option<Bytes>> {
+            Ok(None)
+        }
+        fn recv_frame(&self) -> std::io::Result<Bytes> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "wedged",
+            ))
+        }
+        fn bytes_sent(&self) -> u64 {
+            *self.sent.lock()
+        }
+        fn try_send_frame(&self, frame: Bytes) -> std::io::Result<()> {
+            *self.sent.lock() += frame.len() as u64;
+            *self.pending.lock() += frame.len() as u64;
+            Ok(())
+        }
+        fn flush_pending(&self) -> std::io::Result<u64> {
+            Ok(*self.pending.lock())
+        }
+        fn pending_bytes(&self) -> u64 {
+            *self.pending.lock()
+        }
+    }
+
+    /// An acceptor handing out arbitrary transports (to inject mocks).
+    struct PushAcceptor {
+        rx: Receiver<Box<dyn Transport>>,
+    }
+
+    fn push_acceptor() -> (Sender<Box<dyn Transport>>, PushAcceptor) {
+        let (tx, rx) = unbounded();
+        (tx, PushAcceptor { rx })
+    }
+
+    impl Acceptor for PushAcceptor {
+        fn try_accept(&self) -> std::io::Result<Option<Box<dyn Transport>>> {
+            Ok(self.rx.try_recv().ok())
+        }
+    }
+
+    #[test]
+    fn wedged_observer_degrades_to_status_only_then_detaches() {
+        let (tx, acceptor) = push_acceptor();
+        let gw = SessionGateway::new(
+            Box::new(acceptor),
+            GatewayConfig {
+                degrade_queued_bytes: 64,
+                detach_queued_bytes: 4096,
+                drain_deadline: Duration::from_secs(3600),
+                ..Default::default()
+            },
+        );
+        assert!(tx
+            .send(Box::new(WedgedTransport {
+                pending: Mutex::new(0),
+                sent: Mutex::new(0),
+            }))
+            .is_ok());
+        gw.poll_commands();
+        assert_eq!(gw.session_count(), 1);
+
+        // Push past the degrade threshold: images stop, status flows.
+        let big = Bytes::from(vec![0u8; 200]);
+        gw.broadcast_frame_bytes(big.clone());
+        gw.poll_commands();
+        assert!(gw.take_events().iter().any(|e| e.contains("status-only")));
+        assert_eq!(gw.session_count(), 1, "degraded, not detached");
+        let skipped_before = gw.frames_skipped_status_only();
+        gw.broadcast_frame_bytes(big.clone());
+        assert_eq!(gw.frames_skipped_status_only(), skipped_before + 1);
+
+        // Status still reaches it — until the backlog passes the detach
+        // threshold (status frames keep accumulating on a wedge).
+        for step in 0..200 {
+            gw.broadcast_status(status(step));
+            gw.poll_commands();
+            if gw.session_count() == 0 {
+                break;
+            }
+        }
+        assert_eq!(gw.session_count(), 0, "wedged session finally detached");
+        assert!(gw.take_events().iter().any(|e| e.contains("wedged")));
+    }
+
+    #[test]
+    fn drain_deadline_detaches_a_stuck_backlog() {
+        let (tx, acceptor) = push_acceptor();
+        let gw = SessionGateway::new(
+            Box::new(acceptor),
+            GatewayConfig {
+                degrade_queued_bytes: 1 << 30,
+                detach_queued_bytes: 1 << 30,
+                drain_deadline: Duration::from_millis(10),
+                ..Default::default()
+            },
+        );
+        assert!(tx
+            .send(Box::new(WedgedTransport {
+                pending: Mutex::new(0),
+                sent: Mutex::new(0),
+            }))
+            .is_ok());
+        gw.poll_commands();
+        gw.broadcast_status(status(0));
+        gw.poll_commands(); // backlog noticed; clock starts
+        std::thread::sleep(Duration::from_millis(30));
+        gw.poll_commands();
+        assert_eq!(gw.session_count(), 0, "deadline detach");
+    }
+
+    #[test]
+    fn frame_cache_is_fifo_with_counters() {
+        let mut cache = FrameCache::new(2);
+        let k = |step: u64| FrameKey::new(step, 1, None, 0, 2);
+        assert_eq!(cache.lookup(k(1)), CacheLookup::Miss);
+        cache.insert(k(1), Some(Bytes::from_static(b"one")));
+        cache.insert(k(2), None);
+        assert!(matches!(cache.lookup(k(1)), CacheLookup::Hit(Some(_))));
+        assert!(matches!(cache.lookup(k(2)), CacheLookup::Hit(None)));
+        // FIFO: inserting a third evicts key 1 even though it was the
+        // most recently *used* (LRU would evict key 2 — and diverge
+        // across ranks, because only the master sees payload hits).
+        cache.insert(k(3), None);
+        assert_eq!(cache.lookup(k(1)), CacheLookup::Miss);
+        assert!(matches!(cache.lookup(k(2)), CacheLookup::Hit(None)));
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_disabled() {
+        let mut cache = FrameCache::new(0);
+        let k = FrameKey::new(1, 2, None, 0, 3);
+        cache.insert(k, None);
+        assert_eq!(cache.lookup(k), CacheLookup::Miss);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn frame_key_separates_views() {
+        let roi = Some(([0u32; 3], [8u32, 8, 8]));
+        let base = FrameKey::new(10, 111, roi, 1, 222);
+        assert_eq!(base, FrameKey::new(10, 111, roi, 1, 222));
+        assert_ne!(base, FrameKey::new(11, 111, roi, 1, 222), "step");
+        assert_ne!(base, FrameKey::new(10, 112, roi, 1, 222), "camera");
+        assert_ne!(base, FrameKey::new(10, 111, None, 1, 222), "roi");
+        assert_ne!(base, FrameKey::new(10, 111, roi, 2, 222), "field");
+        assert_ne!(base, FrameKey::new(10, 111, roi, 1, 223), "tf");
+    }
+}

@@ -27,6 +27,7 @@ pub mod adaptive;
 pub mod client;
 pub mod closedloop;
 pub mod error;
+pub mod gateway;
 pub mod protocol;
 pub mod server;
 pub mod transport;
@@ -35,7 +36,13 @@ pub use adaptive::{AdaptiveDriver, WindowDecision};
 pub use client::{BackoffPolicy, SteeringClient, TransportFactory};
 pub use closedloop::{run_closed_loop, run_closed_loop_opts, ClosedLoopConfig, ClosedLoopOutcome};
 pub use error::{SteeringError, SteeringResult};
-pub use protocol::{FieldChoice, ImageFrame, ObservableReport, StatusReport, SteeringCommand};
+pub use gateway::{
+    CacheLookup, FrameCache, FrameKey, GatewayConfig, Role, SessionGateway, SessionId,
+};
+pub use protocol::{
+    FieldChoice, ImageFrame, ObservableReport, SparseImageFrame, StatusReport, SteeringCommand,
+    MAX_FRAME_LEN,
+};
 pub use server::{ClientLossPolicy, SteeringServer};
 pub use transport::{
     duplex_listener, duplex_pair, Acceptor, DuplexAcceptor, DuplexConnector, InMemoryTransport,

@@ -8,6 +8,29 @@
 use hemelb_parallel::{CommError, CommResult, Wire, WireReader, WireWriter};
 use serde::{Deserialize, Serialize};
 
+/// The one frame-length ceiling every steering endpoint enforces, in
+/// both directions. The TCP framing refuses to *read* a longer frame
+/// before allocating, refuses to *send* one, and the decode paths
+/// (server command poll, client message receive, image payloads)
+/// re-check it so an in-memory transport — which has no framing layer —
+/// gets the same guarantee. 64 MiB comfortably fits the largest
+/// legitimate message (a Medium 512×384 RGB frame is ~0.6 MiB) while
+/// keeping a malicious or corrupt length prefix from turning into a
+/// giant allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Frame-length guard applied on every decode path, client and server
+/// alike (the satellite fix: the guard used to exist only on the server
+/// receive path).
+pub fn check_frame_len(len: usize) -> CommResult<()> {
+    if len > MAX_FRAME_LEN {
+        return Err(CommError::Decode {
+            reason: format!("frame of {len} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})"),
+        });
+    }
+    Ok(())
+}
+
 /// Which field the in situ renderer displays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FieldChoice {
@@ -90,6 +113,11 @@ pub enum SteeringCommand {
     /// Enable or disable measurement-driven adaptive load balancing
     /// mid-run (the `ClosedLoopConfig::adaptive_lb` loop).
     SetAdaptiveLb(bool),
+    /// Give up the driver role voluntarily (multi-client gateway): the
+    /// sender becomes an observer and the longest-attached observer is
+    /// promoted to driver. A no-op at the simulation level and in
+    /// single-client sessions.
+    ReleaseDriver,
     /// End the run.
     Terminate,
 }
@@ -137,6 +165,7 @@ impl Wire for SteeringCommand {
                 w.put_u8(10);
                 w.put_bool(*on);
             }
+            SteeringCommand::ReleaseDriver => w.put_u8(11),
         }
     }
 
@@ -166,6 +195,7 @@ impl Wire for SteeringCommand {
             8 => Ok(SteeringCommand::Terminate),
             9 => Ok(SteeringCommand::RequestObservables),
             10 => Ok(SteeringCommand::SetAdaptiveLb(r.get_bool()?)),
+            11 => Ok(SteeringCommand::ReleaseDriver),
             k => Err(CommError::Decode {
                 reason: format!("invalid steering command kind {k}"),
             }),
@@ -196,6 +226,13 @@ pub struct StatusReport {
     /// Most recently measured max/mean step-time imbalance (1.0 when no
     /// adaptive-LB window has completed yet).
     pub lb_imbalance: f64,
+    /// Steering sessions currently attached (0 or 1 in single-client
+    /// mode; any number under the session gateway).
+    pub sessions: u32,
+    /// Rendered-frame cache hits so far (0 without a gateway).
+    pub cache_hits: u64,
+    /// Rendered-frame cache misses so far (0 without a gateway).
+    pub cache_misses: u64,
 }
 
 impl Wire for StatusReport {
@@ -209,6 +246,9 @@ impl Wire for StatusReport {
         w.put_bool(self.paused);
         w.put_u64(self.rebalances);
         w.put_f64(self.lb_imbalance);
+        w.put_u32(self.sessions);
+        w.put_u64(self.cache_hits);
+        w.put_u64(self.cache_misses);
     }
     fn decode(r: &mut WireReader) -> CommResult<Self> {
         Ok(StatusReport {
@@ -221,6 +261,9 @@ impl Wire for StatusReport {
             paused: r.get_bool()?,
             rebalances: r.get_u64()?,
             lb_imbalance: r.get_f64()?,
+            sessions: r.get_u32()?,
+            cache_hits: r.get_u64()?,
+            cache_misses: r.get_u64()?,
         })
     }
 }
@@ -249,8 +292,13 @@ impl Wire for ImageFrame {
         let step = r.get_u64()?;
         let width = r.get_u32()?;
         let height = r.get_u32()?;
+        // u64 arithmetic: `width * height * 3` in u32 silently wraps for
+        // a hostile 65536×65536 header, which would make a mismatched
+        // payload pass the check below.
+        let expect = width as u64 * height as u64 * 3;
+        check_frame_len(expect.min(usize::MAX as u64) as usize)?;
         let rgb = r.get_bytes()?.to_vec();
-        if rgb.len() != (width * height * 3) as usize {
+        if rgb.len() as u64 != expect {
             return Err(CommError::Decode {
                 reason: format!(
                     "image payload {} bytes does not match {}x{} RGB",
@@ -264,6 +312,155 @@ impl Wire for ImageFrame {
             step,
             width,
             height,
+            rgb,
+        })
+    }
+}
+
+/// A rendered frame in the sparse run-length wire form the gateway
+/// broadcasts: only the pixels that differ from the background are
+/// shipped, as `(offset, count)` runs over the row-major pixel index
+/// plus one concatenated RGB slice — the same idea as PR 3's sparse
+/// compositing format, applied to the client-facing payload. A vessel
+/// frame is mostly white background, so fanning this out to hundreds of
+/// observers costs a fraction of the dense bytes. Lossless:
+/// `SparseImageFrame::from_dense` → [`SparseImageFrame::to_dense`] is
+/// bit-exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseImageFrame {
+    /// Simulation step the frame shows.
+    pub step: u64,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// The RGB value of every pixel not covered by a run.
+    pub background: [u8; 3],
+    /// `(first_pixel, pixel_count)` runs, strictly increasing and
+    /// non-overlapping, in row-major pixel indices.
+    pub runs: Vec<(u32, u32)>,
+    /// RGB bytes of all run pixels, concatenated in run order.
+    pub rgb: Vec<u8>,
+}
+
+impl SparseImageFrame {
+    /// Run-length encode a dense frame against `background`.
+    pub fn from_dense(img: &ImageFrame, background: [u8; 3]) -> Self {
+        let npx = img.rgb.len() / 3;
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        let mut rgb = Vec::new();
+        let mut i = 0usize;
+        while i < npx {
+            let px = &img.rgb[i * 3..i * 3 + 3];
+            if px == background {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < npx && img.rgb[i * 3..i * 3 + 3] != background[..] {
+                i += 1;
+            }
+            runs.push((start as u32, (i - start) as u32));
+            rgb.extend_from_slice(&img.rgb[start * 3..i * 3]);
+        }
+        SparseImageFrame {
+            step: img.step,
+            width: img.width,
+            height: img.height,
+            background,
+            runs,
+            rgb,
+        }
+    }
+
+    /// Expand back to the dense frame (bit-exact inverse of
+    /// [`SparseImageFrame::from_dense`]).
+    pub fn to_dense(&self) -> ImageFrame {
+        let npx = self.width as usize * self.height as usize;
+        let mut rgb = Vec::with_capacity(npx * 3);
+        for _ in 0..npx {
+            rgb.extend_from_slice(&self.background);
+        }
+        let mut src = 0usize;
+        for &(start, count) in &self.runs {
+            let (start, count) = (start as usize, count as usize);
+            rgb[start * 3..(start + count) * 3].copy_from_slice(&self.rgb[src..src + count * 3]);
+            src += count * 3;
+        }
+        ImageFrame {
+            step: self.step,
+            width: self.width,
+            height: self.height,
+            rgb,
+        }
+    }
+
+    /// Encoded payload bytes (what the wire carries, modulo framing).
+    pub fn wire_bytes(&self) -> usize {
+        8 + 4 + 4 + 3 + 8 + self.runs.len() * 8 + 8 + self.rgb.len()
+    }
+}
+
+impl Wire for SparseImageFrame {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.step);
+        w.put_u32(self.width);
+        w.put_u32(self.height);
+        for b in self.background {
+            w.put_u8(b);
+        }
+        w.put_usize(self.runs.len());
+        for &(start, count) in &self.runs {
+            w.put_u32(start);
+            w.put_u32(count);
+        }
+        w.put_bytes(&self.rgb);
+    }
+    fn decode(r: &mut WireReader) -> CommResult<Self> {
+        let step = r.get_u64()?;
+        let width = r.get_u32()?;
+        let height = r.get_u32()?;
+        let npx = width as u64 * height as u64;
+        check_frame_len((npx.min(usize::MAX as u64 / 3) * 3) as usize)?;
+        let background = [r.get_u8()?, r.get_u8()?, r.get_u8()?];
+        let nruns = r.get_usize()?;
+        if nruns as u64 > npx {
+            return Err(CommError::Decode {
+                reason: format!("sparse image claims {nruns} runs over {npx} pixels"),
+            });
+        }
+        let mut runs = Vec::with_capacity(nruns);
+        let mut covered = 0u64;
+        let mut prev_end = 0u64;
+        for _ in 0..nruns {
+            let start = r.get_u32()? as u64;
+            let count = r.get_u32()? as u64;
+            if start < prev_end || count == 0 || start + count > npx {
+                return Err(CommError::Decode {
+                    reason: format!(
+                        "sparse image run ({start},{count}) out of order or past {npx} pixels"
+                    ),
+                });
+            }
+            prev_end = start + count;
+            covered += count;
+            runs.push((start as u32, count as u32));
+        }
+        let rgb = r.get_bytes()?.to_vec();
+        if rgb.len() as u64 != covered * 3 {
+            return Err(CommError::Decode {
+                reason: format!(
+                    "sparse image payload {} bytes does not match {covered} run pixels",
+                    rgb.len()
+                ),
+            });
+        }
+        Ok(SparseImageFrame {
+            step,
+            width,
+            height,
+            background,
+            runs,
             rgb,
         })
     }
@@ -348,6 +545,10 @@ pub enum ServerMessage {
     Image(ImageFrame),
     /// In situ observables over the ROI.
     Observables(ObservableReport),
+    /// A rendered image in the sparse run-length form (gateway
+    /// broadcasts; [`crate::SteeringClient`] converts it back to a
+    /// dense [`ImageFrame`] transparently).
+    ImageSparse(SparseImageFrame),
 }
 
 impl Wire for ServerMessage {
@@ -365,6 +566,10 @@ impl Wire for ServerMessage {
                 w.put_u8(2);
                 o.encode(w);
             }
+            ServerMessage::ImageSparse(s) => {
+                w.put_u8(3);
+                s.encode(w);
+            }
         }
     }
     fn decode(r: &mut WireReader) -> CommResult<Self> {
@@ -372,6 +577,7 @@ impl Wire for ServerMessage {
             0 => Ok(ServerMessage::Status(StatusReport::decode(r)?)),
             1 => Ok(ServerMessage::Image(ImageFrame::decode(r)?)),
             2 => Ok(ServerMessage::Observables(ObservableReport::decode(r)?)),
+            3 => Ok(ServerMessage::ImageSparse(SparseImageFrame::decode(r)?)),
             k => Err(CommError::Decode {
                 reason: format!("invalid server message kind {k}"),
             }),
@@ -409,6 +615,7 @@ mod tests {
         round_trip(SteeringCommand::RequestObservables);
         round_trip(SteeringCommand::SetAdaptiveLb(true));
         round_trip(SteeringCommand::SetAdaptiveLb(false));
+        round_trip(SteeringCommand::ReleaseDriver);
         round_trip(SteeringCommand::Terminate);
     }
 
@@ -424,6 +631,9 @@ mod tests {
             paused: false,
             rebalances: 2,
             lb_imbalance: 1.37,
+            sessions: 42,
+            cache_hits: 7,
+            cache_misses: 3,
         });
         round_trip(ServerMessage::Image(ImageFrame {
             step: 7,
@@ -498,6 +708,9 @@ mod tests {
             paused: true,
             rebalances: 1,
             lb_imbalance: 1.2,
+            sessions: 1,
+            cache_hits: 0,
+            cache_misses: 0,
         });
         let full = msg.to_bytes();
         for n in 0..full.len() {
@@ -508,16 +721,108 @@ mod tests {
 
     #[test]
     fn bad_tags_are_errors_on_both_directions() {
-        for kind in [11u8, 42, 255] {
+        for kind in [12u8, 42, 255] {
             let mut w = hemelb_parallel::WireWriter::new();
             w.put_u8(kind);
             assert!(SteeringCommand::from_bytes(w.finish()).is_err());
         }
-        for kind in [3u8, 77, 255] {
+        for kind in [4u8, 77, 255] {
             let mut w = hemelb_parallel::WireWriter::new();
             w.put_u8(kind);
             assert!(ServerMessage::from_bytes(w.finish()).is_err());
         }
+    }
+
+    #[test]
+    fn sparse_image_round_trips_and_is_lossless() {
+        // A frame with background margins, interior runs and runs that
+        // touch both ends of the pixel range.
+        let w = 8u32;
+        let h = 4u32;
+        let bg = [255u8, 255, 255];
+        let mut rgb = vec![255u8; (w * h * 3) as usize];
+        for px in [0usize, 3, 4, 5, 12, 30, 31] {
+            rgb[px * 3..px * 3 + 3].copy_from_slice(&[px as u8, 0, 7]);
+        }
+        let dense = ImageFrame {
+            step: 12,
+            width: w,
+            height: h,
+            rgb,
+        };
+        let sparse = SparseImageFrame::from_dense(&dense, bg);
+        assert_eq!(sparse.runs, vec![(0, 1), (3, 3), (12, 1), (30, 2)]);
+        assert_eq!(sparse.to_dense(), dense, "lossless round trip");
+        round_trip(sparse.clone());
+        round_trip(ServerMessage::ImageSparse(sparse.clone()));
+        assert!(
+            sparse.wire_bytes() < dense.rgb.len(),
+            "sparse beats dense on a mostly-background frame"
+        );
+        // An all-background frame has no runs at all.
+        let blank = ImageFrame {
+            step: 0,
+            width: 4,
+            height: 4,
+            rgb: vec![255; 48],
+        };
+        let s = SparseImageFrame::from_dense(&blank, bg);
+        assert!(s.runs.is_empty() && s.rgb.is_empty());
+        assert_eq!(s.to_dense(), blank);
+    }
+
+    #[test]
+    fn sparse_image_rejects_malformed_runs() {
+        let good = SparseImageFrame {
+            step: 1,
+            width: 4,
+            height: 1,
+            background: [255, 255, 255],
+            runs: vec![(0, 2)],
+            rgb: vec![1, 2, 3, 4, 5, 6],
+        };
+        round_trip(good.clone());
+        // Run past the pixel range.
+        let mut bad = good.clone();
+        bad.runs = vec![(3, 2)];
+        assert!(SparseImageFrame::from_bytes(bad.to_bytes()).is_err());
+        // Overlapping / out-of-order runs.
+        let mut bad = good.clone();
+        bad.runs = vec![(2, 1), (0, 1)];
+        assert!(SparseImageFrame::from_bytes(bad.to_bytes()).is_err());
+        // Payload length not matching the runs.
+        let mut bad = good.clone();
+        bad.rgb = vec![1, 2, 3];
+        assert!(SparseImageFrame::from_bytes(bad.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn max_frame_len_guards_every_decode_direction() {
+        assert!(check_frame_len(MAX_FRAME_LEN).is_ok());
+        assert!(check_frame_len(MAX_FRAME_LEN + 1).is_err());
+        // Server → client: an image header whose dimensions imply a
+        // payload past the ceiling fails before looking at the bytes —
+        // including the 65536×65536 header that used to wrap u32
+        // arithmetic to zero.
+        for (w, h) in [(65536u32, 65536u32), (1 << 16, 1 << 10)] {
+            let mut wr = hemelb_parallel::WireWriter::new();
+            wr.put_u8(1); // ServerMessage::Image
+            wr.put_u64(0);
+            wr.put_u32(w);
+            wr.put_u32(h);
+            wr.put_u64(0); // empty payload: only the guard can reject
+            assert!(
+                ServerMessage::from_bytes(wr.finish()).is_err(),
+                "{w}x{h} header must be rejected"
+            );
+        }
+        // Same ceiling on the sparse path.
+        let mut wr = hemelb_parallel::WireWriter::new();
+        wr.put_u8(3); // ServerMessage::ImageSparse
+        wr.put_u64(0);
+        wr.put_u32(65536);
+        wr.put_u32(65536);
+        assert!(ServerMessage::from_bytes(wr.finish()).is_err());
     }
 
     #[test]

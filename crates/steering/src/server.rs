@@ -129,6 +129,10 @@ impl SteeringState {
             SteeringCommand::RequestObservables => self.observables_requested = true,
             SteeringCommand::SetAdaptiveLb(on) => self.adaptive_lb_override = Some(*on),
             SteeringCommand::Terminate => self.terminate = true,
+            // Session arbitration, not simulation state: the gateway
+            // consumes this before commands reach the replicated state,
+            // and a single-client server has no driver role to release.
+            SteeringCommand::ReleaseDriver => {}
         }
     }
 
@@ -174,6 +178,12 @@ pub struct SteeringServer {
     /// Human-readable connection events (attach/loss), drained into
     /// status reports by the closed loop.
     events: RefCell<Vec<String>>,
+    /// Commands drained off a dying transport at detach time, returned
+    /// by the next [`SteeringServer::poll_commands`]. Before this
+    /// existed, anything the client sent between the loss being noticed
+    /// (often via a failed send) and the transport being dropped was
+    /// silently lost.
+    salvaged: RefCell<Vec<SteeringCommand>>,
 }
 
 impl SteeringServer {
@@ -197,6 +207,7 @@ impl SteeringServer {
             loss_policy,
             bytes_retired: Cell::new(0),
             events: RefCell::new(Vec::new()),
+            salvaged: RefCell::new(Vec::new()),
         }
     }
 
@@ -223,13 +234,38 @@ impl SteeringServer {
     }
 
     /// Drop the current client connection, accounting its bytes.
+    ///
+    /// Before dropping the transport, drain any commands still queued
+    /// on it: a loss is usually noticed on a *send* (e.g. a failed
+    /// image ship), at which point the client may have decodable
+    /// commands in flight that would otherwise vanish with the
+    /// transport. Salvaged commands are returned by the next
+    /// [`SteeringServer::poll_commands`]; undecodable leftovers are
+    /// rejected explicitly. Both outcomes are surfaced in the loss
+    /// event so `take_events()` / `StatusReport.problems` show what
+    /// happened instead of losing commands silently.
     fn detach(&self, why: &str) {
         if let Some(old) = self.transport.borrow_mut().take() {
+            let mut salvaged = 0usize;
+            let mut rejected = 0usize;
+            while let Ok(Some(frame)) = old.try_recv_frame() {
+                match SteeringCommand::from_bytes(frame) {
+                    Ok(cmd) => {
+                        self.salvaged.borrow_mut().push(cmd);
+                        salvaged += 1;
+                    }
+                    Err(_) => rejected += 1,
+                }
+            }
             self.bytes_retired
                 .set(self.bytes_retired.get() + old.bytes_sent());
-            self.events
-                .borrow_mut()
-                .push(format!("steering client lost: {why}"));
+            let mut event = format!("steering client lost: {why}");
+            if salvaged > 0 || rejected > 0 {
+                event.push_str(&format!(
+                    " (salvaged {salvaged} queued command(s), rejected {rejected} undecodable)"
+                ));
+            }
+            self.events.borrow_mut().push(event);
         }
     }
 
@@ -257,7 +293,9 @@ impl SteeringServer {
                 }
             }
         }
-        let mut out = Vec::new();
+        // Commands salvaged off a dying transport come first: they were
+        // sent before anything the current transport holds.
+        let mut out = std::mem::take(&mut *self.salvaged.borrow_mut());
         loop {
             let polled = match self.transport.borrow().as_deref() {
                 None => return out,
@@ -443,6 +481,9 @@ mod tests {
             paused: false,
             rebalances: 0,
             lb_imbalance: 1.0,
+            sessions: 0,
+            cache_hits: 0,
+            cache_misses: 0,
         }); // no-op while detached
 
         // First client attaches and steers.
@@ -507,9 +548,91 @@ mod tests {
             paused: false,
             rebalances: 0,
             lb_imbalance: 1.0,
+            sessions: 1,
+            cache_hits: 0,
+            cache_misses: 0,
         });
         assert!(!server.is_attached(), "failed send detaches the client");
         assert!(server.take_events().iter().any(|e| e.contains("lost")));
+    }
+
+    #[test]
+    fn commands_in_flight_at_detach_are_salvaged_not_dropped() {
+        use crate::transport::duplex_listener;
+        let (connector, acceptor) = duplex_listener();
+        let server = SteeringServer::headless(Box::new(acceptor));
+        let c1 = connector.connect().unwrap();
+        while !server.is_attached() {
+            server.poll_commands();
+        }
+        // The client sends commands, then vanishes before the server
+        // polls them; the server notices the loss on a failed *send*.
+        c1.send_frame(SteeringCommand::Pause.to_bytes()).unwrap();
+        c1.send_frame(SteeringCommand::SetVisRate(7).to_bytes())
+            .unwrap();
+        drop(c1);
+        server.send_status(StatusReport {
+            step: 3,
+            mass: 1.0,
+            max_speed: 0.0,
+            residual: 0.0,
+            problems: vec![],
+            eta_steps: 10,
+            paused: false,
+            rebalances: 0,
+            lb_imbalance: 1.0,
+            sessions: 1,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+        assert!(!server.is_attached(), "failed send detaches the client");
+        // The detach→re-attach window used to drop these on the floor.
+        assert_eq!(
+            server.poll_commands(),
+            vec![SteeringCommand::Pause, SteeringCommand::SetVisRate(7)]
+        );
+        let events = server.take_events();
+        assert!(
+            events.iter().any(|e| e.contains("salvaged 2")),
+            "salvage is surfaced in events: {events:?}"
+        );
+    }
+
+    #[test]
+    fn undecodable_leftovers_at_detach_are_rejected_explicitly() {
+        use crate::transport::duplex_listener;
+        let (connector, acceptor) = duplex_listener();
+        let server = SteeringServer::headless(Box::new(acceptor));
+        let c1 = connector.connect().unwrap();
+        while !server.is_attached() {
+            server.poll_commands();
+        }
+        c1.send_frame(SteeringCommand::Resume.to_bytes()).unwrap();
+        c1.send_frame(bytes::Bytes::from_static(&[250, 9, 9]))
+            .unwrap();
+        drop(c1);
+        server.send_status(StatusReport {
+            step: 0,
+            mass: 1.0,
+            max_speed: 0.0,
+            residual: 0.0,
+            problems: vec![],
+            eta_steps: 1,
+            paused: false,
+            rebalances: 0,
+            lb_imbalance: 1.0,
+            sessions: 1,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+        assert_eq!(server.poll_commands(), vec![SteeringCommand::Resume]);
+        let events = server.take_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.contains("salvaged 1") && e.contains("rejected 1")),
+            "{events:?}"
+        );
     }
 
     #[test]

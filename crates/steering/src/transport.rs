@@ -6,16 +6,18 @@
 //! (an out-of-process client, as in the original HemeLB steering
 //! architecture).
 
+use crate::protocol::MAX_FRAME_LEN;
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
 
 /// A bidirectional, message-framed byte transport.
 pub trait Transport: Send {
-    /// Send one frame.
+    /// Send one frame, blocking until the transport has accepted it.
     fn send_frame(&self, frame: Bytes) -> std::io::Result<()>;
     /// Receive one frame if available (non-blocking).
     fn try_recv_frame(&self) -> std::io::Result<Option<Bytes>>;
@@ -23,6 +25,30 @@ pub trait Transport: Send {
     fn recv_frame(&self) -> std::io::Result<Bytes>;
     /// Bytes sent so far (steering traffic accounting).
     fn bytes_sent(&self) -> u64;
+
+    /// Enqueue one frame without ever blocking the caller: as much as
+    /// possible is written immediately, the rest is buffered inside the
+    /// transport until a later [`Transport::flush_pending`] (or the
+    /// next send) drains it. The session gateway uses this so one slow
+    /// client cannot stall the simulation loop. Default: fall back to
+    /// the blocking send (correct for transports that never block, like
+    /// the in-memory duplex).
+    fn try_send_frame(&self, frame: Bytes) -> std::io::Result<()> {
+        self.send_frame(frame)
+    }
+
+    /// Attempt to drain any internally buffered send bytes without
+    /// blocking; returns the bytes still pending afterwards.
+    fn flush_pending(&self) -> std::io::Result<u64> {
+        Ok(0)
+    }
+
+    /// Send bytes accepted by [`Transport::try_send_frame`] but not yet
+    /// handed to the OS / peer (a growing value means the peer is slow
+    /// or wedged).
+    fn pending_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// A listener that yields server-side transports as clients dial in,
@@ -131,8 +157,22 @@ impl Transport for InMemoryTransport {
 
 /// Length-prefixed frames over a TCP stream (u32 little-endian length,
 /// then payload).
+///
+/// Sends are **terminal on error**: the length prefix and payload leave
+/// in one coalesced buffered write, and any send failure poisons the
+/// transport — a partial write desyncs the length-prefixed stream for
+/// every subsequent reader, so the only safe reaction is to detach the
+/// session, never to retry mid-frame. Poisoned transports fail every
+/// later send with `BrokenPipe` immediately.
 pub struct TcpTransport {
     stream: Mutex<TcpStream>,
+    /// Bytes accepted by `try_send_frame` but not yet written to the
+    /// socket (whole frames plus, possibly, the tail of a partially
+    /// written one — the head of the queue is always the exact
+    /// continuation of what the peer has seen).
+    outbuf: Mutex<VecDeque<u8>>,
+    /// Set on the first send error; all later sends fail fast.
+    poisoned: Mutex<bool>,
     sent: Mutex<u64>,
 }
 
@@ -143,6 +183,8 @@ impl TcpTransport {
         stream.set_nodelay(true)?;
         Ok(TcpTransport {
             stream: Mutex::new(stream),
+            outbuf: Mutex::new(VecDeque::new()),
+            poisoned: Mutex::new(false),
             sent: Mutex::new(0),
         })
     }
@@ -168,7 +210,7 @@ impl TcpTransport {
         let mut len = [0u8; 4];
         stream.read_exact(&mut len)?;
         let n = u32::from_le_bytes(len) as usize;
-        if n > 1 << 30 {
+        if n > MAX_FRAME_LEN {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "implausible frame length",
@@ -178,16 +220,150 @@ impl TcpTransport {
         stream.read_exact(&mut buf)?;
         Ok(Bytes::from(buf))
     }
+
+    fn poisoned_err() -> std::io::Error {
+        std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "transport poisoned by an earlier send error",
+        )
+    }
+
+    fn check_sendable(&self, frame: &Bytes) -> std::io::Result<()> {
+        if *self.poisoned.lock() {
+            return Err(Self::poisoned_err());
+        }
+        if frame.len() > MAX_FRAME_LEN {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "frame exceeds MAX_FRAME_LEN",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Non-blockingly drain as much of `out` as the socket accepts.
+    /// Returns the bytes still pending. Any real error poisons the
+    /// transport. The socket is restored to blocking mode before return.
+    fn drain_nonblocking(
+        &self,
+        stream: &mut TcpStream,
+        out: &mut VecDeque<u8>,
+    ) -> std::io::Result<u64> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        stream.set_nonblocking(true)?;
+        let result = loop {
+            let (head, _) = out.as_slices();
+            if head.is_empty() {
+                break Ok(());
+            }
+            match stream.write(head) {
+                Ok(0) => {
+                    break Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "steering peer stopped accepting bytes",
+                    ))
+                }
+                Ok(n) => {
+                    out.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => break Err(e),
+            }
+        };
+        stream.set_nonblocking(false)?;
+        match result {
+            Ok(()) => Ok(out.len() as u64),
+            Err(e) => {
+                *self.poisoned.lock() = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Blockingly drain every buffered byte (frame ordering: a blocking
+    /// send must not overtake frames enqueued via `try_send_frame`).
+    fn drain_blocking(
+        &self,
+        stream: &mut TcpStream,
+        out: &mut VecDeque<u8>,
+    ) -> std::io::Result<()> {
+        while !out.is_empty() {
+            let (head, _) = out.as_slices();
+            match stream.write(head) {
+                Ok(0) => {
+                    *self.poisoned.lock() = true;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "steering peer stopped accepting bytes",
+                    ));
+                }
+                Ok(n) => {
+                    out.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    *self.poisoned.lock() = true;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One coalesced wire image of a frame: 4-byte LE length prefix and
+/// payload in a single buffer, so the prefix and body can never be
+/// split across two syscalls by the sender (a failure between two
+/// writes would desync the stream for every later frame).
+fn coalesce(frame: &Bytes) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + frame.len());
+    buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    buf.extend_from_slice(frame);
+    buf
 }
 
 impl Transport for TcpTransport {
     fn send_frame(&self, frame: Bytes) -> std::io::Result<()> {
+        self.check_sendable(&frame)?;
         let mut s = self.stream.lock();
-        s.write_all(&(frame.len() as u32).to_le_bytes())?;
-        s.write_all(&frame)?;
-        s.flush()?;
-        *self.sent.lock() += frame.len() as u64 + 4;
+        let mut out = self.outbuf.lock();
+        // Older enqueued frames first, then this one, as ONE write.
+        self.drain_blocking(&mut s, &mut out)?;
+        let buf = coalesce(&frame);
+        if let Err(e) = s.write_all(&buf).and_then(|()| s.flush()) {
+            // Terminal: part of the frame may be on the wire; the
+            // stream is unrecoverable, so poison rather than retry.
+            *self.poisoned.lock() = true;
+            return Err(e);
+        }
+        *self.sent.lock() += buf.len() as u64;
         Ok(())
+    }
+
+    fn try_send_frame(&self, frame: Bytes) -> std::io::Result<()> {
+        self.check_sendable(&frame)?;
+        let mut s = self.stream.lock();
+        let mut out = self.outbuf.lock();
+        let buf = coalesce(&frame);
+        *self.sent.lock() += buf.len() as u64;
+        out.extend(buf);
+        self.drain_nonblocking(&mut s, &mut out).map(|_| ())
+    }
+
+    fn flush_pending(&self) -> std::io::Result<u64> {
+        if *self.poisoned.lock() {
+            return Err(Self::poisoned_err());
+        }
+        let mut s = self.stream.lock();
+        let mut out = self.outbuf.lock();
+        self.drain_nonblocking(&mut s, &mut out)
+    }
+
+    fn pending_bytes(&self) -> u64 {
+        self.outbuf.lock().len() as u64
     }
 
     fn try_recv_frame(&self) -> std::io::Result<Option<Bytes>> {
@@ -369,6 +545,101 @@ mod tests {
         let s2 = acceptor.try_accept().unwrap().expect("second dial");
         s2.send_frame(Bytes::from_static(b"two")).unwrap();
         assert_eq!(&c2.recv_frame().unwrap()[..], b"two");
+    }
+
+    #[test]
+    fn oversized_send_is_refused_without_touching_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server_stream, _) = listener.accept().unwrap();
+        let server = TcpTransport::new(server_stream).unwrap();
+        let oversized = Bytes::from(vec![0u8; MAX_FRAME_LEN + 1]);
+        let err = server.send_frame(oversized.clone()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        let err = server.try_send_frame(oversized).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        // Nothing was counted or buffered.
+        assert_eq!(server.bytes_sent(), 0);
+        assert_eq!(server.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn send_error_poisons_the_transport_terminally() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_stream, _) = listener.accept().unwrap();
+        let server = TcpTransport::new(server_stream).unwrap();
+        drop(client); // peer vanishes
+        let payload = Bytes::from(vec![7u8; 64 * 1024]);
+        // The kernel may accept a few frames into its buffer before the
+        // RST surfaces; keep sending until the error shows up.
+        let mut saw_error = false;
+        for _ in 0..1000 {
+            if server.send_frame(payload.clone()).is_err() {
+                saw_error = true;
+                break;
+            }
+        }
+        assert!(saw_error, "send to a gone peer must eventually fail");
+        // Terminal: every later send fails fast with BrokenPipe — the
+        // stream may hold a half-written frame, so no retry is safe.
+        let err = server.send_frame(payload.clone()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        let err = server.try_send_frame(payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        assert!(server.flush_pending().is_err());
+    }
+
+    #[test]
+    fn try_send_buffers_instead_of_blocking_and_flush_drains() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client_stream = TcpStream::connect(addr).unwrap();
+        let (server_stream, _) = listener.accept().unwrap();
+        let server = TcpTransport::new(server_stream).unwrap();
+
+        // A peer that reads nothing: the socket buffer eventually
+        // fills, and try_send must buffer internally, never block.
+        let frame = Bytes::from(vec![42u8; 256 * 1024]);
+        let nframes = 64usize;
+        for _ in 0..nframes {
+            server.try_send_frame(frame.clone()).unwrap();
+        }
+        assert!(
+            server.pending_bytes() > 0,
+            "64 x 256KiB against an idle peer must exceed the socket buffer"
+        );
+        // bytes_sent counts at enqueue: prefix + payload per frame.
+        assert_eq!(server.bytes_sent(), (nframes * (4 + frame.len())) as u64);
+
+        // Reader drains; flush_pending pushes the backlog through.
+        let client = TcpTransport::new(client_stream).unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut total = 0usize;
+            for _ in 0..nframes {
+                total += client.recv_frame().unwrap().len();
+            }
+            total
+        });
+        loop {
+            if server.flush_pending().unwrap() == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(server.pending_bytes(), 0);
+        assert_eq!(reader.join().unwrap(), nframes * frame.len());
+    }
+
+    #[test]
+    fn in_memory_transport_never_backlogs() {
+        let (a, b) = duplex_pair();
+        a.try_send_frame(Bytes::from_static(b"now")).unwrap();
+        assert_eq!(a.pending_bytes(), 0);
+        assert_eq!(a.flush_pending().unwrap(), 0);
+        assert_eq!(&b.recv_frame().unwrap()[..], b"now");
     }
 
     #[test]
