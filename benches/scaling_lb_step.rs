@@ -60,6 +60,25 @@ fn bench(c: &mut Criterion) {
                 })
             });
         }
+        // Overlapped vs synchronous halo exchange at the same
+        // decomposition (E18 measures the wait breakdown; this row
+        // tracks the raw step-time difference).
+        for (name, overlap) in [("dist_overlap", true), ("dist_sync", false)] {
+            let geo2 = geo.clone();
+            let owner = workloads::slab_owner(&geo, p);
+            g.bench_with_input(BenchmarkId::new(name, p), &p, |b, &p| {
+                b.iter(|| {
+                    let geo3 = geo2.clone();
+                    let owner3 = owner.clone();
+                    run_spmd(p, move |comm| {
+                        let cfg = SolverConfig::pressure_driven(1.01, 0.99).with_overlap(overlap);
+                        let mut s =
+                            DistSolver::new(geo3.clone(), owner3.clone(), cfg, comm).unwrap();
+                        s.step_n(10).unwrap();
+                    })
+                })
+            });
+        }
     }
     g.finish();
 }

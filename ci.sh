@@ -9,9 +9,9 @@
 #                          #   500-step SoA kernel soak and the
 #                          #   200-step two-kill fault recovery
 #   ./ci.sh --only GROUP   # one group: lint | tier1 | determinism |
-#                          #   kernel | faults | gateway | smoke | soak
-#                          #   (what the staged GitHub workflow jobs
-#                          #   shell into)
+#                          #   kernel | overlap | faults | gateway |
+#                          #   smoke | soak (what the staged GitHub
+#                          #   workflow jobs shell into)
 #
 # Each stage is timed; a per-stage summary prints on exit (also on
 # failure, so CI logs show where the time — or the break — went).
@@ -19,15 +19,15 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 TIER="full"
-CI_GROUPS=(lint tier1 determinism kernel faults gateway smoke)
+CI_GROUPS=(lint tier1 determinism kernel overlap faults gateway smoke)
 case "${1:-}" in
     --quick) TIER="quick"; CI_GROUPS=(lint tier1) ;;
     --soak)  TIER="soak";  CI_GROUPS+=(soak) ;;
     --only)
         TIER="only:${2:-}"
         case "${2:-}" in
-            lint|tier1|determinism|kernel|faults|gateway|smoke|soak) CI_GROUPS=("$2") ;;
-            *) echo "usage: ./ci.sh --only {lint|tier1|determinism|kernel|faults|gateway|smoke|soak}" >&2; exit 2 ;;
+            lint|tier1|determinism|kernel|overlap|faults|gateway|smoke|soak) CI_GROUPS=("$2") ;;
+            *) echo "usage: ./ci.sh --only {lint|tier1|determinism|kernel|overlap|faults|gateway|smoke|soak}" >&2; exit 2 ;;
         esac ;;
     "") ;;
     *) echo "usage: ./ci.sh [--quick|--soak|--only GROUP]" >&2; exit 2 ;;
@@ -90,6 +90,15 @@ group_determinism() {
 # negative test against the golden digests.
 group_kernel() {
     stage kernel cargo test -q --test kernel_layout
+}
+
+# Overlapped halo exchange: classifier per-orientation suite, the
+# overlapped == sync == serial bitwise equivalence proptests (incl.
+# checkpoint hand-off between schedules and injected delays), and the
+# E18 smoke writing out/BENCH_overlap.json.
+group_overlap() {
+    stage overlap cargo test -q --test overlap
+    stage overlap-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- overlap --size tiny --ranks 2
 }
 
 # Fault injection: benign-fault transparency, kill/checkpoint replay,

@@ -1,7 +1,7 @@
 //! `reproduce` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|gateway|ablation|all]
+//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|overlap|gateway|ablation|all]
 //!           [--size tiny|small|medium] [--ranks N]
 //! ```
 //!
@@ -11,7 +11,7 @@
 use hemelb_bench::workloads::Size;
 use hemelb_bench::{
     ablation, adaptive, extract, faults, fig1, fig2, fig3, fig4, gateway, kernel, multires, obs,
-    preprocess, render, repartition, scaling, table1,
+    overlap, preprocess, render, repartition, scaling, table1,
 };
 
 struct Args {
@@ -49,7 +49,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|gateway|ablation|all] [--size tiny|small|medium] [--ranks N]"
+                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|overlap|gateway|ablation|all] [--size tiny|small|medium] [--ranks N]"
                 );
                 std::process::exit(0);
             }
@@ -174,6 +174,16 @@ fn main() {
             Size::Medium => 10,
         };
         println!("{}", kernel::run(args.size, steps));
+    }
+    if run_all || args.what == "overlap" {
+        ran = true;
+        println!("=== E18: communication/computation overlap (sync vs frontier-first) ===");
+        let steps = match args.size {
+            Size::Tiny => 4,
+            Size::Small => 8,
+            Size::Medium => 6,
+        };
+        println!("{}", overlap::run(args.size, steps, args.ranks.clamp(2, 8)));
     }
     if run_all || args.what == "gateway" {
         ran = true;

@@ -21,6 +21,7 @@ pub mod gateway;
 pub mod kernel;
 pub mod multires;
 pub mod obs;
+pub mod overlap;
 pub mod preprocess;
 pub mod render;
 pub mod repartition;

@@ -11,10 +11,26 @@
 //! [`Solver`](crate::Solver) (asserted in tests): both perform the same
 //! per-site arithmetic in the same order; only the storage and transport
 //! differ.
+//!
+//! ## Communication/computation overlap
+//!
+//! By default the step hides the halo round-trip behind interior work
+//! (see DESIGN.md §2.14): sites are split at setup into **frontier**
+//! (their post-collision populations are shipped to peers, or they pull
+//! from peers) and **interior** (everything else). The step collides the
+//! frontier first, posts all sends, then collides and streams the
+//! interior while messages are in flight, drains receives in arrival
+//! order, and finally streams the frontier. Collide is per-site
+//! independent and stream reads only immutable post-collision state, so
+//! the overlapped schedule is bit-identical to the synchronous one
+//! (`cfg.overlap = false`), which is retained as the fast path for
+//! degenerate domains (no peers, or no interior sites).
 
 use crate::equilibrium::feq_all;
 use crate::fields::FieldSnapshot;
-use crate::layout::{KernelLayout, SoaLattice, HALO_FLAG, LINK_BOUNDARY as BOUNDARY};
+use crate::layout::{
+    KernelLayout, SitePartition, SoaLattice, HALO_FLAG, LINK_BOUNDARY as BOUNDARY,
+};
 use crate::model::LatticeModel;
 use crate::solver::{boundary_rule, precompute_bc_velocities, SolverConfig};
 use bytes::Bytes;
@@ -58,6 +74,13 @@ pub struct DistSolver<'a> {
     soa: Option<SoaLattice>,
     /// Site kinds of the owned sites, local order.
     kinds: Vec<SiteKind>,
+    /// Interior/frontier split of the local sites, compiled at setup
+    /// (see [`SitePartition`]); drives the overlapped step schedule.
+    partition: SitePartition,
+    /// Reusable staging buffer for bulk halo packing.
+    pack_scratch: Vec<f64>,
+    /// Reusable decode buffer for bulk halo unpacking.
+    recv_scratch: Vec<f64>,
     step: u64,
 }
 
@@ -105,6 +128,55 @@ fn stream_halo_span(
             };
         }
     }
+}
+
+/// Chunk-parallel [`stream_halo_span`] restricted to ascending disjoint
+/// `(start, len)` site ranges; destination sites outside the ranges are
+/// untouched. Passing one full-domain range reproduces the classic
+/// whole-array streaming chunk for chunk.
+#[allow(clippy::too_many_arguments)]
+fn par_stream_halo_ranges(
+    model: &LatticeModel,
+    cfg: &SolverConfig,
+    geo: &SparseGeometry,
+    locals: &[u32],
+    f_old: &[f64],
+    moments: &[(f64, [f64; 3])],
+    bc_velocity: &[[f64; 3]],
+    pull: &[u32],
+    halo: &[f64],
+    step: u64,
+    ranges: &[(u32, u32)],
+    f_next: &mut [f64],
+) {
+    let q = model.q;
+    let mut work: Vec<(usize, &mut [f64])> = Vec::new();
+    let mut rest = f_next;
+    let mut cursor = 0usize;
+    for (first, len) in crate::kernel::range_chunks(ranges) {
+        let gap = first - cursor;
+        let (_, tail) = rest.split_at_mut(gap * q);
+        let (out, tail) = tail.split_at_mut(len * q);
+        rest = tail;
+        cursor = first + len;
+        work.push((first, out));
+    }
+    crate::kernel::run_grouped(work, |(first, out)| {
+        stream_halo_span(
+            model,
+            cfg,
+            geo,
+            locals,
+            f_old,
+            moments,
+            bc_velocity,
+            pull,
+            halo,
+            step,
+            first,
+            out,
+        )
+    });
 }
 
 /// Compute the ascending list of global site ids owned by `rank`.
@@ -272,6 +344,28 @@ impl<'a> DistSolver<'a> {
         } else {
             (f.clone(), f)
         };
+
+        // Frontier classification for the overlapped step: a site is
+        // frontier iff a peer needs its post-collision populations
+        // (send plan) or it pulls at least one population from a peer
+        // (halo link in its pull row). Interior sites touch no halo
+        // state in either direction, so they can collide and stream
+        // while the exchange is in flight.
+        let mut frontier = vec![false; nl];
+        for (_, requests) in &send_plan {
+            for &(l, _) in requests {
+                frontier[l as usize] = true;
+            }
+        }
+        for (l, flag) in frontier.iter_mut().enumerate() {
+            if !*flag {
+                *flag = pull[l * q..(l + 1) * q]
+                    .iter()
+                    .any(|&e| e != BOUNDARY && e & HALO_FLAG != 0);
+            }
+        }
+        let partition = SitePartition::from_flags(&frontier);
+
         Ok(DistSolver {
             comm,
             geo,
@@ -290,6 +384,9 @@ impl<'a> DistSolver<'a> {
             mrt,
             soa,
             kinds,
+            partition,
+            pack_scratch: Vec::new(),
+            recv_scratch: Vec::new(),
             step: 0,
         })
     }
@@ -331,22 +428,103 @@ impl<'a> DistSolver<'a> {
         self.bc_velocity = self.locals.iter().map(|&g| bc_all[g as usize]).collect();
     }
 
+    /// Whether this rank runs the overlapped step schedule: overlap must
+    /// be configured on, there must be peers to exchange with, and there
+    /// must be interior sites to compute under the in-flight messages.
+    /// Degenerate domains (zero-peer ranks, all-frontier single-brick
+    /// ranks) take the synchronous fast path.
+    pub fn overlap_active(&self) -> bool {
+        self.cfg.overlap
+            && !(self.send_plan.is_empty() && self.recv_plan.is_empty())
+            && self.partition.interior_count() > 0
+    }
+
+    /// The interior/frontier site split compiled at setup.
+    pub fn partition(&self) -> &SitePartition {
+        &self.partition
+    }
+
+    /// The pull-table entry of `(local_site, dir)`: a local source
+    /// index, `HALO_FLAG | slot`, or the boundary sentinel `u32::MAX`.
+    /// Test-only hook for classifier validation from integration tests.
+    #[doc(hidden)]
+    pub fn debug_pull_entry(&self, l: usize, dir: usize) -> u32 {
+        self.pull[l * self.model.q + dir]
+    }
+
+    /// Stage the requested post-collision populations for every peer
+    /// into contiguous scratch and encode each peer's message as one
+    /// length-prefixed `f64` slice (the bulk wire path).
+    fn pack_halo(&mut self) -> Vec<(usize, Bytes)> {
+        let q = self.model.q;
+        let scratch = &mut self.pack_scratch;
+        self.send_plan
+            .iter()
+            .map(|(peer, requests)| {
+                scratch.clear();
+                match &self.soa {
+                    Some(soa) => {
+                        scratch.extend(requests.iter().map(|&(l, d)| soa.f[d as usize][l as usize]))
+                    }
+                    None => scratch.extend(
+                        requests
+                            .iter()
+                            .map(|&(l, d)| self.f[l as usize * q + d as usize]),
+                    ),
+                }
+                let mut w = WireWriter::with_capacity(8 + scratch.len() * 8);
+                w.put_f64_slice(scratch);
+                (*peer, w.finish())
+            })
+            .collect()
+    }
+
+    /// Decode one peer's halo payload (bulk `f64` slice) into its slot
+    /// range of the halo buffer.
+    fn unpack_halo(&mut self, peer: usize, payload: Bytes) -> CommResult<()> {
+        let &(_, start, count) = self
+            .recv_plan
+            .iter()
+            .find(|(p, _, _)| *p == peer)
+            .expect("payload from a rank outside the receive plan");
+        let mut r = WireReader::new(payload);
+        r.get_f64_slice(&mut self.recv_scratch)?;
+        assert_eq!(
+            self.recv_scratch.len(),
+            count,
+            "halo payload from rank {peer} has the wrong population count"
+        );
+        self.halo[start..start + count].copy_from_slice(&self.recv_scratch);
+        Ok(())
+    }
+
     /// Advance one time step: collide, halo-exchange, stream.
     ///
     /// Collide and stream run through the chunked kernels in
     /// [`crate::kernel`]: inside a rayon pool (the runner's
     /// threads-per-rank knob) the site loops split across worker
     /// threads, and with one thread they degenerate to the exact serial
-    /// loops — bit-identical either way.
+    /// loops — bit-identical either way. With overlap active (the
+    /// default; see [`SolverConfig::with_overlap`]) the halo exchange
+    /// runs concurrently with the interior collide+stream; both
+    /// schedules produce bit-identical states.
     pub fn step(&mut self) -> CommResult<()> {
-        let q = self.model.q;
-        let nl = self.locals.len();
-
         // The LB step drives the fault clock: a `FaultPlan` keyed by
         // step sees the simulation's notion of time (no-op without an
         // active plan).
         self.comm.set_fault_step(self.step);
+        if self.overlap_active() {
+            self.step_overlapped()?;
+        } else {
+            self.step_sync()?;
+        }
+        self.step += 1;
+        Ok(())
+    }
 
+    /// The synchronous schedule: collide all, exchange (draining
+    /// receives in arrival order), stream all.
+    fn step_sync(&mut self) -> CommResult<()> {
         // Collide in place (f becomes f*).
         let span = self.comm.with_obs(|o| o.begin());
         if let Some(soa) = self.soa.as_mut() {
@@ -374,108 +552,177 @@ impl<'a> DistSolver<'a> {
 
         // Halo exchange of requested post-collision populations.
         let span = self.comm.with_obs(|o| o.begin());
-        let outgoing: Vec<(usize, Bytes)> = self
-            .send_plan
-            .iter()
-            .map(|(peer, requests)| {
-                let mut w = WireWriter::with_capacity(requests.len() * 8);
-                match &self.soa {
-                    Some(soa) => {
-                        for &(l, d) in requests {
-                            w.put_f64(soa.f[d as usize][l as usize]);
-                        }
-                    }
-                    None => {
-                        for &(l, d) in requests {
-                            w.put_f64(self.f[l as usize * q + d as usize]);
-                        }
-                    }
-                }
-                (*peer, w.finish())
-            })
-            .collect();
+        let outgoing = self.pack_halo();
         self.comm.with_obs(|o| span.end(o, "lb.halo-pack"));
-        // The exchange span is the per-step halo wait: sends are
-        // buffered, so its time is dominated by blocking on peers'
-        // post-collision data.
+        // The halo-wait spans cover posting the (buffered) sends and
+        // blocking on peers' post-collision data. Receives drain in
+        // arrival order so one slow peer does not delay unpacking of
+        // already-delivered payloads.
         let span = self.comm.with_obs(|o| o.begin());
-        let expect_from: Vec<usize> = self.recv_plan.iter().map(|(peer, _, _)| *peer).collect();
-        let received = self.comm.exchange(T_HALO, &outgoing, &expect_from)?;
+        self.comm.exchange_start(T_HALO, &outgoing)?;
         self.comm.with_obs(|o| span.end(o, "lb.halo-wait"));
-        for ((_, start, count), payload) in self.recv_plan.iter().zip(received) {
-            let mut r = WireReader::new(payload);
-            for slot in 0..*count {
-                self.halo[start + slot] = r.get_f64()?;
-            }
+        let mut remaining: Vec<usize> = self.recv_plan.iter().map(|(peer, _, _)| *peer).collect();
+        while !remaining.is_empty() {
+            let span = self.comm.with_obs(|o| o.begin());
+            let (peer, payload) = self.comm.recv_any_of(T_HALO, &remaining)?;
+            self.comm.with_obs(|o| span.end(o, "lb.halo-wait"));
+            let pos = remaining.iter().position(|&p| p == peer).expect("listed");
+            remaining.swap_remove(pos);
+            self.unpack_halo(peer, payload)?;
         }
 
         // Stream: disjoint chunks of f_next, all reading the immutable
         // post-collision state (local f + halo) — race-free, bit-exact.
+        let span = self.comm.with_obs(|o| o.begin());
+        let full = [(0u32, self.locals.len() as u32)];
+        self.stream_ranges(&full);
+        self.comm.with_obs(|o| span.end(o, "lb.stream"));
+        self.swap_after_stream();
+        Ok(())
+    }
+
+    /// The overlapped schedule (bit-identical to [`Self::step_sync`]):
+    ///
+    /// 1. collide the frontier only — exactly the populations peers wait
+    ///    on, plus the sites that will need peers' data;
+    /// 2. pack from frontier scratch and post all sends;
+    /// 3. collide + stream the interior while messages are in flight
+    ///    (interior streaming touches no halo slot by construction);
+    /// 4. drain receives in arrival order, unpacking each payload as it
+    ///    lands — the remaining blocked time is the *residual* halo wait;
+    /// 5. stream the frontier from the now-complete halo buffer.
+    ///
+    /// Ordering argument for bit-exactness: collide is per-site
+    /// independent and chunk-offset-invariant, so splitting it into
+    /// frontier/interior phases changes no value; every collide finishes
+    /// before any stream that could read it (interior streams after
+    /// phases 1 and 3a; the frontier streams last); and the pack in
+    /// phase 2 reads only frontier sites, which phase 3 never touches.
+    fn step_overlapped(&mut self) -> CommResult<()> {
+        let simd = self.cfg.layout == KernelLayout::SoaSimd;
+        let frontier = self.partition.frontier_ranges().to_vec();
+        let interior = self.partition.interior_ranges().to_vec();
+
+        // (1) Frontier-first collide.
+        let span = self.comm.with_obs(|o| o.begin());
+        self.collide_ranges(&frontier, simd);
+        self.comm.with_obs(|o| span.end(o, "lb.collide-frontier"));
+
+        // (2) Pack and post all sends; messages are now in flight.
+        let span = self.comm.with_obs(|o| o.begin());
+        let outgoing = self.pack_halo();
+        self.comm.exchange_start(T_HALO, &outgoing)?;
+        self.comm.with_obs(|o| span.end(o, "lb.halo-pack"));
+
+        // (3) Interior compute under the in-flight exchange. The inner
+        // spans keep feeding the classic lb.collide / lb.stream phases;
+        // the umbrella span measures how much latency-hiding work this
+        // rank had available.
+        let overlap_span = self.comm.with_obs(|o| o.begin());
+        let span = self.comm.with_obs(|o| o.begin());
+        self.collide_ranges(&interior, simd);
+        self.comm.with_obs(|o| span.end(o, "lb.collide"));
+        let span = self.comm.with_obs(|o| o.begin());
+        self.stream_ranges(&interior);
+        self.comm.with_obs(|o| span.end(o, "lb.stream"));
+        let compute_secs = self
+            .comm
+            .with_obs(|o| overlap_span.end(o, "lb.overlap.compute"));
+
+        // (4) Residual drain: only time still blocked *after* the
+        // interior work counts as halo wait under overlap.
+        let mut residual_secs = 0.0;
+        let mut remaining: Vec<usize> = self.recv_plan.iter().map(|(peer, _, _)| *peer).collect();
+        while !remaining.is_empty() {
+            let span = self.comm.with_obs(|o| o.begin());
+            let (peer, payload) = self.comm.recv_any_of(T_HALO, &remaining)?;
+            residual_secs += self.comm.with_obs(|o| span.end(o, "lb.halo-wait"));
+            let pos = remaining.iter().position(|&p| p == peer).expect("listed");
+            remaining.swap_remove(pos);
+            self.unpack_halo(peer, payload)?;
+        }
+
+        // (5) Frontier stream from the complete halo buffer.
+        let span = self.comm.with_obs(|o| o.begin());
+        self.stream_ranges(&frontier);
+        self.comm.with_obs(|o| span.end(o, "lb.stream"));
+        self.swap_after_stream();
+
+        self.comm.note_overlap(compute_secs, residual_secs);
+        Ok(())
+    }
+
+    /// Collide the sites in `ranges` in place, recording their moments;
+    /// sites outside the ranges are untouched.
+    fn collide_ranges(&mut self, ranges: &[(u32, u32)], simd: bool) {
         if let Some(soa) = self.soa.as_mut() {
-            let model = &self.model;
-            let cfg = &self.cfg;
-            let kinds = &self.kinds[..];
-            let moments = &self.moments[..];
-            let bc_velocity = &self.bc_velocity[..];
-            let halo = &self.halo[..];
-            let step = self.step;
-            let comm = self.comm;
+            crate::kernel::par_collide_soa_ranges(
+                &self.model,
+                self.cfg.collision,
+                self.cfg.tau,
+                self.mrt.as_ref(),
+                &mut soa.f,
+                &mut self.moments,
+                ranges,
+                simd,
+            );
+        } else {
+            crate::kernel::par_collide_ranges(
+                &self.model,
+                self.cfg.collision,
+                self.cfg.tau,
+                self.mrt.as_ref(),
+                &mut self.f,
+                &mut self.moments,
+                ranges,
+            );
+        }
+    }
+
+    /// Pull-stream the destination sites in `ranges` into the next
+    /// buffer; reads only immutable post-collision state. Does **not**
+    /// swap the double buffers — the overlapped step streams in two
+    /// pieces before one swap.
+    fn stream_ranges(&mut self, ranges: &[(u32, u32)]) {
+        if let Some(soa) = self.soa.as_mut() {
             let (f_old, f_next, plan) = soa.split_for_stream();
-            let span = comm.with_obs(|o| o.begin());
-            crate::kernel::par_stream_soa(
-                model,
-                cfg,
-                kinds,
+            crate::kernel::par_stream_soa_ranges(
+                &self.model,
+                &self.cfg,
+                &self.kinds,
                 f_old,
                 plan,
-                moments,
-                bc_velocity,
-                halo,
-                step,
+                &self.moments,
+                &self.bc_velocity,
+                &self.halo,
+                self.step,
+                ranges,
                 f_next,
             );
-            comm.with_obs(|o| span.end(o, "lb.stream"));
-            soa.swap_buffers();
         } else {
-            let model = &self.model;
-            let cfg = &self.cfg;
-            let geo = &*self.geo;
-            let locals = &self.locals[..];
-            let f_old = &self.f[..];
-            let moments = &self.moments[..];
-            let bc_velocity = &self.bc_velocity[..];
-            let pull = &self.pull[..];
-            let halo = &self.halo[..];
-            let step = self.step;
-            let span = self.comm.with_obs(|o| o.begin());
-            rayon::scope(|sc| {
-                let mut rest = self.f_next.as_mut_slice();
-                for (first, len) in crate::kernel::site_chunks(nl) {
-                    let (out, tail) = rest.split_at_mut(len * q);
-                    rest = tail;
-                    sc.spawn(move |_| {
-                        stream_halo_span(
-                            model,
-                            cfg,
-                            geo,
-                            locals,
-                            f_old,
-                            moments,
-                            bc_velocity,
-                            pull,
-                            halo,
-                            step,
-                            first,
-                            out,
-                        )
-                    });
-                }
-            });
-            self.comm.with_obs(|o| span.end(o, "lb.stream"));
-            std::mem::swap(&mut self.f, &mut self.f_next);
+            par_stream_halo_ranges(
+                &self.model,
+                &self.cfg,
+                &self.geo,
+                &self.locals,
+                &self.f,
+                &self.moments,
+                &self.bc_velocity,
+                &self.pull,
+                &self.halo,
+                self.step,
+                ranges,
+                &mut self.f_next,
+            );
         }
-        self.step += 1;
-        Ok(())
+    }
+
+    /// Swap the double buffers once all destination sites are streamed.
+    fn swap_after_stream(&mut self) {
+        match self.soa.as_mut() {
+            Some(soa) => soa.swap_buffers(),
+            None => std::mem::swap(&mut self.f, &mut self.f_next),
+        }
     }
 
     /// Advance `count` steps.
@@ -1045,6 +1292,221 @@ mod tests {
                     }
                 }
             });
+        }
+    }
+
+    /// Satellite: the interior/frontier classifier, validated **per
+    /// link orientation at rank boundaries** with the same explicit
+    /// x-slab decomposition as the pull-table test above. A site must
+    /// be frontier iff it appears in the send plan or owns a halo pull
+    /// link; the compiled [`SitePartition`] must agree with that
+    /// definition, and the two range lists must tile the local site
+    /// list exactly once.
+    #[test]
+    fn frontier_classification_per_orientation_at_rank_boundaries() {
+        let geo = demo_geo();
+        let x_cut = geo.shape()[0] as u32 / 2;
+        let owner: Vec<usize> = (0..geo.fluid_count() as u32)
+            .map(|s| usize::from(geo.position(s)[0] >= x_cut))
+            .collect();
+        for layout in [
+            KernelLayout::Legacy,
+            KernelLayout::SoaScalar,
+            KernelLayout::SoaSimd,
+        ] {
+            let cfg = SolverConfig::pressure_driven(1.01, 0.99).with_layout(layout);
+            let geo2 = geo.clone();
+            let owner2 = owner.clone();
+            run_spmd(2, move |comm| {
+                let ds = DistSolver::new(geo2.clone(), owner2.clone(), cfg.clone(), comm).unwrap();
+                let me = comm.rank();
+                let q = ds.model.q;
+                let nl = ds.locals.len();
+
+                // Independent reconstruction of the frontier set.
+                let mut expected = vec![false; nl];
+                for (_, requests) in &ds.send_plan {
+                    for &(l, _) in requests {
+                        expected[l as usize] = true;
+                    }
+                }
+                for (l, flag) in expected.iter_mut().enumerate() {
+                    *flag |= (0..q).any(|d| {
+                        let e = ds.pull[l * q + d];
+                        e != BOUNDARY && e & HALO_FLAG != 0
+                    });
+                }
+                for (l, &want) in expected.iter().enumerate() {
+                    assert_eq!(
+                        ds.partition.is_frontier(l),
+                        want,
+                        "rank {me}: site {l} misclassified"
+                    );
+                }
+
+                // Per orientation: only links crossing the x-cut may
+                // make a site frontier, and every crossing orientation
+                // must contribute at least one frontier site.
+                for (i, c) in ds.model.c.iter().enumerate() {
+                    let crosses = (me == 0 && c[0] == -1) || (me == 1 && c[0] == 1);
+                    let halo_sites = (0..nl)
+                        .filter(|&l| {
+                            let e = ds.pull[l * q + i];
+                            e != BOUNDARY && e & HALO_FLAG != 0
+                        })
+                        .count();
+                    if crosses {
+                        assert!(halo_sites > 0, "rank {me}: dir {i} should cross the cut");
+                    } else {
+                        assert_eq!(halo_sites, 0, "rank {me}: dir {i} must not cross");
+                    }
+                    for l in 0..nl {
+                        let e = ds.pull[l * q + i];
+                        if e != BOUNDARY && e & HALO_FLAG != 0 {
+                            assert!(ds.partition.is_frontier(l));
+                        }
+                    }
+                }
+
+                // The two range lists tile [0, nl) exactly once.
+                let mut covered = vec![0u32; nl];
+                for &(start, len) in ds
+                    .partition
+                    .frontier_ranges()
+                    .iter()
+                    .chain(ds.partition.interior_ranges())
+                {
+                    for l in start..start + len {
+                        covered[l as usize] += 1;
+                    }
+                }
+                assert!(
+                    covered.iter().all(|&c| c == 1),
+                    "rank {me}: ranges must tile"
+                );
+                assert_eq!(
+                    ds.partition.frontier_count() + ds.partition.interior_count(),
+                    nl,
+                    "rank {me}: counts partition the site list"
+                );
+
+                // An x-slab of a 16-long tube has interior sites, so
+                // overlap engages by default.
+                assert!(ds.overlap_active(), "rank {me}: overlap should engage");
+            });
+        }
+    }
+
+    /// Satellite: interior stream segments must contain **no halo
+    /// reads** — that is the invariant letting the overlapped step
+    /// stream the interior before any receive has landed.
+    #[test]
+    fn interior_stream_segments_have_no_halo_reads() {
+        let geo = demo_geo();
+        let cfg = SolverConfig::pressure_driven(1.01, 0.99);
+        for p in [2, 3, 4] {
+            let geo2 = geo.clone();
+            let cfg2 = cfg.clone();
+            run_spmd(p, move |comm| {
+                let owner = even_owner(geo2.fluid_count(), comm.size());
+                let ds = DistSolver::new(geo2.clone(), owner, cfg2.clone(), comm).unwrap();
+                let q = ds.model.q;
+                for &(start, len) in ds.partition.interior_ranges() {
+                    for l in start..start + len {
+                        for d in 0..q {
+                            let entry = ds.pull[l as usize * q + d];
+                            assert!(
+                                entry == BOUNDARY || entry & HALO_FLAG == 0,
+                                "rank {}: interior site {l} dir {d} reads the halo",
+                                comm.rank()
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// Satellite: degenerate domains take the synchronous fast path —
+    /// a zero-peer rank has nothing to overlap with, an all-frontier
+    /// slab has no interior to hide latency behind, and `with_overlap
+    /// (false)` opts out explicitly. All still step correctly.
+    #[test]
+    fn degenerate_domains_take_the_sync_fast_path() {
+        // Zero peers: single rank owns everything.
+        let geo = demo_geo();
+        let cfg = SolverConfig::pressure_driven(1.01, 0.99);
+        let geo2 = geo.clone();
+        let cfg2 = cfg.clone();
+        run_spmd(1, move |comm| {
+            let owner = vec![0; geo2.fluid_count()];
+            let mut ds = DistSolver::new(geo2.clone(), owner, cfg2.clone(), comm).unwrap();
+            assert_eq!(ds.partition.frontier_count(), 0, "no peers, no frontier");
+            assert!(!ds.overlap_active(), "zero-peer rank must not overlap");
+            ds.step_n(3).unwrap();
+        });
+
+        // All-frontier: a 2-voxel-long tube split across the x axis
+        // leaves each rank a one-layer slab where every site touches
+        // the cut.
+        let thin = Arc::new(VesselBuilder::straight_tube(2.0, 3.0).voxelise(1.0));
+        let x_cut = thin.shape()[0] as u32 / 2;
+        let owner: Vec<usize> = (0..thin.fluid_count() as u32)
+            .map(|s| usize::from(thin.position(s)[0] >= x_cut))
+            .collect();
+        let thin2 = thin.clone();
+        let cfg2 = cfg.clone();
+        run_spmd(2, move |comm| {
+            let mut ds = DistSolver::new(thin2.clone(), owner.clone(), cfg2.clone(), comm).unwrap();
+            assert_eq!(
+                ds.partition.interior_count(),
+                0,
+                "one-layer slab is all frontier"
+            );
+            assert!(!ds.overlap_active(), "all-frontier rank must not overlap");
+            ds.step_n(3).unwrap();
+        });
+
+        // Explicit opt-out with peers and interior present.
+        let geo2 = geo.clone();
+        let cfg_off = cfg.with_overlap(false);
+        run_spmd(2, move |comm| {
+            let owner = even_owner(geo2.fluid_count(), comm.size());
+            let mut ds = DistSolver::new(geo2.clone(), owner, cfg_off.clone(), comm).unwrap();
+            assert!(ds.partition.interior_count() > 0);
+            assert!(!ds.overlap_active(), "with_overlap(false) must opt out");
+            ds.step_n(3).unwrap();
+        });
+    }
+
+    /// Overlapped and synchronous schedules are bit-identical (the
+    /// heavyweight proptest over geometries × layouts lives in
+    /// `tests/overlap.rs`; this is the fast in-module check).
+    #[test]
+    fn overlapped_step_matches_sync_bitwise_quick() {
+        let geo = demo_geo();
+        let base = SolverConfig::pressure_driven(1.01, 0.99);
+        for layout in [KernelLayout::Legacy, KernelLayout::SoaSimd] {
+            let snapshots: Vec<_> = [true, false]
+                .into_iter()
+                .map(|overlap| {
+                    let geo2 = geo.clone();
+                    let cfg = base.clone().with_layout(layout).with_overlap(overlap);
+                    let results = run_spmd(3, move |comm| {
+                        let owner = even_owner(geo2.fluid_count(), comm.size());
+                        let mut ds =
+                            DistSolver::new(geo2.clone(), owner, cfg.clone(), comm).unwrap();
+                        ds.step_n(15).unwrap();
+                        ds.gather_snapshot().unwrap()
+                    });
+                    results[0].clone().expect("root gathers")
+                })
+                .collect();
+            let (over, sync) = (&snapshots[0], &snapshots[1]);
+            for s in 0..sync.rho.len() {
+                assert_eq!(over.rho[s], sync.rho[s], "rho at {s}, {layout:?}");
+                assert_eq!(over.u[s], sync.u[s], "u at {s}, {layout:?}");
+            }
         }
     }
 

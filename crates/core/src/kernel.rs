@@ -128,6 +128,12 @@ pub(crate) fn site_chunks(n: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// One collide work item: a disjoint `(f, moments)` span pair.
+type CollideWork<'a> = (&'a mut [f64], &'a mut [(f64, [f64; 3])]);
+/// One SoA collide work item: the same site span of every lane plus the
+/// matching moments span.
+type SoaCollideWork<'a> = (Vec<&'a mut [f64]>, &'a mut [(f64, [f64; 3])]);
+
 /// Chunk-parallel collide over the whole site array. Each worker gets a
 /// disjoint `(f, moments)` pair of spans and (for MRT) its own clone of
 /// the operator, whose only mutable state is scratch space.
@@ -140,17 +146,19 @@ pub(crate) fn par_collide(
     moments: &mut [(f64, [f64; 3])],
 ) {
     let q = model.q;
-    rayon::scope(|sc| {
-        let mut f_rest = f;
-        let mut m_rest = moments;
-        for (_, len) in site_chunks(m_rest.len()) {
-            let (f_chunk, f_tail) = f_rest.split_at_mut(len * q);
-            let (m_chunk, m_tail) = m_rest.split_at_mut(len);
-            f_rest = f_tail;
-            m_rest = m_tail;
-            let mut op = mrt.cloned();
-            sc.spawn(move |_| collide_span(model, collision, tau, op.as_mut(), f_chunk, m_chunk));
-        }
+    let mut work: Vec<CollideWork<'_>> = Vec::new();
+    let mut f_rest = f;
+    let mut m_rest = moments;
+    for (_, len) in site_chunks(m_rest.len()) {
+        let (f_chunk, f_tail) = f_rest.split_at_mut(len * q);
+        let (m_chunk, m_tail) = m_rest.split_at_mut(len);
+        f_rest = f_tail;
+        m_rest = m_tail;
+        work.push((f_chunk, m_chunk));
+    }
+    run_grouped(work, |(f_chunk, m_chunk)| {
+        let mut op = mrt.cloned();
+        collide_span(model, collision, tau, op.as_mut(), f_chunk, m_chunk)
     });
 }
 
@@ -169,26 +177,26 @@ pub(crate) fn par_stream(
     f_next: &mut [f64],
 ) {
     let q = model.q;
-    rayon::scope(|sc| {
-        let mut rest = f_next;
-        for (first, len) in site_chunks(moments.len()) {
-            let (out, tail) = rest.split_at_mut(len * q);
-            rest = tail;
-            sc.spawn(move |_| {
-                stream_span(
-                    model,
-                    cfg,
-                    geo,
-                    f_old,
-                    moments,
-                    bc_velocity,
-                    pull,
-                    step,
-                    first,
-                    out,
-                )
-            });
-        }
+    let mut work: Vec<(usize, &mut [f64])> = Vec::new();
+    let mut rest = f_next;
+    for (first, len) in site_chunks(moments.len()) {
+        let (out, tail) = rest.split_at_mut(len * q);
+        rest = tail;
+        work.push((first, out));
+    }
+    run_grouped(work, |(first, out)| {
+        stream_span(
+            model,
+            cfg,
+            geo,
+            f_old,
+            moments,
+            bc_velocity,
+            pull,
+            step,
+            first,
+            out,
+        )
     });
 }
 
@@ -202,22 +210,25 @@ pub(crate) fn par_macroscopics(
     shear: &mut [f64],
 ) {
     let q = model.q;
-    rayon::scope(|sc| {
-        let mut f_rest = f;
-        let mut rho_rest = rho;
-        let mut u_rest = u;
-        let mut sh_rest = shear;
-        for (_, len) in site_chunks(rho_rest.len()) {
-            let (f_c, f_t) = f_rest.split_at(len * q);
-            let (rho_c, rho_t) = rho_rest.split_at_mut(len);
-            let (u_c, u_t) = u_rest.split_at_mut(len);
-            let (sh_c, sh_t) = sh_rest.split_at_mut(len);
-            f_rest = f_t;
-            rho_rest = rho_t;
-            u_rest = u_t;
-            sh_rest = sh_t;
-            sc.spawn(move |_| macroscopics_span(model, tau, f_c, rho_c, u_c, sh_c));
-        }
+    type MacroWork<'a> = (&'a [f64], &'a mut [f64], &'a mut [[f64; 3]], &'a mut [f64]);
+    let mut work: Vec<MacroWork<'_>> = Vec::new();
+    let mut f_rest = f;
+    let mut rho_rest = rho;
+    let mut u_rest = u;
+    let mut sh_rest = shear;
+    for (_, len) in site_chunks(rho_rest.len()) {
+        let (f_c, f_t) = f_rest.split_at(len * q);
+        let (rho_c, rho_t) = rho_rest.split_at_mut(len);
+        let (u_c, u_t) = u_rest.split_at_mut(len);
+        let (sh_c, sh_t) = sh_rest.split_at_mut(len);
+        f_rest = f_t;
+        rho_rest = rho_t;
+        u_rest = u_t;
+        sh_rest = sh_t;
+        work.push((f_c, rho_c, u_c, sh_c));
+    }
+    run_grouped(work, |(f_c, rho_c, u_c, sh_c)| {
+        macroscopics_span(model, tau, f_c, rho_c, u_c, sh_c)
     });
 }
 
@@ -235,6 +246,47 @@ fn take_lane_chunk<'a>(rest: &mut [&'a mut [f64]], len: usize) -> Vec<&'a mut [f
         .collect()
 }
 
+/// Execute `work` items across at most one scoped worker per rayon
+/// thread, preserving item order within each worker. With a single
+/// thread — or a single item — everything runs inline on the caller's
+/// thread with no spawn at all. The grouping can never affect results
+/// (items write disjoint spans; order within a worker is the global
+/// order); it exists to bound thread churn, which matters when site
+/// ranges are fragmented and chunks far outnumber workers.
+pub(crate) fn run_grouped<W, F>(work: Vec<W>, run: F)
+where
+    W: Send,
+    F: Fn(W) + Sync,
+{
+    let threads = rayon::current_num_threads().max(1);
+    if threads <= 1 || work.len() <= 1 {
+        for w in work {
+            run(w);
+        }
+        return;
+    }
+    let per = work.len().div_ceil(threads);
+    let mut groups: Vec<Vec<W>> = Vec::with_capacity(threads);
+    let mut items = work.into_iter();
+    loop {
+        let group: Vec<W> = items.by_ref().take(per).collect();
+        if group.is_empty() {
+            break;
+        }
+        groups.push(group);
+    }
+    let run = &run;
+    rayon::scope(|sc| {
+        for group in groups {
+            sc.spawn(move |_| {
+                for w in group {
+                    run(w);
+                }
+            });
+        }
+    });
+}
+
 /// Chunk-parallel collide over SoA lanes: each worker gets the same
 /// site span of every lane plus its moments span.
 pub(crate) fn par_collide_soa(
@@ -246,27 +298,26 @@ pub(crate) fn par_collide_soa(
     moments: &mut [(f64, [f64; 3])],
     simd: bool,
 ) {
-    rayon::scope(|sc| {
-        let mut lane_rest: Vec<&mut [f64]> = f.iter_mut().map(|l| l.as_mut_slice()).collect();
-        let mut m_rest = moments;
-        for (_, len) in site_chunks(m_rest.len()) {
-            let chunk = take_lane_chunk(&mut lane_rest, len);
-            let (m_chunk, m_tail) = m_rest.split_at_mut(len);
-            m_rest = m_tail;
-            let mut op = mrt.cloned();
-            sc.spawn(move |_| {
-                let mut chunk = chunk;
-                crate::layout::collide_span_soa(
-                    model,
-                    collision,
-                    tau,
-                    op.as_mut(),
-                    &mut chunk,
-                    m_chunk,
-                    simd,
-                );
-            });
-        }
+    let mut lane_rest: Vec<&mut [f64]> = f.iter_mut().map(|l| l.as_mut_slice()).collect();
+    let mut m_rest = moments;
+    let mut work: Vec<SoaCollideWork<'_>> = Vec::new();
+    for (_, len) in site_chunks(m_rest.len()) {
+        let chunk = take_lane_chunk(&mut lane_rest, len);
+        let (m_chunk, m_tail) = m_rest.split_at_mut(len);
+        m_rest = m_tail;
+        work.push((chunk, m_chunk));
+    }
+    run_grouped(work, |(mut chunk, m_chunk)| {
+        let mut op = mrt.cloned();
+        crate::layout::collide_span_soa(
+            model,
+            collision,
+            tau,
+            op.as_mut(),
+            &mut chunk,
+            m_chunk,
+            simd,
+        );
     });
 }
 
@@ -285,27 +336,176 @@ pub(crate) fn par_stream_soa(
     step: u64,
     f_next: &mut [Vec<f64>],
 ) {
-    rayon::scope(|sc| {
-        let mut lane_rest: Vec<&mut [f64]> = f_next.iter_mut().map(|l| l.as_mut_slice()).collect();
-        for (first, len) in site_chunks(moments.len()) {
-            let chunk = take_lane_chunk(&mut lane_rest, len);
-            sc.spawn(move |_| {
-                let mut chunk = chunk;
-                crate::layout::stream_span_soa(
-                    model,
-                    cfg,
-                    kinds,
-                    f_old,
-                    plan,
-                    moments,
-                    bc_velocity,
-                    halo,
-                    step,
-                    first,
-                    &mut chunk,
-                );
-            });
+    let mut lane_rest: Vec<&mut [f64]> = f_next.iter_mut().map(|l| l.as_mut_slice()).collect();
+    let mut work: Vec<(usize, Vec<&mut [f64]>)> = Vec::new();
+    for (first, len) in site_chunks(moments.len()) {
+        let chunk = take_lane_chunk(&mut lane_rest, len);
+        work.push((first, chunk));
+    }
+    run_grouped(work, |(first, mut chunk)| {
+        crate::layout::stream_span_soa(
+            model,
+            cfg,
+            kinds,
+            f_old,
+            plan,
+            moments,
+            bc_velocity,
+            halo,
+            step,
+            first,
+            &mut chunk,
+        );
+    });
+}
+
+/// Split a list of ascending, disjoint `(start, len)` site ranges into
+/// `(first_site, len)` chunks of at most ⌈total/threads⌉ sites, each
+/// contained in one source range. Like [`site_chunks`] the subdivision
+/// never affects results — collide is per-site independent and stream
+/// writes disjoint outputs — only which thread computes which sites.
+pub(crate) fn range_chunks(ranges: &[(u32, u32)]) -> Vec<(usize, usize)> {
+    let total: usize = ranges.iter().map(|&(_, len)| len as usize).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = total.div_ceil(threads).max(1);
+    let mut out = Vec::new();
+    for &(start, len) in ranges {
+        let mut first = start as usize;
+        let mut rem = len as usize;
+        while rem > 0 {
+            let take = chunk.min(rem);
+            out.push((first, take));
+            first += take;
+            rem -= take;
         }
+    }
+    out
+}
+
+/// Chunk-parallel collide restricted to `ranges` of the site-major
+/// array; sites outside the ranges are untouched. `f` and `moments`
+/// cover the full site list.
+pub(crate) fn par_collide_ranges(
+    model: &LatticeModel,
+    collision: CollisionKind,
+    tau: f64,
+    mrt: Option<&MrtOperator>,
+    f: &mut [f64],
+    moments: &mut [(f64, [f64; 3])],
+    ranges: &[(u32, u32)],
+) {
+    let q = model.q;
+    let mut work: Vec<CollideWork<'_>> = Vec::new();
+    let mut f_rest = f;
+    let mut m_rest = moments;
+    let mut cursor = 0usize;
+    for (first, len) in range_chunks(ranges) {
+        let gap = first - cursor;
+        let (_, f_tail) = f_rest.split_at_mut(gap * q);
+        let (_, m_tail) = m_rest.split_at_mut(gap);
+        let (f_chunk, f_tail) = f_tail.split_at_mut(len * q);
+        let (m_chunk, m_tail) = m_tail.split_at_mut(len);
+        f_rest = f_tail;
+        m_rest = m_tail;
+        cursor = first + len;
+        work.push((f_chunk, m_chunk));
+    }
+    run_grouped(work, |(f_chunk, m_chunk)| {
+        let mut op = mrt.cloned();
+        collide_span(model, collision, tau, op.as_mut(), f_chunk, m_chunk)
+    });
+}
+
+/// Chunk-parallel collide restricted to `ranges` over SoA lanes; sites
+/// outside the ranges are untouched. The chunked-SIMD path is
+/// chunk-offset-invariant, so restricting to ranges cannot change any
+/// site's value.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn par_collide_soa_ranges(
+    model: &LatticeModel,
+    collision: CollisionKind,
+    tau: f64,
+    mrt: Option<&MrtOperator>,
+    f: &mut [Vec<f64>],
+    moments: &mut [(f64, [f64; 3])],
+    ranges: &[(u32, u32)],
+    simd: bool,
+) {
+    let mut lane_rest: Vec<&mut [f64]> = f.iter_mut().map(|l| l.as_mut_slice()).collect();
+    let mut m_rest = moments;
+    let mut cursor = 0usize;
+    let mut work: Vec<SoaCollideWork<'_>> = Vec::new();
+    for (first, len) in range_chunks(ranges) {
+        let gap = first - cursor;
+        if gap > 0 {
+            drop(take_lane_chunk(&mut lane_rest, gap));
+        }
+        let chunk = take_lane_chunk(&mut lane_rest, len);
+        let (_, m_tail) = m_rest.split_at_mut(gap);
+        let (m_chunk, m_tail) = m_tail.split_at_mut(len);
+        m_rest = m_tail;
+        cursor = first + len;
+        work.push((chunk, m_chunk));
+    }
+    run_grouped(work, |(mut chunk, m_chunk)| {
+        let mut op = mrt.cloned();
+        crate::layout::collide_span_soa(
+            model,
+            collision,
+            tau,
+            op.as_mut(),
+            &mut chunk,
+            m_chunk,
+            simd,
+        );
+    });
+}
+
+/// Chunk-parallel pull-stream restricted to `ranges` over SoA lanes:
+/// only the listed destination sites of `f_next` are written.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn par_stream_soa_ranges(
+    model: &LatticeModel,
+    cfg: &SolverConfig,
+    kinds: &[SiteKind],
+    f_old: &[Vec<f64>],
+    plan: &crate::layout::StreamPlan,
+    moments: &[(f64, [f64; 3])],
+    bc_velocity: &[[f64; 3]],
+    halo: &[f64],
+    step: u64,
+    ranges: &[(u32, u32)],
+    f_next: &mut [Vec<f64>],
+) {
+    let mut lane_rest: Vec<&mut [f64]> = f_next.iter_mut().map(|l| l.as_mut_slice()).collect();
+    let mut cursor = 0usize;
+    let mut work: Vec<(usize, Vec<&mut [f64]>)> = Vec::new();
+    for (first, len) in range_chunks(ranges) {
+        let gap = first - cursor;
+        if gap > 0 {
+            drop(take_lane_chunk(&mut lane_rest, gap));
+        }
+        let chunk = take_lane_chunk(&mut lane_rest, len);
+        cursor = first + len;
+        work.push((first, chunk));
+    }
+    run_grouped(work, |(first, mut chunk)| {
+        crate::layout::stream_span_soa(
+            model,
+            cfg,
+            kinds,
+            f_old,
+            plan,
+            moments,
+            bc_velocity,
+            halo,
+            step,
+            first,
+            &mut chunk,
+        );
     });
 }
 
@@ -318,21 +518,22 @@ pub(crate) fn par_macroscopics_soa(
     u: &mut [[f64; 3]],
     shear: &mut [f64],
 ) {
-    rayon::scope(|sc| {
-        let mut rho_rest = rho;
-        let mut u_rest = u;
-        let mut sh_rest = shear;
-        for (first, len) in site_chunks(rho_rest.len()) {
-            let (rho_c, rho_t) = rho_rest.split_at_mut(len);
-            let (u_c, u_t) = u_rest.split_at_mut(len);
-            let (sh_c, sh_t) = sh_rest.split_at_mut(len);
-            rho_rest = rho_t;
-            u_rest = u_t;
-            sh_rest = sh_t;
-            sc.spawn(move |_| {
-                crate::layout::macroscopics_span_soa(model, tau, f, first, rho_c, u_c, sh_c)
-            });
-        }
+    type SoaMacroWork<'a> = (usize, &'a mut [f64], &'a mut [[f64; 3]], &'a mut [f64]);
+    let mut work: Vec<SoaMacroWork<'_>> = Vec::new();
+    let mut rho_rest = rho;
+    let mut u_rest = u;
+    let mut sh_rest = shear;
+    for (first, len) in site_chunks(rho_rest.len()) {
+        let (rho_c, rho_t) = rho_rest.split_at_mut(len);
+        let (u_c, u_t) = u_rest.split_at_mut(len);
+        let (sh_c, sh_t) = sh_rest.split_at_mut(len);
+        rho_rest = rho_t;
+        u_rest = u_t;
+        sh_rest = sh_t;
+        work.push((first, rho_c, u_c, sh_c));
+    }
+    run_grouped(work, |(first, rho_c, u_c, sh_c)| {
+        crate::layout::macroscopics_span_soa(model, tau, f, first, rho_c, u_c, sh_c)
     });
 }
 
@@ -468,6 +669,107 @@ mod tests {
         assert!(bit_eq(&ss.shear, &ps.shear));
         for (a, b) in ss.u.iter().zip(&ps.u) {
             assert!(bit_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn range_chunks_respect_range_bounds() {
+        let ranges = [(2u32, 5u32), (10, 1), (20, 7)];
+        let chunks = range_chunks(&ranges);
+        let sites: Vec<usize> = chunks
+            .iter()
+            .flat_map(|&(first, len)| first..first + len)
+            .collect();
+        let expect: Vec<usize> = ranges
+            .iter()
+            .flat_map(|&(s, l)| s as usize..(s + l) as usize)
+            .collect();
+        assert_eq!(sites, expect, "chunks must tile the ranges in order");
+        for (first, len) in chunks {
+            assert!(ranges
+                .iter()
+                .any(|&(s, l)| first >= s as usize && first + len <= (s + l) as usize));
+        }
+        assert!(range_chunks(&[]).is_empty());
+    }
+
+    /// Collide over a two-piece range split is bit-identical on covered
+    /// sites to collide over everything, and leaves uncovered sites
+    /// untouched — the invariant the overlapped step's frontier/interior
+    /// phases rely on.
+    #[test]
+    fn range_collide_matches_full_collide_on_covered_sites() {
+        let model = LatticeModel::d3q15();
+        let q = model.q;
+        let n = 23usize;
+        let init: Vec<f64> = (0..n * q).map(|k| 0.05 + (k as f64).cos().abs()).collect();
+
+        let mut full = init.clone();
+        let mut m_full = vec![(0.0, [0.0; 3]); n];
+        par_collide(
+            &model,
+            CollisionKind::Bgk,
+            0.9,
+            None,
+            &mut full,
+            &mut m_full,
+        );
+
+        // Cover sites 0..4 and 9..23, leaving 4..9 untouched.
+        let ranges = [(0u32, 4u32), (9, 14)];
+        let mut part = init.clone();
+        let mut m_part = vec![(0.0, [0.0; 3]); n];
+        par_collide_ranges(
+            &model,
+            CollisionKind::Bgk,
+            0.9,
+            None,
+            &mut part,
+            &mut m_part,
+            &ranges,
+        );
+        // SoA range collide over the same split (SIMD on: the chunked
+        // path must be offset-invariant across the range seams).
+        let mut lanes: Vec<Vec<f64>> = (0..q)
+            .map(|i| (0..n).map(|s| init[s * q + i]).collect())
+            .collect();
+        let mut m_soa = vec![(0.0, [0.0; 3]); n];
+        par_collide_soa_ranges(
+            &model,
+            CollisionKind::Bgk,
+            0.9,
+            None,
+            &mut lanes,
+            &mut m_soa,
+            &ranges,
+            true,
+        );
+
+        for s in 0..n {
+            let covered = ranges
+                .iter()
+                .any(|&(st, l)| s >= st as usize && s < (st + l) as usize);
+            for i in 0..q {
+                let want = if covered {
+                    full[s * q + i]
+                } else {
+                    init[s * q + i]
+                };
+                assert_eq!(
+                    part[s * q + i].to_bits(),
+                    want.to_bits(),
+                    "site {s} dir {i}"
+                );
+                assert_eq!(
+                    lanes[i][s].to_bits(),
+                    want.to_bits(),
+                    "soa site {s} dir {i}"
+                );
+            }
+            if covered {
+                assert_eq!(m_part[s].0.to_bits(), m_full[s].0.to_bits());
+                assert_eq!(m_soa[s].0.to_bits(), m_full[s].0.to_bits());
+            }
         }
     }
 

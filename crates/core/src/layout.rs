@@ -341,6 +341,93 @@ impl SoaLattice {
     }
 }
 
+/// The interior/frontier split of a rank's site list, compiled once at
+/// setup for the overlapped halo exchange.
+///
+/// **Frontier** sites are the communication surface: their
+/// post-collision populations are sent to peers (they appear in the
+/// send plan) or they pull at least one population *from* a peer (their
+/// pull table contains a halo link). **Interior** sites are everything
+/// else — by construction their streaming reads touch no halo slot, so
+/// they can collide and stream while halo messages are still in flight.
+///
+/// Both classes are stored as ascending, disjoint, maximal
+/// `(start, len)` ranges over the local site indices; together the two
+/// lists tile `0..site_count` exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SitePartition {
+    n: usize,
+    frontier: Vec<(u32, u32)>,
+    interior: Vec<(u32, u32)>,
+    frontier_count: usize,
+}
+
+impl SitePartition {
+    /// Compile the partition from a per-site frontier flag vector.
+    pub fn from_flags(flags: &[bool]) -> Self {
+        let n = flags.len();
+        let mut frontier = Vec::new();
+        let mut interior = Vec::new();
+        let mut frontier_count = 0usize;
+        let mut s = 0usize;
+        while s < n {
+            let is_frontier = flags[s];
+            let start = s;
+            s += 1;
+            while s < n && flags[s] == is_frontier {
+                s += 1;
+            }
+            let range = (start as u32, (s - start) as u32);
+            if is_frontier {
+                frontier_count += s - start;
+                frontier.push(range);
+            } else {
+                interior.push(range);
+            }
+        }
+        SitePartition {
+            n,
+            frontier,
+            interior,
+            frontier_count,
+        }
+    }
+
+    /// Number of local sites covered by the partition.
+    pub fn site_count(&self) -> usize {
+        self.n
+    }
+
+    /// Frontier ranges, ascending and disjoint.
+    pub fn frontier_ranges(&self) -> &[(u32, u32)] {
+        &self.frontier
+    }
+
+    /// Interior ranges, ascending and disjoint.
+    pub fn interior_ranges(&self) -> &[(u32, u32)] {
+        &self.interior
+    }
+
+    /// Number of frontier sites.
+    pub fn frontier_count(&self) -> usize {
+        self.frontier_count
+    }
+
+    /// Number of interior sites.
+    pub fn interior_count(&self) -> usize {
+        self.n - self.frontier_count
+    }
+
+    /// Whether local site `s` is on the frontier.
+    pub fn is_frontier(&self, s: usize) -> bool {
+        debug_assert!(s < self.n);
+        let s = s as u32;
+        self.frontier
+            .iter()
+            .any(|&(start, len)| s >= start && s < start + len)
+    }
+}
+
 /// Collide a span of sites over per-lane chunks, recording pre-collision
 /// moments. `lanes[i]` and `moments` cover the same site span. The SIMD
 /// flag routes BGK through the chunked-lane vectorised path; TRT/MRT
@@ -817,6 +904,54 @@ mod tests {
                 assert_eq!(moments[s].1[k].to_bits(), moments_ref[s].1[k].to_bits());
             }
         }
+    }
+
+    #[test]
+    fn site_partition_tiles_the_range() {
+        // Mixed pattern with runs of both classes at both ends.
+        let flags = [true, true, false, false, false, true, false, true, true];
+        let p = SitePartition::from_flags(&flags);
+        assert_eq!(p.site_count(), flags.len());
+        assert_eq!(p.frontier_ranges(), &[(0, 2), (5, 1), (7, 2)]);
+        assert_eq!(p.interior_ranges(), &[(2, 3), (6, 1)]);
+        assert_eq!(p.frontier_count(), 5);
+        assert_eq!(p.interior_count(), 4);
+        for (s, &f) in flags.iter().enumerate() {
+            assert_eq!(p.is_frontier(s), f, "site {s}");
+        }
+        // The two lists merged and sorted must tile 0..n exactly.
+        let mut all: Vec<(u32, u32)> = p
+            .frontier_ranges()
+            .iter()
+            .chain(p.interior_ranges())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let mut next = 0u32;
+        for (start, len) in all {
+            assert_eq!(start, next);
+            assert!(len > 0);
+            next += len;
+        }
+        assert_eq!(next as usize, flags.len());
+    }
+
+    #[test]
+    fn site_partition_degenerate_cases() {
+        let empty = SitePartition::from_flags(&[]);
+        assert_eq!(empty.site_count(), 0);
+        assert!(empty.frontier_ranges().is_empty());
+        assert!(empty.interior_ranges().is_empty());
+
+        let all_frontier = SitePartition::from_flags(&[true; 4]);
+        assert_eq!(all_frontier.frontier_ranges(), &[(0, 4)]);
+        assert!(all_frontier.interior_ranges().is_empty());
+        assert_eq!(all_frontier.interior_count(), 0);
+
+        let all_interior = SitePartition::from_flags(&[false; 4]);
+        assert!(all_interior.frontier_ranges().is_empty());
+        assert_eq!(all_interior.interior_ranges(), &[(0, 4)]);
+        assert_eq!(all_interior.frontier_count(), 0);
     }
 
     #[test]

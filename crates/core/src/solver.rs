@@ -54,6 +54,17 @@ pub struct SolverConfig {
     /// bit-identical, only throughput differs.
     #[serde(default)]
     pub layout: KernelLayout,
+    /// Whether the distributed solver overlaps the halo exchange with
+    /// interior compute (frontier-first collide, interior collide+stream
+    /// under in-flight messages). Bit-identical to the synchronous
+    /// schedule — only latency hiding differs. Serial and thread-parallel
+    /// solvers ignore it.
+    #[serde(default = "default_overlap")]
+    pub overlap: bool,
+}
+
+fn default_overlap() -> bool {
+    true
 }
 
 impl SolverConfig {
@@ -66,6 +77,7 @@ impl SolverConfig {
             inlet_bcs: vec![IoletBc::Pressure { rho: rho_in }],
             outlet_bcs: vec![IoletBc::Pressure { rho: rho_out }],
             layout: KernelLayout::default(),
+            overlap: default_overlap(),
         }
     }
 
@@ -82,6 +94,7 @@ impl SolverConfig {
             }],
             outlet_bcs: vec![IoletBc::Pressure { rho: 1.0 }],
             layout: KernelLayout::default(),
+            overlap: default_overlap(),
         }
     }
 
@@ -107,6 +120,14 @@ impl SolverConfig {
     /// Override the kernel memory layout.
     pub fn with_layout(mut self, layout: KernelLayout) -> Self {
         self.layout = layout;
+        self
+    }
+
+    /// Enable or disable communication/computation overlap in the
+    /// distributed solver (on by default; results are identical either
+    /// way).
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
         self
     }
 
@@ -805,6 +826,7 @@ mod tests {
             }],
             outlet_bcs: vec![IoletBc::Pressure { rho: 1.0 }],
             layout: KernelLayout::default(),
+            overlap: true,
         };
         let mut s = tube_solver(cfg);
         // Skip the initial transient, then record mean inflow speed over

@@ -521,20 +521,118 @@ impl Communicator {
     /// Deadlock-free because sends are buffered; this is the idiom the LB
     /// halo exchange and the particle hand-off both use, and its traffic
     /// is what the paper's Table I calls "communication cost".
+    ///
+    /// Internally the receives drain in **arrival order** (one slow peer
+    /// does not serialize handling of already-delivered payloads); only
+    /// the returned vector is laid out in `expect_from` order.
     pub fn exchange(
         &self,
         tag: Tag,
         outgoing: &[(usize, Bytes)],
         expect_from: &[usize],
     ) -> CommResult<Vec<Bytes>> {
+        self.exchange_start(tag, outgoing)?;
+        let arrived = self.exchange_finish(tag, expect_from)?;
+        // Reorder into `expect_from` order for callers that index the
+        // result positionally. `expect_from` may repeat a source (the
+        // pairwise tests do); consume arrivals per source FIFO.
+        let mut slots: Vec<Option<Bytes>> = vec![None; expect_from.len()];
+        for (src, payload) in arrived {
+            let slot = expect_from
+                .iter()
+                .zip(&slots)
+                .position(|(&want, filled)| want == src && filled.is_none())
+                .expect("exchange_finish returns only expected sources");
+            slots[slot] = Some(payload);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("exchange_finish filled every expected slot"))
+            .collect())
+    }
+
+    /// First half of a split [`exchange`](Self::exchange): post all sends
+    /// and return immediately, leaving the messages in flight. Pair with
+    /// [`exchange_finish`](Self::exchange_finish) (or per-peer
+    /// [`recv_any_of`](Self::recv_any_of) calls) after doing useful work
+    /// — the communication/computation overlap the overlapped LB step is
+    /// built on.
+    pub fn exchange_start(&self, tag: Tag, outgoing: &[(usize, Bytes)]) -> CommResult<()> {
         for (dst, payload) in outgoing {
             self.send(*dst, tag, payload.clone())?;
         }
+        Ok(())
+    }
+
+    /// Blocking receive of the next message under `tag` from any source
+    /// in `sources`. Returns `(source, payload)` in arrival order across
+    /// calls. Buffered messages are consulted first (FIFO within the
+    /// match); only genuinely blocked time is recorded as recv wait.
+    pub fn recv_any_of(&self, tag: Tag, sources: &[usize]) -> CommResult<(usize, Bytes)> {
+        self.abort_check();
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending
+                .iter()
+                .position(|e| e.tag == tag && sources.contains(&e.src))
+            {
+                let env = pending.remove(pos).expect("position valid");
+                return Ok((env.src, env.payload));
+            }
+        }
+        let t0 = Instant::now();
+        let result = loop {
+            let env = match self.inbox.recv() {
+                Ok(env) => env,
+                Err(_) => {
+                    break Err(CommError::Disconnected {
+                        peer: sources.first().copied().unwrap_or(usize::MAX),
+                    })
+                }
+            };
+            let Some(env) = self.intake(env) else {
+                continue;
+            };
+            if env.tag == tag && sources.contains(&env.src) {
+                break Ok((env.src, env.payload));
+            }
+            self.pending.borrow_mut().push_back(env);
+        };
+        self.stats
+            .borrow_mut()
+            .record_recv_wait(tag.class(), t0.elapsed().as_secs_f64());
+        result
+    }
+
+    /// Second half of a split [`exchange`](Self::exchange): collect one
+    /// message under `tag` from each rank in `expect_from`, returned as
+    /// `(source, payload)` pairs in **arrival order** so the caller can
+    /// start unpacking the fastest peer while slower ones are still in
+    /// flight. A source listed `k` times yields `k` of its messages.
+    pub fn exchange_finish(
+        &self,
+        tag: Tag,
+        expect_from: &[usize],
+    ) -> CommResult<Vec<(usize, Bytes)>> {
+        let mut remaining = expect_from.to_vec();
         let mut received = Vec::with_capacity(expect_from.len());
-        for &src in expect_from {
-            received.push(self.recv(src, tag)?);
+        while !remaining.is_empty() {
+            let (src, payload) = self.recv_any_of(tag, &remaining)?;
+            let pos = remaining
+                .iter()
+                .position(|&s| s == src)
+                .expect("recv_any_of returns only listed sources");
+            remaining.swap_remove(pos);
+            received.push((src, payload));
         }
         Ok(received)
+    }
+
+    /// Record one overlapped exchange in this rank's [`CommStats`]:
+    /// `compute` seconds of useful work done under in-flight messages
+    /// and `residual` seconds still blocked afterwards.
+    pub fn note_overlap(&self, compute: f64, residual: f64) {
+        self.stats.borrow_mut().record_overlap(compute, residual);
     }
 }
 
@@ -1033,6 +1131,75 @@ mod tests {
             u64::from_bytes(rcvd[0].clone()).unwrap()
         });
         assert_eq!(results, vec![1, 0, 3, 2]);
+    }
+
+    /// A `Delay` fault on the *first* peer in the plan must not hold up
+    /// delivery of the other peer's already-sent payload: `exchange_finish`
+    /// hands messages over in arrival order, and `exchange` still returns
+    /// them in plan order.
+    #[test]
+    fn exchange_drains_in_arrival_order_under_slow_first_peer() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+        use crate::runner::{run_spmd_opts, SpmdOptions};
+        use crate::stats::TagClass;
+
+        let plan = FaultPlan::new(vec![FaultEvent {
+            rank: 1,
+            class: TagClass::Halo,
+            step: 0,
+            kind: FaultKind::Delay { millis: 150 },
+        }]);
+        let out = run_spmd_opts(3, SpmdOptions::with_faults(plan), |comm| {
+            let me = comm.rank();
+            if me == 0 {
+                // Rank 1 (delayed) is deliberately FIRST in the plan.
+                comm.exchange_start(Tag::halo(0), &[]).unwrap();
+                let arrived = comm.exchange_finish(Tag::halo(0), &[1, 2]).unwrap();
+                let order: Vec<usize> = arrived.iter().map(|(src, _)| *src).collect();
+                assert_eq!(order, vec![2, 1], "fast peer must be drained first");
+
+                // Same topology through the plan-order wrapper: payloads
+                // land in `expect_from` slots regardless of arrival.
+                let rcvd = comm.exchange(Tag::halo(0), &[], &[1, 2]).unwrap();
+                assert_eq!(u64::from_bytes(rcvd[0].clone()).unwrap(), 100);
+                assert_eq!(u64::from_bytes(rcvd[1].clone()).unwrap(), 200);
+                comm.stats()
+            } else {
+                for _round in 0..2 {
+                    comm.send_wire(0, Tag::halo(0), &(me as u64 * 100)).unwrap();
+                }
+                comm.stats()
+            }
+        });
+        // The delayed sender recorded its injected delays (2 sends).
+        assert_eq!(out.results[1].faults(crate::stats::FaultStat::Delay), 2);
+    }
+
+    /// `recv_any_of` consults the pending buffer first (FIFO within the
+    /// match) and only accepts listed sources.
+    #[test]
+    fn recv_any_of_prefers_buffered_and_filters_sources() {
+        run_spmd(3, |comm| {
+            if comm.rank() == 0 {
+                // Wait until both messages are buffered locally.
+                let mut have = 0;
+                while have < 2 {
+                    comm.drain_inbox();
+                    have = comm.pending.borrow().len();
+                }
+                // Only rank 2 is listed: rank 1's earlier message must
+                // stay buffered.
+                let (src, payload) = comm.recv_any_of(Tag::user(0), &[2]).unwrap();
+                assert_eq!(src, 2);
+                assert_eq!(u64::from_bytes(payload).unwrap(), 22);
+                let (src, payload) = comm.recv_any_of(Tag::user(0), &[1, 2]).unwrap();
+                assert_eq!(src, 1);
+                assert_eq!(u64::from_bytes(payload).unwrap(), 11);
+            } else {
+                let v = comm.rank() as u64 * 11;
+                comm.send_wire(0, Tag::user(0), &v).unwrap();
+            }
+        });
     }
 
     #[test]

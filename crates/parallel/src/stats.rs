@@ -145,6 +145,15 @@ pub struct CommStats {
     /// counts the events themselves.
     #[serde(default)]
     pub rebalances: u64,
+    /// Wall seconds of useful compute performed *under* in-flight halo
+    /// messages (the interior collide+stream of an overlapped LB step).
+    #[serde(default)]
+    overlap_compute: f64,
+    /// Wall seconds still blocked on halo receives *after* the
+    /// overlapped compute finished — the residual latency the overlap
+    /// failed to hide.
+    #[serde(default)]
+    overlap_residual: f64,
 }
 
 impl CommStats {
@@ -183,6 +192,41 @@ impl CommStats {
     #[inline]
     pub fn record_send_time(&mut self, class: TagClass, secs: f64) {
         self.send_time[class.index()] += secs;
+    }
+
+    /// Record one overlapped exchange: `compute` seconds of interior
+    /// work done while halo messages were in flight, and `residual`
+    /// seconds still blocked on receives after that work finished.
+    #[inline]
+    pub fn record_overlap(&mut self, compute: f64, residual: f64) {
+        self.overlap_compute += compute.max(0.0);
+        self.overlap_residual += residual.max(0.0);
+    }
+
+    /// Wall seconds of compute performed under in-flight halo messages.
+    #[inline]
+    pub fn overlap_compute_secs(&self) -> f64 {
+        self.overlap_compute
+    }
+
+    /// Wall seconds still blocked on halo receives after overlapped
+    /// compute finished.
+    #[inline]
+    pub fn overlap_residual_secs(&self) -> f64 {
+        self.overlap_residual
+    }
+
+    /// Fraction of the overlapped-exchange window spent computing
+    /// rather than waiting: `compute / (compute + residual)`. 1.0 means
+    /// the halo latency was hidden entirely; reported as 1.0 when no
+    /// overlapped exchange was recorded.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let total = self.overlap_compute + self.overlap_residual;
+        if total > 0.0 {
+            self.overlap_compute / total
+        } else {
+            1.0
+        }
     }
 
     /// Record one injected (or absorbed) fault event of `kind`.
@@ -273,6 +317,8 @@ impl CommStats {
             .rebalances
             .checked_sub(earlier.rebalances)
             .expect("stats snapshots out of order");
+        out.overlap_compute = (self.overlap_compute - earlier.overlap_compute).max(0.0);
+        out.overlap_residual = (self.overlap_residual - earlier.overlap_residual).max(0.0);
         out
     }
 
@@ -290,6 +336,8 @@ impl CommStats {
         }
         out.sync_points += other.sync_points;
         out.rebalances += other.rebalances;
+        out.overlap_compute += other.overlap_compute;
+        out.overlap_residual += other.overlap_residual;
         out
     }
 }
@@ -502,6 +550,34 @@ mod tests {
         let sum = StatsSummary::from_ranks(&[s, snap]);
         assert_eq!(sum.total.rebalances, 3);
         assert!(format!("{sum}").contains("rebalances=3"));
+    }
+
+    #[test]
+    fn overlap_accounting_records_deltas_and_merges() {
+        let mut s = CommStats::new();
+        // No overlapped exchange yet: vacuously fully efficient.
+        assert_eq!(s.overlap_efficiency(), 1.0);
+
+        s.record_overlap(0.3, 0.1);
+        assert!((s.overlap_compute_secs() - 0.3).abs() < 1e-12);
+        assert!((s.overlap_residual_secs() - 0.1).abs() < 1e-12);
+        assert!((s.overlap_efficiency() - 0.75).abs() < 1e-12);
+
+        let snap = s.clone();
+        s.record_overlap(0.2, 0.0);
+        let d = s.delta_since(&snap);
+        assert!((d.overlap_compute_secs() - 0.2).abs() < 1e-12);
+        assert_eq!(d.overlap_residual_secs(), 0.0);
+
+        let merged = s.merged_with(&snap);
+        assert!((merged.overlap_compute_secs() - 0.8).abs() < 1e-12);
+        assert!((merged.overlap_residual_secs() - 0.2).abs() < 1e-12);
+
+        // Negative inputs (clock skew) are clamped, not accumulated.
+        let mut t = CommStats::new();
+        t.record_overlap(-1.0, -1.0);
+        assert_eq!(t.overlap_compute_secs(), 0.0);
+        assert_eq!(t.overlap_efficiency(), 1.0);
     }
 
     #[test]

@@ -262,6 +262,22 @@ impl WireReader {
         Ok(())
     }
 
+    /// Read a length-prefixed `f64` slice into `out` (cleared first),
+    /// reusing its allocation — the bulk path for halo payloads, which
+    /// are decoded once per peer per LB step.
+    pub fn get_f64_slice(&mut self, out: &mut Vec<f64>) -> CommResult<()> {
+        let n = self.get_checked_len(8, "f64 slice")?;
+        out.clear();
+        out.reserve(n);
+        let raw = self.buf.split_to(n * 8);
+        for ch in raw.chunks_exact(8) {
+            out.push(f64::from_le_bytes([
+                ch[0], ch[1], ch[2], ch[3], ch[4], ch[5], ch[6], ch[7],
+            ]));
+        }
+        Ok(())
+    }
+
     /// Read a length-prefixed `u64` vector.
     pub fn get_u64_vec(&mut self) -> CommResult<Vec<u64>> {
         let n = self.get_checked_len(8, "u64 slice")?;

@@ -36,8 +36,16 @@ use hemelb_partition::{
 /// Simulation phases whose span totals count as per-rank *load*.
 /// `lb.halo-wait` is deliberately excluded: wait time is idleness
 /// *caused by* imbalance on other ranks — including it would make the
-/// starved ranks look busy and invert the signal.
-const SIM_PHASES: [&str; 4] = ["lb.collide", "lb.stream", "lb.halo-pack", "lb.macroscopics"];
+/// starved ranks look busy and invert the signal. `lb.overlap.compute`
+/// is excluded too: it is an umbrella span over the interior
+/// `lb.collide`/`lb.stream` pieces and would double-count them.
+const SIM_PHASES: [&str; 5] = [
+    "lb.collide",
+    "lb.collide-frontier",
+    "lb.stream",
+    "lb.halo-pack",
+    "lb.macroscopics",
+];
 
 /// Visualisation phase whose span total counts as per-rank vis load.
 const VIS_PHASE: &str = "vis.render";

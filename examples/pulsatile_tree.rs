@@ -46,6 +46,7 @@ fn main() {
         }],
         outlet_bcs: vec![IoletBc::Pressure { rho: 1.0 }],
         layout: Default::default(),
+        overlap: true,
     };
 
     let geo2 = geo.clone();
