@@ -3,34 +3,53 @@
 #
 #   ./ci.sh --quick        # lint + tier1: format, clippy, release
 #                          #   build, root-package tests
-#   ./ci.sh                # + determinism, kernel-layout, obs, render
-#                          #   and fault-injection suites + bench smokes
+#   ./ci.sh                # + determinism, kernel-layout, obs, render,
+#                          #   fault-injection and farm suites + bench
+#                          #   smokes, each gated against the blessed
+#                          #   baselines under benches/baselines/
 #   ./ci.sh --soak         # + long soaks: golden --ignored, the
-#                          #   500-step SoA kernel soak and the
-#                          #   200-step two-kill fault recovery
-#   ./ci.sh --only GROUP   # one group: lint | tier1 | determinism |
-#                          #   kernel | overlap | faults | gateway |
-#                          #   smoke | soak (what the staged GitHub
-#                          #   workflow jobs shell into)
+#                          #   500-step SoA kernel soak, the 200-step
+#                          #   two-kill fault recovery and the farm
+#                          #   kill/restart soak
+#   ./ci.sh --only GROUP   # one group (what the staged GitHub workflow
+#                          #   jobs shell into)
+#
+# The bench-gate group re-runs any missing smoke at the CI sizes and
+# diffs every gated out/BENCH_*.json against benches/baselines/ — see
+# crates/bench/src/gate.rs for metric classes and tolerances. Re-bless
+# after an intentional perf change with:
+#
+#   ./ci.sh --only bench-gate            # fails, showing the drift
+#   CI_GATE_BLESS=1 cargo run --release -q -p hemelb-bench --bin ci-gate
 #
 # Each stage is timed; a per-stage summary prints on exit (also on
 # failure, so CI logs show where the time — or the break — went).
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# The single source of truth for group names: the default tier runs
+# them in this order, and `--only` accepts exactly these (plus soak).
+CI_GROUPS_ALL=(lint tier1 determinism kernel overlap faults gateway farm smoke bench-gate)
+usage_groups() { (IFS='|'; echo "${CI_GROUPS_ALL[*]}|soak"); }
+
 TIER="full"
-CI_GROUPS=(lint tier1 determinism kernel overlap faults gateway smoke)
+CI_GROUPS=("${CI_GROUPS_ALL[@]}")
 case "${1:-}" in
     --quick) TIER="quick"; CI_GROUPS=(lint tier1) ;;
     --soak)  TIER="soak";  CI_GROUPS+=(soak) ;;
     --only)
         TIER="only:${2:-}"
-        case "${2:-}" in
-            lint|tier1|determinism|kernel|overlap|faults|gateway|smoke|soak) CI_GROUPS=("$2") ;;
-            *) echo "usage: ./ci.sh --only {lint|tier1|determinism|kernel|overlap|faults|gateway|smoke|soak}" >&2; exit 2 ;;
-        esac ;;
+        ok=0
+        for g in "${CI_GROUPS_ALL[@]}" soak; do
+            [[ "${2:-}" == "$g" ]] && ok=1
+        done
+        if [[ $ok -eq 1 ]]; then
+            CI_GROUPS=("$2")
+        else
+            echo "usage: ./ci.sh --only {$(usage_groups)}" >&2; exit 2
+        fi ;;
     "") ;;
-    *) echo "usage: ./ci.sh [--quick|--soak|--only GROUP]" >&2; exit 2 ;;
+    *) echo "usage: ./ci.sh [--quick|--soak|--only GROUP]  (GROUP: $(usage_groups))" >&2; exit 2 ;;
 esac
 
 STAGE_NAMES=()
@@ -61,6 +80,35 @@ stage() {
     "$@"
     STAGE_NAMES+=("$name")
     STAGE_SECS+=($((SECONDS - t0)))
+}
+
+# Fail fast, with a pointer, when a stage needs bench reports that were
+# never produced (e.g. `--only smoke` artifacts expected but no smoke
+# ran, or a gate invoked on a clean tree).
+ensure_out() {
+    if ! compgen -G "out/BENCH_*.json" > /dev/null; then
+        echo "==> out/ has no BENCH_*.json — run the bench smokes first" >&2
+        echo "    (./ci.sh --only overlap|gateway|farm|smoke, or ./ci.sh)" >&2
+        exit 1
+    fi
+}
+
+# The gated bench labels and the exact CI-size smoke that produces each
+# report — the baselines under benches/baselines/ are blessed at these
+# sizes, so gate comparisons are size-for-size.
+gated_smoke() {
+    case "$1" in
+        kernel)  echo "kernel --size tiny" ;;
+        overlap) echo "overlap --size tiny --ranks 2" ;;
+        gateway) echo "gateway --size tiny --ranks 2" ;;
+        farm)    echo "farm --size tiny --ranks 2" ;;
+        *) echo "unknown gated label $1" >&2; exit 2 ;;
+    esac
+}
+
+# Diff one fresh out/BENCH_<label>.json against its blessed baseline.
+gate() {
+    stage "$1-gate" cargo run --release -q -p hemelb-bench --bin ci-gate -- "$1"
 }
 
 # Format + lint.
@@ -94,11 +142,13 @@ group_kernel() {
 
 # Overlapped halo exchange: classifier per-orientation suite, the
 # overlapped == sync == serial bitwise equivalence proptests (incl.
-# checkpoint hand-off between schedules and injected delays), and the
-# E18 smoke writing out/BENCH_overlap.json.
+# checkpoint hand-off between schedules and injected delays), the E18
+# smoke writing out/BENCH_overlap.json, and its regression gate.
 group_overlap() {
     stage overlap cargo test -q --test overlap
-    stage overlap-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- overlap --size tiny --ranks 2
+    # shellcheck disable=SC2046
+    stage overlap-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- $(gated_smoke overlap)
+    gate overlap
 }
 
 # Fault injection: benign-fault transparency, kill/checkpoint replay,
@@ -109,22 +159,52 @@ group_faults() {
 
 # Multi-client steering gateway: observer churn bit-exactness,
 # deterministic driver hand-off, the wedged-observer degradation
-# ladder, and the E17 load-test smoke (≥100 synthetic observers,
-# frame RTT p50/p99, broadcast fan-out, cache hit rate) writing
-# out/BENCH_gateway.json.
+# ladder, the E17 load-test smoke (≥100 synthetic observers, frame RTT
+# p50/p99, broadcast fan-out, cache hit rate) writing
+# out/BENCH_gateway.json, and its regression gate.
 group_gateway() {
     stage gateway cargo test -q --test steering_gateway
-    stage gateway-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- gateway --size tiny --ranks 2
+    # shellcheck disable=SC2046
+    stage gateway-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- $(gated_smoke gateway)
+    gate gateway
+}
+
+# Simulation farm: scheduler determinism proptest, fair-share
+# no-starvation, kill/restart bit-exactness with neighbour isolation,
+# bounded retry/backoff, the E19 saturation smoke writing
+# out/BENCH_farm.json, and its regression gate.
+group_farm() {
+    stage farm cargo test -q --test farm
+    # shellcheck disable=SC2046
+    stage farm-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- $(gated_smoke farm)
+    gate farm
 }
 
 # Release bench smokes, exercising the reproduce binary end to end:
 # E13 (render), E14 (faults), E15 (adaptive LB) and E16 (kernel
-# layouts) also write out/BENCH_*.json.
+# layouts) also write out/BENCH_*.json; the kernel report is gated.
 group_smoke() {
     stage render-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- render --size small --ranks 2
     stage faults-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- faults --size tiny --ranks 3
     stage adaptive-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- adaptive --size tiny --ranks 3
-    stage kernel-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- kernel --size tiny
+    # shellcheck disable=SC2046
+    stage kernel-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- $(gated_smoke kernel)
+    ensure_out
+    gate kernel
+}
+
+# Standalone regression gate: regenerate any gated report that is
+# missing at the CI sizes, then diff all four against the baselines.
+group_bench_gate() {
+    local label
+    for label in kernel overlap gateway farm; do
+        if [[ ! -f "out/BENCH_${label}.json" ]]; then
+            # shellcheck disable=SC2046
+            stage "$label-smoke" cargo run --release -q -p hemelb-bench --bin reproduce -- $(gated_smoke "$label")
+        fi
+    done
+    ensure_out
+    stage bench-gate cargo run --release -q -p hemelb-bench --bin ci-gate -- kernel overlap gateway farm
 }
 
 # Long soaks.
@@ -132,8 +212,9 @@ group_soak() {
     stage golden-soak cargo test -q --test golden -- --ignored
     stage kernel-soak cargo test -q --test kernel_layout -- --ignored
     stage fault-soak  cargo test -q --test fault_injection -- --ignored
+    stage farm-soak   cargo test -q --test farm -- --ignored
 }
 
 for g in "${CI_GROUPS[@]}"; do
-    "group_$g"
+    "group_${g//-/_}"
 done

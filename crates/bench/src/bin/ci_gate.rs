@@ -1,0 +1,169 @@
+//! `ci-gate` — the bench-regression gate.
+//!
+//! ```text
+//! ci-gate [--baselines DIR] [--out DIR] [labels...]
+//! ```
+//!
+//! For each label (default: every `BENCH_*.json` present under the
+//! output directory), compares `out/BENCH_<label>.json` against
+//! `benches/baselines/BENCH_<label>.json` (see
+//! [`hemelb_bench::gate`] for metric classes and tolerances) and prints
+//! a before/after table. Exits nonzero — naming the regressed metrics —
+//! when any gated metric fails.
+//!
+//! With `CI_GATE_BLESS=1`, instead *re-blesses* the baselines: every
+//! fresh report under `out/` is copied over its baseline, so run the
+//! benches first at the same sizes CI uses, review the diff, and commit
+//! the new baselines together with the change that moved them.
+
+use hemelb_bench::gate;
+use hemelb_obs::ObsReport;
+use std::path::{Path, PathBuf};
+
+struct Args {
+    baselines: PathBuf,
+    out: PathBuf,
+    labels: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut baselines = PathBuf::from("benches/baselines");
+    let mut out = PathBuf::from("out");
+    let mut labels = Vec::new();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baselines" => {
+                i += 1;
+                baselines = PathBuf::from(argv.get(i).unwrap_or_else(|| {
+                    eprintln!("--baselines needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(argv.get(i).unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ci-gate [--baselines DIR] [--out DIR] [labels...]\n\
+                     CI_GATE_BLESS=1 copies fresh out/BENCH_*.json over the baselines instead"
+                );
+                std::process::exit(0);
+            }
+            l => labels.push(l.to_string()),
+        }
+        i += 1;
+    }
+    Args {
+        baselines,
+        out,
+        labels,
+    }
+}
+
+/// Labels of every `BENCH_<label>.json` in `dir`, sorted.
+fn discover(dir: &Path) -> Vec<String> {
+    let mut labels: Vec<String> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            Some(
+                name.strip_prefix("BENCH_")?
+                    .strip_suffix(".json")?
+                    .to_string(),
+            )
+        })
+        .collect();
+    labels.sort();
+    labels
+}
+
+fn load(path: &Path) -> Result<ObsReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    ObsReport::from_json(&text).map_err(|e| format!("{path:?} is not a bench report: {e:?}"))
+}
+
+fn main() {
+    let args = parse_args();
+    let bless = std::env::var("CI_GATE_BLESS").is_ok_and(|v| v == "1");
+    let labels = if args.labels.is_empty() {
+        let found = discover(&args.out);
+        if found.is_empty() {
+            eprintln!(
+                "no BENCH_*.json under {:?} — run the benches first (e.g. \
+                 `cargo run --release -p hemelb-bench --bin reproduce -- farm --size tiny`)",
+                args.out
+            );
+            std::process::exit(2);
+        }
+        found
+    } else {
+        args.labels.clone()
+    };
+
+    if bless {
+        std::fs::create_dir_all(&args.baselines).expect("baselines directory created");
+        for label in &labels {
+            let fresh = args.out.join(format!("BENCH_{label}.json"));
+            let blessed = args.baselines.join(format!("BENCH_{label}.json"));
+            // Parse before blessing: a truncated report must not
+            // become the baseline everything else is judged against.
+            if let Err(e) = load(&fresh) {
+                eprintln!("refusing to bless {label}: {e}");
+                std::process::exit(2);
+            }
+            std::fs::copy(&fresh, &blessed).expect("baseline copied");
+            println!("blessed {blessed:?} from {fresh:?}");
+        }
+        return;
+    }
+
+    let mut failed: Vec<String> = Vec::new();
+    for label in &labels {
+        let fresh_path = args.out.join(format!("BENCH_{label}.json"));
+        let base_path = args.baselines.join(format!("BENCH_{label}.json"));
+        let fresh = match load(&fresh_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{label}: {e} — run the matching bench before gating");
+                failed.push(format!("{label} (no fresh report)"));
+                continue;
+            }
+        };
+        let base = match load(&base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!(
+                    "{label}: {e} — bless a baseline first (CI_GATE_BLESS=1 ci-gate {label})"
+                );
+                failed.push(format!("{label} (no baseline)"));
+                continue;
+            }
+        };
+        let result = gate::compare(label, &base, &fresh);
+        print!("{result}");
+        for name in result.regressions() {
+            failed.push(format!("{label}:{name}"));
+        }
+    }
+
+    if failed.is_empty() {
+        println!(
+            "bench gate: all {} report(s) within tolerance",
+            labels.len()
+        );
+    } else {
+        eprintln!(
+            "bench gate FAILED — regressed metrics: {}",
+            failed.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

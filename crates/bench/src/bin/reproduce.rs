@@ -1,7 +1,7 @@
 //! `reproduce` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|overlap|gateway|ablation|all]
+//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|overlap|gateway|farm|ablation|all]
 //!           [--size tiny|small|medium] [--ranks N]
 //! ```
 //!
@@ -10,8 +10,8 @@
 
 use hemelb_bench::workloads::Size;
 use hemelb_bench::{
-    ablation, adaptive, extract, faults, fig1, fig2, fig3, fig4, gateway, kernel, multires, obs,
-    overlap, preprocess, render, repartition, scaling, table1,
+    ablation, adaptive, extract, farm, faults, fig1, fig2, fig3, fig4, gateway, kernel, multires,
+    obs, overlap, preprocess, render, repartition, scaling, table1,
 };
 
 struct Args {
@@ -49,7 +49,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|overlap|gateway|ablation|all] [--size tiny|small|medium] [--ranks N]"
+                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|overlap|gateway|farm|ablation|all] [--size tiny|small|medium] [--ranks N]"
                 );
                 std::process::exit(0);
             }
@@ -197,6 +197,11 @@ fn main() {
             "{}",
             gateway::run(args.size, args.ranks.clamp(2, 8), observers, frames)
         );
+    }
+    if run_all || args.what == "farm" {
+        ran = true;
+        println!("=== E19: simulation farm (sweep saturation vs sequential baseline) ===");
+        println!("{}", farm::run(args.size, args.ranks.clamp(2, 8)));
     }
     if run_all || args.what == "ablation" {
         ran = true;

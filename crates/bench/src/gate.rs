@@ -1,0 +1,422 @@
+//! Bench-regression gate: diff a fresh `out/BENCH_*.json` against its
+//! blessed baseline under `benches/baselines/` and fail CI when a gated
+//! metric regresses beyond tolerance.
+//!
+//! Every bench exports one [`ObsReport`] document: phase rows (timings
+//! with percentile histograms) and counters. The gate flattens both
+//! into named scalar metrics and classifies each *by name*:
+//!
+//! * **Exact** — correctness pins (`bit_identical`, site/job counts,
+//!   injected parameters). Any difference fails.
+//! * **Higher-better** — throughput/ratio counters (`jobs_per_hour`,
+//!   `speedup`, `efficiency`, cache `hits`). Fails when the fresh value
+//!   drops below `baseline × (1 − tol)`.
+//! * **Lower-better** — timings (phase totals and percentiles). Fails
+//!   when the fresh value exceeds `baseline × (1 + tol)`; values where
+//!   both sides sit under an absolute floor are ignored (sub-floor
+//!   timings are scheduler noise, not signal).
+//! * **Info** — everything else: reported, never gated.
+//!
+//! Timing tolerances are deliberately generous (CI boxes are noisy
+//! shared machines); the gate exists to catch step-function regressions
+//! — a 2× slower kernel, a lost overlap, a correctness bit flip — not
+//! 10% jitter. Baselines are re-blessed by running the same benches
+//! with `CI_GATE_BLESS=1` (see the `ci-gate` binary).
+
+use hemelb_obs::ObsReport;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Relative tolerance for higher-is-better counters (fraction of the
+/// baseline the fresh value may lose).
+pub const TOL_HIGHER: f64 = 0.5;
+/// Relative tolerance for lower-is-better timings (fraction of the
+/// baseline the fresh value may gain).
+pub const TOL_LOWER: f64 = 1.5;
+/// Absolute floor (seconds) below which timing differences are noise.
+pub const TIMING_FLOOR_SECS: f64 = 1e-3;
+
+/// How one metric is gated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricClass {
+    /// Must match the baseline exactly.
+    Exact,
+    /// Must not drop below `baseline × (1 − tol)`.
+    HigherBetter {
+        /// Allowed relative loss.
+        tol: f64,
+    },
+    /// Must not exceed `baseline × (1 + tol)`; ignored while both sides
+    /// are under `floor`.
+    LowerBetter {
+        /// Allowed relative gain.
+        tol: f64,
+        /// Absolute noise floor.
+        floor: f64,
+    },
+    /// Reported but never gated.
+    Info,
+}
+
+/// Classify a flattened metric by its name.
+///
+/// Correctness pins and injected parameters gate exactly; throughput
+/// counters gate higher-is-better; phase timings gate lower-is-better.
+/// Unrecognised names are informational.
+pub fn classify(name: &str) -> MetricClass {
+    let base = name.rsplit('.').next().unwrap_or(name);
+    // Correctness pins and workload-identity counters: these describe
+    // *what ran*, not how fast — any drift means the bench and the
+    // baseline measured different things.
+    if base.contains("bit_identical")
+        || base.contains("bit_exact")
+        || matches!(
+            base,
+            "sites" | "jobs" | "delay_ms" | "ranks" | "steps" | "frames" | "observers"
+        )
+    {
+        return MetricClass::Exact;
+    }
+    if base.contains("jobs_per_hour")
+        || base.contains("per_sec")
+        || base.contains("speedup")
+        || base.contains("efficiency")
+        || base.contains("permille")
+        || base == "hits"
+    {
+        return MetricClass::HigherBetter { tol: TOL_HIGHER };
+    }
+    // Timings: phase-derived statistics and explicitly-named waits.
+    if matches!(base, "total_secs" | "p50" | "p95" | "p99" | "max")
+        || base.ends_with("_secs")
+        || base.contains("wait")
+        || base.contains("latency")
+        || base.contains("rtt")
+        || base.ends_with("_step")
+    {
+        return MetricClass::LowerBetter {
+            tol: TOL_LOWER,
+            floor: TIMING_FLOOR_SECS,
+        };
+    }
+    MetricClass::Info
+}
+
+/// Flatten a bench report into named scalar metrics: every counter by
+/// its own name, every phase as `<phase>.{total_secs,p50,p95,p99,max}`.
+pub fn flatten(report: &ObsReport) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for (name, &v) in &report.counters {
+        out.insert(name.clone(), v as f64);
+    }
+    for (name, p) in &report.phases {
+        out.insert(format!("{name}.total_secs"), p.total_secs);
+        out.insert(format!("{name}.p50"), p.hist.p50());
+        out.insert(format!("{name}.p95"), p.hist.p95());
+        out.insert(format!("{name}.p99"), p.hist.p99());
+        out.insert(format!("{name}.max"), p.hist.max());
+    }
+    out
+}
+
+/// Verdict for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or informational).
+    Pass,
+    /// Outside tolerance — fails the gate.
+    Regressed,
+    /// Present in the fresh report only (informational).
+    New,
+    /// Gated metric present in the baseline only — fails the gate (the
+    /// bench stopped measuring something it used to pin).
+    Missing,
+}
+
+/// One row of the before/after comparison.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    /// Flattened metric name.
+    pub name: String,
+    /// Baseline value (`None` for new metrics).
+    pub baseline: Option<f64>,
+    /// Fresh value (`None` for missing metrics).
+    pub current: Option<f64>,
+    /// How the metric was gated.
+    pub class: MetricClass,
+    /// Outcome.
+    pub verdict: Verdict,
+}
+
+/// The gate's comparison of one bench report against its baseline.
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    /// Report label (e.g. `farm` for `BENCH_farm.json`).
+    pub label: String,
+    /// Every metric, baseline-name order then new metrics.
+    pub diffs: Vec<MetricDiff>,
+}
+
+impl GateResult {
+    /// Names of the metrics that fail the gate.
+    pub fn regressions(&self) -> Vec<&str> {
+        self.diffs
+            .iter()
+            .filter(|d| matches!(d.verdict, Verdict::Regressed | Verdict::Missing))
+            .map(|d| d.name.as_str())
+            .collect()
+    }
+
+    /// Whether the report passes.
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty()
+    }
+}
+
+fn judge(class: MetricClass, baseline: f64, current: f64) -> Verdict {
+    match class {
+        MetricClass::Exact => {
+            if baseline.to_bits() == current.to_bits() {
+                Verdict::Pass
+            } else {
+                Verdict::Regressed
+            }
+        }
+        MetricClass::HigherBetter { tol } => {
+            if current >= baseline * (1.0 - tol) {
+                Verdict::Pass
+            } else {
+                Verdict::Regressed
+            }
+        }
+        MetricClass::LowerBetter { tol, floor } => {
+            if baseline.max(current) < floor || current <= baseline * (1.0 + tol) + floor {
+                Verdict::Pass
+            } else {
+                Verdict::Regressed
+            }
+        }
+        MetricClass::Info => Verdict::Pass,
+    }
+}
+
+/// Compare a fresh report against its baseline.
+pub fn compare(label: &str, baseline: &ObsReport, current: &ObsReport) -> GateResult {
+    let base = flatten(baseline);
+    let cur = flatten(current);
+    let mut diffs = Vec::new();
+    for (name, &b) in &base {
+        let class = classify(name);
+        match cur.get(name) {
+            Some(&c) => diffs.push(MetricDiff {
+                name: name.clone(),
+                baseline: Some(b),
+                current: Some(c),
+                class,
+                verdict: judge(class, b, c),
+            }),
+            None => diffs.push(MetricDiff {
+                name: name.clone(),
+                baseline: Some(b),
+                current: None,
+                class,
+                verdict: if class == MetricClass::Info {
+                    Verdict::Pass
+                } else {
+                    Verdict::Missing
+                },
+            }),
+        }
+    }
+    for (name, &c) in &cur {
+        if !base.contains_key(name) {
+            diffs.push(MetricDiff {
+                name: name.clone(),
+                baseline: None,
+                current: Some(c),
+                class: classify(name),
+                verdict: Verdict::New,
+            });
+        }
+    }
+    GateResult {
+        label: label.to_string(),
+        diffs,
+    }
+}
+
+impl fmt::Display for GateResult {
+    /// Before/after table: gated rows always, informational rows only
+    /// when they changed name-set (new/missing).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== bench gate: {} ({} metrics, {} gated) ===",
+            self.label,
+            self.diffs.len(),
+            self.diffs
+                .iter()
+                .filter(|d| d.class != MetricClass::Info)
+                .count()
+        )?;
+        writeln!(
+            f,
+            "{:<44} {:>14} {:>14} {:>8}  verdict",
+            "metric", "baseline", "current", "delta"
+        )?;
+        for d in &self.diffs {
+            let gated = d.class != MetricClass::Info;
+            let changed_set = matches!(d.verdict, Verdict::New | Verdict::Missing);
+            if !gated && !changed_set {
+                continue;
+            }
+            let fmt_v = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.6}"),
+                None => "-".to_string(),
+            };
+            let delta = match (d.baseline, d.current) {
+                (Some(b), Some(c)) if b != 0.0 => format!("{:+.1}%", (c - b) / b * 100.0),
+                _ => "-".to_string(),
+            };
+            writeln!(
+                f,
+                "{:<44} {:>14} {:>14} {:>8}  {}",
+                d.name,
+                fmt_v(d.baseline),
+                fmt_v(d.current),
+                delta,
+                match d.verdict {
+                    Verdict::Pass => "ok",
+                    Verdict::Regressed => "REGRESSED",
+                    Verdict::New => "new",
+                    Verdict::Missing => "MISSING",
+                }
+            )?;
+        }
+        let reg = self.regressions();
+        if reg.is_empty() {
+            writeln!(f, "PASS: {}", self.label)
+        } else {
+            writeln!(f, "FAIL: {} — regressed: {}", self.label, reg.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemelb_obs::Recorder;
+
+    fn sample() -> ObsReport {
+        let mut rec = Recorder::new();
+        rec.count("farm.jobs", 8);
+        rec.count("farm.speedup_permille", 2100);
+        rec.count("farm.kill_replay_bit_exact", 1);
+        rec.count("farm.note", 42); // unrecognised → Info
+        for _ in 0..4 {
+            rec.record_secs("farm.s4.latency", 0.25);
+        }
+        rec.report()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = sample();
+        let g = compare("farm", &r, &r);
+        assert!(g.passed(), "{g}");
+    }
+
+    #[test]
+    fn degraded_counter_fails_and_is_named() {
+        let base = sample();
+        let mut cur = sample();
+        // Below baseline × (1 − 0.5) ⇒ regression.
+        cur.counters.insert("farm.speedup_permille".into(), 900);
+        let g = compare("farm", &base, &cur);
+        assert!(!g.passed());
+        assert_eq!(g.regressions(), ["farm.speedup_permille"]);
+        assert!(g.to_string().contains("farm.speedup_permille"), "{g}");
+        assert!(g.to_string().contains("REGRESSED"), "{g}");
+    }
+
+    #[test]
+    fn exact_metrics_tolerate_nothing() {
+        let base = sample();
+        let mut cur = sample();
+        cur.counters.insert("farm.kill_replay_bit_exact".into(), 0);
+        cur.counters.insert("farm.jobs".into(), 7);
+        let g = compare("farm", &base, &cur);
+        assert_eq!(g.regressions(), ["farm.jobs", "farm.kill_replay_bit_exact"]);
+    }
+
+    #[test]
+    fn timings_gate_generously_with_a_noise_floor() {
+        let base = sample();
+        let mut cur = sample();
+        for p in cur.phases.values_mut() {
+            p.total_secs *= 2.0; // within 1 + TOL_LOWER
+        }
+        assert!(compare("farm", &base, &cur).passed());
+        for p in cur.phases.values_mut() {
+            p.total_secs *= 2.0; // now 4×: outside
+        }
+        let g = compare("farm", &base, &cur);
+        assert!(g
+            .regressions()
+            .iter()
+            .any(|n| n.starts_with("farm.s4.latency")));
+
+        // Sub-millisecond timings never gate, however large the ratio.
+        let mut tiny_base = ObsReport::default();
+        let mut tiny_cur = ObsReport::default();
+        let mut rec = Recorder::new();
+        rec.record_secs("blip", 10e-6);
+        tiny_base.merge(&rec.report());
+        let mut rec = Recorder::new();
+        rec.record_secs("blip", 900e-6);
+        tiny_cur.merge(&rec.report());
+        assert!(compare("t", &tiny_base, &tiny_cur).passed());
+    }
+
+    #[test]
+    fn info_metrics_never_gate_but_missing_gated_metrics_do() {
+        let base = sample();
+        let mut cur = sample();
+        cur.counters.insert("farm.note".into(), 7); // Info: any change ok
+        assert!(compare("farm", &base, &cur).passed());
+        cur.counters.remove("farm.kill_replay_bit_exact");
+        let g = compare("farm", &base, &cur);
+        assert_eq!(g.regressions(), ["farm.kill_replay_bit_exact"]);
+        assert!(g.to_string().contains("MISSING"), "{g}");
+    }
+
+    #[test]
+    fn classification_covers_the_exported_names() {
+        assert_eq!(
+            classify("overlap.r2.clean.bit_identical"),
+            MetricClass::Exact
+        );
+        assert_eq!(classify("overlap.sites"), MetricClass::Exact);
+        assert!(matches!(
+            classify("farm.s4.jobs_per_hour_milli"),
+            MetricClass::HigherBetter { .. }
+        ));
+        assert!(matches!(
+            classify("overlap.r2.clean.efficiency_permille"),
+            MetricClass::HigherBetter { .. }
+        ));
+        assert!(matches!(
+            classify("overlap.r2.clean.sync_step.total_secs"),
+            MetricClass::LowerBetter { .. }
+        ));
+        assert!(matches!(
+            classify("gateway.frame_rtt.p95"),
+            MetricClass::LowerBetter { .. }
+        ));
+        assert!(matches!(
+            classify("kernel.soa_simd.site_updates_per_sec"),
+            MetricClass::HigherBetter { .. }
+        ));
+        assert_eq!(classify("kernel.lanes"), MetricClass::Info);
+    }
+}

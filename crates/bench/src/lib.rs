@@ -12,11 +12,13 @@
 pub mod ablation;
 pub mod adaptive;
 pub mod extract;
+pub mod farm;
 pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod gate;
 pub mod gateway;
 pub mod kernel;
 pub mod multires;

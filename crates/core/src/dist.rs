@@ -979,6 +979,12 @@ impl<'a> DistSolver<'a> {
         self.comm.barrier()
     }
 
+    /// The communicator this solver was built over (collective helpers
+    /// in sibling modules, e.g. checkpoint restore agreement).
+    pub(crate) fn comm(&self) -> &'a Communicator {
+        self.comm
+    }
+
     /// Overwrite the local dynamical state from a site-major array
     /// (checkpoint restore); layout-agnostic.
     pub(crate) fn install_state(&mut self, step: u64, f: Vec<f64>) {

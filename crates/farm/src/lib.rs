@@ -1,0 +1,34 @@
+//! Simulation farm: batched scenario sweeps over a shared worker pool.
+//!
+//! The SC'12 co-design study frames HemeLB as one stage of a clinical
+//! pipeline: pre-processing (voxelise, partition) and post-processing
+//! surround every run, and clinically useful answers come from *sweeps*
+//! — many closely-related simulations over one vasculature — not single
+//! hero runs. This crate batches such sweeps:
+//!
+//! * [`JobSpec`]/[`Scenario`] — one sweep member (synthetic vasculature
+//!   × {pressure drop/viscosity, BC waveform, geometry params, ranks})
+//!   plus its scheduling envelope,
+//! * [`JobQueue`] — priority within a tenant, weighted fair share
+//!   across tenants (start-time fair queueing),
+//! * [`PrepCache`] — memoised voxelisation and k-way partitions, so the
+//!   farm pays pre-processing once per distinct geometry instead of
+//!   once per job,
+//! * [`FarmScheduler`] — concurrent multi-rank jobs over a rank-slot
+//!   pool, deterministic head-of-line commit, per-job
+//!   checkpoint/restart, fault isolation and bounded retry,
+//! * [`FarmReport`] — per-job records, throughput, queue-wait/latency
+//!   histograms and per-tenant observability roll-ups.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod queue;
+pub mod scheduler;
+pub mod spec;
+
+pub use cache::PrepCache;
+pub use queue::{JobId, JobQueue};
+pub use scheduler::{FarmConfig, FarmReport, FarmScheduler, JobRecord, JobStatus};
+pub use spec::{Drive, GeometryKind, JobSpec, Scenario};

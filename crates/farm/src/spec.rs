@@ -1,0 +1,336 @@
+//! Job specifications: what one sweep member simulates.
+//!
+//! A production hemodynamics farm runs patient-specific *sweeps* —
+//! synthetic vasculature × {pressure drop / viscosity, boundary-condition
+//! waveform, geometry parameters, rank count} — exactly the "generate an
+//! array of input files" pattern of HemeLB_Tools' `writeInput.py`, but
+//! typed: a [`Scenario`] is the input file, a [`JobSpec`] adds the
+//! scheduling envelope (tenant, priority, checkpoint cadence, fault
+//! schedule).
+
+use hemelb_core::boundary::IoletBc;
+use hemelb_core::SolverConfig;
+use hemelb_geometry::{SparseGeometry, VesselBuilder};
+use hemelb_parallel::FaultPlan;
+
+/// The synthetic vasculature family a job voxelises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeometryKind {
+    /// Straight cylindrical vessel.
+    Tube {
+        /// Axis length in physical units.
+        length: f64,
+        /// Lumen radius.
+        radius: f64,
+    },
+    /// Parent vessel splitting into two children.
+    Bifurcation {
+        /// Parent-vessel length.
+        parent_len: f64,
+        /// Child-vessel length.
+        child_len: f64,
+        /// Parent lumen radius (children follow Murray's law).
+        radius: f64,
+        /// Half-angle between the children, radians.
+        half_angle: f64,
+    },
+    /// Parent vessel with a saccular aneurysm bulge.
+    Aneurysm {
+        /// Axis length.
+        length: f64,
+        /// Lumen radius.
+        radius: f64,
+        /// Sac radius.
+        sac_radius: f64,
+    },
+}
+
+impl GeometryKind {
+    /// Voxelise this vasculature at lattice spacing `dx`.
+    pub fn build(&self, dx: f64) -> SparseGeometry {
+        match *self {
+            GeometryKind::Tube { length, radius } => {
+                VesselBuilder::straight_tube(length, radius).voxelise(dx)
+            }
+            GeometryKind::Bifurcation {
+                parent_len,
+                child_len,
+                radius,
+                half_angle,
+            } => VesselBuilder::bifurcation(parent_len, child_len, radius, half_angle).voxelise(dx),
+            GeometryKind::Aneurysm {
+                length,
+                radius,
+                sac_radius,
+            } => VesselBuilder::aneurysm(length, radius, sac_radius).voxelise(dx),
+        }
+    }
+
+    /// Exact cache key for `(self, dx)`: parameters keyed by their IEEE
+    /// bit patterns, so two jobs share a voxelisation iff their inputs
+    /// are identical.
+    pub fn cache_key(&self, dx: f64) -> String {
+        let b = |v: f64| v.to_bits();
+        match *self {
+            GeometryKind::Tube { length, radius } => {
+                format!("tube:{:x}:{:x}:{:x}", b(length), b(radius), b(dx))
+            }
+            GeometryKind::Bifurcation {
+                parent_len,
+                child_len,
+                radius,
+                half_angle,
+            } => format!(
+                "bifurcation:{:x}:{:x}:{:x}:{:x}:{:x}",
+                b(parent_len),
+                b(child_len),
+                b(radius),
+                b(half_angle),
+                b(dx)
+            ),
+            GeometryKind::Aneurysm {
+                length,
+                radius,
+                sac_radius,
+            } => format!(
+                "aneurysm:{:x}:{:x}:{:x}:{:x}",
+                b(length),
+                b(radius),
+                b(sac_radius),
+                b(dx)
+            ),
+        }
+    }
+}
+
+/// How the flow is driven through the vessel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Drive {
+    /// Steady pressure difference between inlet and outlet(s) — the
+    /// Reynolds-number knob of a sweep.
+    Pressure {
+        /// Inlet density (pressure `p = cs² ρ`).
+        rho_in: f64,
+        /// Outlet density.
+        rho_out: f64,
+    },
+    /// Pulsatile (cardiac-cycle) velocity inflow against reference
+    /// outlet pressure.
+    Pulsatile {
+        /// Cycle-mean peak inflow speed, lattice units/step.
+        peak: f64,
+        /// Relative oscillation amplitude (0 = steady).
+        amplitude: f64,
+        /// Cycle length in steps.
+        period: u64,
+    },
+}
+
+/// One simulation of a sweep: geometry × physics × run length × ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Synthetic vasculature to voxelise.
+    pub geometry: GeometryKind,
+    /// Lattice spacing (resolution).
+    pub dx: f64,
+    /// Flow drive (pressure drop or pulsatile inflow).
+    pub drive: Drive,
+    /// BGK relaxation time (viscosity knob).
+    pub tau: f64,
+    /// LB steps to run.
+    pub steps: u64,
+    /// SPMD ranks the job runs on.
+    pub ranks: usize,
+}
+
+impl Scenario {
+    /// The solver configuration this scenario prescribes.
+    pub fn solver_config(&self) -> SolverConfig {
+        match self.drive {
+            Drive::Pressure { rho_in, rho_out } => SolverConfig::pressure_driven(rho_in, rho_out),
+            Drive::Pulsatile { peak, .. } => SolverConfig::velocity_driven(peak),
+        }
+        .with_tau(self.tau)
+    }
+
+    /// The inlet override a pulsatile drive installs after construction
+    /// (`None` for steady drives).
+    pub fn inlet_override(&self) -> Option<IoletBc> {
+        match self.drive {
+            Drive::Pressure { .. } => None,
+            Drive::Pulsatile {
+                peak,
+                amplitude,
+                period,
+            } => Some(IoletBc::Pulsatile {
+                peak,
+                parabolic: true,
+                amplitude,
+                period,
+            }),
+        }
+    }
+
+    /// Deterministic up-front cost estimate used for fair-share
+    /// accounting (rank-steps; the site count is unknown before
+    /// voxelisation and the queue must not voxelise to schedule).
+    pub fn cost(&self) -> f64 {
+        (self.steps.max(1) as f64) * (self.ranks.max(1) as f64)
+    }
+}
+
+/// One schedulable unit: a scenario plus its scheduling envelope.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable job name (sweep coordinates, typically).
+    pub name: String,
+    /// Owning tenant; fair-share weights are configured per tenant on
+    /// the queue.
+    pub tenant: String,
+    /// Priority *within* the tenant: higher runs first. Cross-tenant
+    /// order is governed by fair share, so one tenant's priorities
+    /// cannot starve another tenant.
+    pub priority: u8,
+    /// What to simulate.
+    pub scenario: Scenario,
+    /// Checkpoint every this many steps (enables mid-run kill
+    /// recovery); `None` runs checkpoint-free.
+    pub checkpoint_every: Option<u64>,
+    /// Deterministic fault schedule injected into this job's world
+    /// only; neighbours never observe it.
+    pub faults: Option<FaultPlan>,
+    /// Chaos hook: deliberately fail this many attempts before letting
+    /// the job run (exercises the scheduler's bounded retry/backoff).
+    pub poison_attempts: u32,
+}
+
+impl JobSpec {
+    /// A plain job for `tenant` with default scheduling envelope
+    /// (priority 0, no checkpoints, no faults).
+    pub fn new(name: impl Into<String>, tenant: impl Into<String>, scenario: Scenario) -> Self {
+        JobSpec {
+            name: name.into(),
+            tenant: tenant.into(),
+            priority: 0,
+            scenario,
+            checkpoint_every: None,
+            faults: None,
+            poison_attempts: 0,
+        }
+    }
+
+    /// Set the within-tenant priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Checkpoint every `steps` steps.
+    pub fn with_checkpoint_every(mut self, steps: u64) -> Self {
+        self.checkpoint_every = Some(steps);
+        self
+    }
+
+    /// Inject `plan` into this job's world.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Deliberately fail the first `n` attempts (chaos hook).
+    pub fn with_poison_attempts(mut self, n: u32) -> Self {
+        self.poison_attempts = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tube(steps: u64, ranks: usize) -> Scenario {
+        Scenario {
+            geometry: GeometryKind::Tube {
+                length: 8.0,
+                radius: 2.0,
+            },
+            dx: 1.0,
+            drive: Drive::Pressure {
+                rho_in: 1.01,
+                rho_out: 0.99,
+            },
+            tau: 0.8,
+            steps,
+            ranks,
+        }
+    }
+
+    #[test]
+    fn cache_keys_are_exact_in_the_parameters() {
+        let a = GeometryKind::Tube {
+            length: 8.0,
+            radius: 2.0,
+        };
+        let b = GeometryKind::Tube {
+            length: 8.0,
+            radius: 2.0 + 1e-15,
+        };
+        assert_eq!(a.cache_key(1.0), a.cache_key(1.0));
+        assert_ne!(a.cache_key(1.0), b.cache_key(1.0));
+        assert_ne!(a.cache_key(1.0), a.cache_key(0.5));
+    }
+
+    #[test]
+    fn cost_is_rank_steps() {
+        assert_eq!(tube(10, 4).cost(), 40.0);
+        assert_eq!(tube(0, 0).cost(), 1.0, "degenerate jobs still cost");
+    }
+
+    #[test]
+    fn pulsatile_drive_overrides_the_inlet() {
+        let mut s = tube(5, 1);
+        assert!(s.inlet_override().is_none());
+        s.drive = Drive::Pulsatile {
+            peak: 0.05,
+            amplitude: 0.5,
+            period: 40,
+        };
+        match s.inlet_override() {
+            Some(IoletBc::Pulsatile {
+                peak,
+                parabolic,
+                amplitude,
+                period,
+            }) => {
+                assert_eq!(peak, 0.05);
+                assert!(parabolic);
+                assert_eq!(amplitude, 0.5);
+                assert_eq!(period, 40);
+            }
+            other => panic!("expected pulsatile inlet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn geometries_voxelise() {
+        for kind in [
+            GeometryKind::Tube {
+                length: 8.0,
+                radius: 2.0,
+            },
+            GeometryKind::Bifurcation {
+                parent_len: 8.0,
+                child_len: 6.0,
+                radius: 2.0,
+                half_angle: 0.5,
+            },
+            GeometryKind::Aneurysm {
+                length: 10.0,
+                radius: 2.0,
+                sac_radius: 3.0,
+            },
+        ] {
+            assert!(kind.build(1.0).fluid_count() > 50, "{kind:?}");
+        }
+    }
+}

@@ -53,7 +53,10 @@ pub mod wire;
 pub use comm::{Communicator, World};
 pub use cost::{CostModel, MachineModel, ProjectedCost};
 pub use error::{CommError, CommResult};
-pub use fault::{FaultEvent, FaultKind, FaultPlan, RankKilled, WorldAborted};
+pub use fault::{
+    install_quiet_panic_hook, FaultEvent, FaultKind, FaultPlan, InjectedJobFault, RankKilled,
+    WorldAborted,
+};
 pub use runner::{run_spmd, run_spmd_opts, run_spmd_with_stats, SpmdOptions, SpmdOutput};
 pub use stats::{CommStats, FaultStat, StatsSummary, TagClass};
 pub use tag::Tag;

@@ -87,6 +87,18 @@ impl SpmdOptions {
             ..Default::default()
         }
     }
+
+    /// Options for one scheduled job: `threads` rayon workers per rank
+    /// and an optional per-job fault schedule. Worlds built from
+    /// different jobs share nothing — each `run_spmd_opts` call gets its
+    /// own fault session, so a plan (or a kill-triggered restart) in one
+    /// job cannot perturb a concurrently running neighbour.
+    pub fn for_job(threads: usize, plan: Option<FaultPlan>) -> Self {
+        SpmdOptions {
+            threads_per_rank: threads.max(1),
+            fault_plan: plan.map(Arc::new),
+        }
+    }
 }
 
 /// Like [`run_spmd`] but also returns communication statistics — the
