@@ -4,9 +4,10 @@
 #   ./ci.sh --quick        # lint + tier1: format, clippy, release
 #                          #   build, root-package tests
 #   ./ci.sh                # + determinism, kernel-layout, obs, render,
-#                          #   fault-injection and farm suites + bench
-#                          #   smokes, each gated against the blessed
-#                          #   baselines under benches/baselines/
+#                          #   fault-injection, farm and projection
+#                          #   suites + bench smokes, each gated against
+#                          #   the blessed baselines under
+#                          #   benches/baselines/
 #   ./ci.sh --soak         # + long soaks: golden --ignored, the
 #                          #   500-step SoA kernel soak, the 200-step
 #                          #   two-kill fault recovery and the farm
@@ -29,7 +30,7 @@ cd "$(dirname "$0")"
 
 # The single source of truth for group names: the default tier runs
 # them in this order, and `--only` accepts exactly these (plus soak).
-CI_GROUPS_ALL=(lint tier1 determinism kernel overlap faults gateway farm smoke bench-gate)
+CI_GROUPS_ALL=(lint tier1 determinism kernel overlap faults gateway farm projection smoke bench-gate)
 usage_groups() { (IFS='|'; echo "${CI_GROUPS_ALL[*]}|soak"); }
 
 TIER="full"
@@ -102,6 +103,7 @@ gated_smoke() {
         overlap) echo "overlap --size tiny --ranks 2" ;;
         gateway) echo "gateway --size tiny --ranks 2" ;;
         farm)    echo "farm --size tiny --ranks 2" ;;
+        projection) echo "projection --size tiny --ranks 4" ;;
         *) echo "unknown gated label $1" >&2; exit 2 ;;
     esac
 }
@@ -180,6 +182,17 @@ group_farm() {
     gate farm
 }
 
+# Calibrated α–β–γ cost model + 1k–32k rank projection: the fit and
+# projector unit tests run under tier1; here the E20 smoke calibrates
+# on real measured worlds, asserts the validation band in-bench
+# (predicted vs measured small-world step times), writes
+# out/BENCH_projection.json, and gates it against the blessed baseline.
+group_projection() {
+    # shellcheck disable=SC2046
+    stage projection-smoke cargo run --release -q -p hemelb-bench --bin reproduce -- $(gated_smoke projection)
+    gate projection
+}
+
 # Release bench smokes, exercising the reproduce binary end to end:
 # E13 (render), E14 (faults), E15 (adaptive LB) and E16 (kernel
 # layouts) also write out/BENCH_*.json; the kernel report is gated.
@@ -197,14 +210,14 @@ group_smoke() {
 # missing at the CI sizes, then diff all four against the baselines.
 group_bench_gate() {
     local label
-    for label in kernel overlap gateway farm; do
+    for label in kernel overlap gateway farm projection; do
         if [[ ! -f "out/BENCH_${label}.json" ]]; then
             # shellcheck disable=SC2046
             stage "$label-smoke" cargo run --release -q -p hemelb-bench --bin reproduce -- $(gated_smoke "$label")
         fi
     done
     ensure_out
-    stage bench-gate cargo run --release -q -p hemelb-bench --bin ci-gate -- kernel overlap gateway farm
+    stage bench-gate cargo run --release -q -p hemelb-bench --bin ci-gate -- kernel overlap gateway farm projection
 }
 
 # Long soaks.

@@ -1,7 +1,7 @@
 //! `reproduce` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|overlap|gateway|farm|ablation|all]
+//! reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|overlap|gateway|farm|projection|ablation|all]
 //!           [--size tiny|small|medium] [--ranks N]
 //! ```
 //!
@@ -11,7 +11,7 @@
 use hemelb_bench::workloads::Size;
 use hemelb_bench::{
     ablation, adaptive, extract, farm, faults, fig1, fig2, fig3, fig4, gateway, kernel, multires,
-    obs, overlap, preprocess, render, repartition, scaling, table1,
+    obs, overlap, preprocess, projection, render, repartition, scaling, table1,
 };
 
 struct Args {
@@ -49,7 +49,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|overlap|gateway|farm|ablation|all] [--size tiny|small|medium] [--ranks N]"
+                    "usage: reproduce [table1|fig1|fig2|fig3|fig4a|fig4b|scaling|preprocessing|multires|repartition|obs|render|faults|adaptive|kernel|overlap|gateway|farm|projection|ablation|all] [--size tiny|small|medium] [--ranks N]"
                 );
                 std::process::exit(0);
             }
@@ -202,6 +202,19 @@ fn main() {
         ran = true;
         println!("=== E19: simulation farm (sweep saturation vs sequential baseline) ===");
         println!("{}", farm::run(args.size, args.ranks.clamp(2, 8)));
+    }
+    if run_all || args.what == "projection" {
+        ran = true;
+        println!("=== E20: calibrated cost model + 1k-32k rank projection ===");
+        let steps = match args.size {
+            Size::Tiny => 4,
+            Size::Small => 8,
+            Size::Medium => 4,
+        };
+        println!(
+            "{}",
+            projection::run(args.size, steps, args.ranks.clamp(2, 16))
+        );
     }
     if run_all || args.what == "ablation" {
         ran = true;

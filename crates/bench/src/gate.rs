@@ -10,7 +10,9 @@
 //!   injected parameters). Any difference fails.
 //! * **Higher-better** — throughput/ratio counters (`jobs_per_hour`,
 //!   `speedup`, `efficiency`, cache `hits`). Fails when the fresh value
-//!   drops below `baseline × (1 − tol)`.
+//!   drops below `baseline × (1 − tol) − floor`; values where both
+//!   sides sit under an absolute count floor are ignored (a tiny-size
+//!   counter going 2 → 0 is noise, not a regression).
 //! * **Lower-better** — timings (phase totals and percentiles). Fails
 //!   when the fresh value exceeds `baseline × (1 + tol)`; values where
 //!   both sides sit under an absolute floor are ignored (sub-floor
@@ -30,6 +32,11 @@ use std::fmt;
 /// Relative tolerance for higher-is-better counters (fraction of the
 /// baseline the fresh value may lose).
 pub const TOL_HIGHER: f64 = 0.5;
+/// Absolute floor for higher-is-better counters: differences where both
+/// sides are this small are noise (a tiny-size cache going 2 → 0 hits
+/// is one scheduling accident, not a regression), mirroring the timing
+/// floor on lower-is-better metrics.
+pub const COUNT_FLOOR: f64 = 10.0;
 /// Relative tolerance for lower-is-better timings (fraction of the
 /// baseline the fresh value may gain).
 pub const TOL_LOWER: f64 = 1.5;
@@ -41,10 +48,13 @@ pub const TIMING_FLOOR_SECS: f64 = 1e-3;
 pub enum MetricClass {
     /// Must match the baseline exactly.
     Exact,
-    /// Must not drop below `baseline × (1 − tol)`.
+    /// Must not drop below `baseline × (1 − tol) − floor`; ignored while
+    /// both sides are under `floor`.
     HigherBetter {
         /// Allowed relative loss.
         tol: f64,
+        /// Absolute noise floor.
+        floor: f64,
     },
     /// Must not exceed `baseline × (1 + tol)`; ignored while both sides
     /// are under `floor`.
@@ -70,6 +80,7 @@ pub fn classify(name: &str) -> MetricClass {
     // baseline measured different things.
     if base.contains("bit_identical")
         || base.contains("bit_exact")
+        || base.contains("within_band")
         || matches!(
             base,
             "sites" | "jobs" | "delay_ms" | "ranks" | "steps" | "frames" | "observers"
@@ -84,7 +95,10 @@ pub fn classify(name: &str) -> MetricClass {
         || base.contains("permille")
         || base == "hits"
     {
-        return MetricClass::HigherBetter { tol: TOL_HIGHER };
+        return MetricClass::HigherBetter {
+            tol: TOL_HIGHER,
+            floor: COUNT_FLOOR,
+        };
     }
     // Timings: phase-derived statistics and explicitly-named waits.
     if matches!(base, "total_secs" | "p50" | "p95" | "p99" | "max")
@@ -182,8 +196,8 @@ fn judge(class: MetricClass, baseline: f64, current: f64) -> Verdict {
                 Verdict::Regressed
             }
         }
-        MetricClass::HigherBetter { tol } => {
-            if current >= baseline * (1.0 - tol) {
+        MetricClass::HigherBetter { tol, floor } => {
+            if baseline.max(current) < floor || current >= baseline * (1.0 - tol) - floor {
                 Verdict::Pass
             } else {
                 Verdict::Regressed
@@ -379,6 +393,28 @@ mod tests {
     }
 
     #[test]
+    fn tiny_counters_do_not_flap_the_gate() {
+        // A tiny-size run's cache going 2 → 0 hits is one scheduling
+        // accident; without an absolute floor this ratio (−100%) failed
+        // the gate on noise.
+        let mut base = ObsReport::default();
+        let mut cur = ObsReport::default();
+        base.counters.insert("gw.cache.hits".into(), 2);
+        cur.counters.insert("gw.cache.hits".into(), 0);
+        assert!(compare("gw", &base, &cur).passed());
+        // Just under the floor in both directions is equally quiet.
+        base.counters.insert("gw.cache.hits".into(), 0);
+        cur.counters.insert("gw.cache.hits".into(), 9);
+        assert!(compare("gw", &base, &cur).passed());
+        // But a real collapse on a large counter still fails: the floor
+        // is absolute, not a blanket pardon.
+        base.counters.insert("gw.cache.hits".into(), 10_000);
+        cur.counters.insert("gw.cache.hits".into(), 100);
+        let g = compare("gw", &base, &cur);
+        assert_eq!(g.regressions(), ["gw.cache.hits"]);
+    }
+
+    #[test]
     fn info_metrics_never_gate_but_missing_gated_metrics_do() {
         let base = sample();
         let mut cur = sample();
@@ -418,5 +454,10 @@ mod tests {
             MetricClass::HigherBetter { .. }
         ));
         assert_eq!(classify("kernel.lanes"), MetricClass::Info);
+        // The projection validation pin: a boolean that must stay 1.
+        assert_eq!(
+            classify("projection.validation.within_band"),
+            MetricClass::Exact
+        );
     }
 }

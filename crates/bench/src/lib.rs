@@ -25,6 +25,7 @@ pub mod multires;
 pub mod obs;
 pub mod overlap;
 pub mod preprocess;
+pub mod projection;
 pub mod render;
 pub mod repartition;
 pub mod scaling;

@@ -8,14 +8,19 @@
 //!    rank-threads, comparing partitioners (naive slabs vs SFC vs
 //!    multilevel k-way) — who has the smaller halos and the better
 //!    balance.
-//! 2. **Projection**: feed the measured per-rank halo volumes and the
-//!    α–β–γ machine model with the paper's target scale (32 768 ranks,
-//!    81 M sites) to estimate the communication fraction at that scale —
-//!    the quantity that decides whether "scales well" holds.
+//! 2. **Projection**: fit an α–β–γ model to the measurements themselves
+//!    (every row is a calibration sample — see
+//!    [`hemelb_parallel::calibrate_fit`]) and scale the measured k-way
+//!    halo pattern to the paper's target (32 768 ranks, 81 M sites) by
+//!    surface-to-volume, estimating the communication fraction at that
+//!    scale — the quantity that decides whether "scales well" holds.
+//!    `reproduce projection` (E20) runs the full validated version with
+//!    per-technique curves.
 
+use crate::projection::effective_model;
 use crate::workloads::{self, Size};
 use hemelb_core::{DistSolver, KernelLayout, ParallelSolver, Solver, SolverConfig};
-use hemelb_parallel::{run_spmd_with_stats, CostModel, MachineModel};
+use hemelb_parallel::{calibrate_fit, run_spmd_with_stats, CalSample, CostModel};
 use hemelb_partition::graph::{Connectivity, SiteGraph};
 use hemelb_partition::{quality, HilbertSfc, MultilevelKWay, NaiveBlock, Partitioner};
 use std::fmt;
@@ -71,13 +76,24 @@ pub struct ScalingResult {
     pub projection: Projection,
 }
 
-/// The 32k-rank projection.
+/// The 32k-rank projection, priced with a model *fitted to this run's
+/// own measurements* (every row doubles as a calibration sample), not
+/// preset constants.
 #[derive(Debug, Clone)]
 pub struct Projection {
     /// Target ranks (32 768, the paper's figure).
     pub ranks: u64,
     /// Target sites (81 M).
     pub sites: u64,
+    /// The calibrated model the projection used (γ in site-updates/s —
+    /// the "~250 flops/site" guess is gone, work is priced in the unit
+    /// actually measured).
+    pub model: CostModel,
+    /// Fit quality of the calibration (R²).
+    pub r2: f64,
+    /// Measured halo coefficient, bytes per `sites^(2/3)` (replaces
+    /// the `5 populations × 8 B` hand estimate).
+    pub halo_coefficient: f64,
     /// Projected compute seconds per step per rank.
     pub compute_s: f64,
     /// Projected halo-communication seconds per step per rank.
@@ -97,14 +113,28 @@ pub fn run(size: Size, rank_counts: &[usize], steps: u64) -> ScalingResult {
         ("kway", Box::new(MultilevelKWay::default())),
     ];
 
+    // Each rank reports (sites, halo populations, msgs, bytes, wall
+    // secs) for the timed stepping — every row below is also a
+    // calibration sample for the α–β–γ fit that prices the projection.
+    struct RankMeasure {
+        sites: usize,
+        halo_volume: usize,
+        msgs: u64,
+        bytes: u64,
+        secs: f64,
+    }
+
     let mut rows = Vec::new();
+    let mut samples: Vec<CalSample> = Vec::new();
+    // Per-rank (sites, halo bytes/step) of the largest k-way run: the
+    // surface-to-volume seed of the projection.
+    let mut halo_seed: Vec<(usize, u64, f64)> = Vec::new();
     for (name, partitioner) in &partitioners {
         for &p in rank_counts {
             let owner = partitioner.partition(&graph, p);
             let q = quality(&graph, &owner, p);
             let geo2 = geo.clone();
             let owner2 = owner.clone();
-            let t0 = Instant::now();
             let out = run_spmd_with_stats(p, move |comm| {
                 let mut solver = DistSolver::new(
                     geo2.clone(),
@@ -113,15 +143,46 @@ pub fn run(size: Size, rank_counts: &[usize], steps: u64) -> ScalingResult {
                     comm,
                 )
                 .unwrap();
+                let before = comm.stats();
+                let t0 = Instant::now();
                 solver.step_n(steps).unwrap();
-                solver.halo_send_volume()
+                let secs = t0.elapsed().as_secs_f64();
+                let delta = comm.stats().delta_since(&before);
+                RankMeasure {
+                    sites: solver.local_sites().len(),
+                    halo_volume: solver.halo_send_volume(),
+                    msgs: delta.total_msgs(),
+                    bytes: delta.total_bytes(),
+                    secs,
+                }
             });
-            let elapsed = t0.elapsed().as_secs_f64();
+            // Critical-path calibration sample: a bulk-synchronous step
+            // is gated by its slowest rank, so pair the per-rank maxima.
+            samples.push(CalSample {
+                msgs: out.results.iter().map(|r| r.msgs).max().unwrap_or(0),
+                bytes: out.results.iter().map(|r| r.bytes).max().unwrap_or(0),
+                work: out.results.iter().map(|r| r.sites).max().unwrap_or(0) as u64 * steps,
+                secs: out.results.iter().map(|r| r.secs).fold(0.0, f64::max),
+            });
+            if *name == "kway" {
+                halo_seed = out
+                    .results
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.sites,
+                            r.halo_volume as u64 * 8,
+                            r.msgs as f64 / steps as f64,
+                        )
+                    })
+                    .collect();
+            }
             rows.push(ScalingRow {
                 partitioner: name,
                 ranks: p,
-                seconds_per_step: elapsed / steps as f64,
-                halo_bytes_per_step: out.results.iter().map(|&v| v as u64 * 8).sum(),
+                seconds_per_step: out.results.iter().map(|r| r.secs).fold(0.0, f64::max)
+                    / steps as f64,
+                halo_bytes_per_step: out.results.iter().map(|r| r.halo_volume as u64 * 8).sum(),
                 edge_cut: q.edge_cut,
                 imbalance: q.imbalance,
                 sites_per_rank: geo.fluid_count() as f64 / p as f64,
@@ -187,26 +248,42 @@ pub fn run(size: Size, rank_counts: &[usize], steps: u64) -> ScalingResult {
         });
     }
 
-    // Projection: surface-to-volume scaling of a cubic subdomain.
-    // 81 M sites over 32 768 ranks → ~2 472 sites/rank → subdomain edge
-    // ~13.5 cells → halo ≈ 6·edge² sites × Q_cross populations × 8 B.
+    // Projection: calibrate the α–β–γ model from the rows just
+    // measured, then scale the measured k-way halo pattern to the
+    // paper's 32k-rank, 81 M-site workload by surface-to-volume. Both
+    // hand constants of the original projection are gone: γ is fitted
+    // in site-updates/s (not "~250 flops/site" against a preset), and
+    // the halo coefficient comes from the measured bytes per
+    // `sites^(2/3)` (not "5 populations × 8 B per boundary site").
+    let cal = calibrate_fit(&samples).expect("scaling rows form a fittable sample set");
+    let model = effective_model(&cal);
     let target_ranks = 32_768u64;
     let target_sites = 81_000_000u64;
     let sites_per_rank = target_sites as f64 / target_ranks as f64;
-    let edge = sites_per_rank.cbrt();
-    // Measured average populations exchanged per boundary site: derive
-    // from the k-way rows (halo bytes / step / boundary-site estimate).
-    let halo_sites = 6.0 * edge * edge;
-    let populations_per_boundary_site = 5.0; // D3Q15: 5 cross one axis face
-    let halo_bytes = halo_sites * populations_per_boundary_site * 8.0;
-    let model = CostModel::for_machine(MachineModel::CrayXe6);
-    // ~250 flops per site update (collide + stream, measured upper
-    // bound for LBGK D3Q15).
-    let compute_s = sites_per_rank * 250.0 / model.gamma;
-    let comm_s = model.alpha * 6.0 + halo_bytes / model.beta;
+    let halo_terms: Vec<f64> = halo_seed
+        .iter()
+        .filter(|&&(s, _, _)| s > 0)
+        .map(|&(s, b, _)| b as f64 / (s as f64).powf(2.0 / 3.0))
+        .collect();
+    let halo_coefficient = if halo_terms.is_empty() {
+        0.0
+    } else {
+        halo_terms.iter().sum::<f64>() / halo_terms.len() as f64
+    };
+    let mean_msgs = if halo_seed.is_empty() {
+        0.0
+    } else {
+        halo_seed.iter().map(|&(_, _, m)| m).sum::<f64>() / halo_seed.len() as f64
+    };
+    let halo_bytes = halo_coefficient * sites_per_rank.powf(2.0 / 3.0);
+    let compute_s = model.time(0, 0, sites_per_rank.round() as u64);
+    let comm_s = model.alpha * mean_msgs.max(1.0) + halo_bytes / model.beta;
     let projection = Projection {
         ranks: target_ranks,
         sites: target_sites,
+        model,
+        r2: cal.r2,
+        halo_coefficient,
         compute_s,
         comm_s,
         comm_fraction: comm_s / (comm_s + compute_s),
@@ -274,6 +351,12 @@ impl fmt::Display for ScalingResult {
         let p = &self.projection;
         writeln!(
             f,
+            "calibrated model (fit to the rows above, R² {:.3}): α = {:.2e} s/msg, \
+             β = {:.2e} B/s, γ = {:.2e} site-updates/s, halo k = {:.1} B/site^⅔",
+            p.r2, p.model.alpha, p.model.beta, p.model.gamma, p.halo_coefficient
+        )?;
+        writeln!(
+            f,
             "projection to the paper's scale ({} ranks, {} sites): compute {:.1} µs/step, halo {:.1} µs/step, comm fraction {:.1}%",
             p.ranks,
             p.sites,
@@ -283,7 +366,8 @@ impl fmt::Display for ScalingResult {
         )?;
         writeln!(
             f,
-            "(comm fraction < 50% supports the paper's 'scales well to 32k cores' claim)"
+            "(the paper's 'scales well to 32k cores' claim holds where the comm fraction stays below 50%; \
+             see `reproduce projection` for the full technique curves)"
         )
     }
 }
@@ -303,9 +387,16 @@ mod tests {
             assert_eq!(rows[0].halo_bytes_per_step, 0);
             assert!(rows[2].halo_bytes_per_step > 0);
         }
-        // The projection must be in the regime the paper claims.
-        assert!(result.projection.comm_fraction < 0.5);
+        // The projection is priced by a model calibrated from the rows
+        // themselves: the fraction is a real ratio, and γ is finite
+        // (there is always compute signal). On an in-process "machine"
+        // the calibrated bandwidth is far below a Cray link's, so no
+        // fixed band on the fraction is honest — only its validity.
         assert!(result.projection.comm_fraction > 0.0);
+        assert!(result.projection.comm_fraction < 1.0);
+        assert!(result.projection.model.gamma.is_finite());
+        assert!(result.projection.halo_coefficient > 0.0);
+        assert!(result.projection.compute_s > 0.0 && result.projection.comm_s > 0.0);
         // Legacy + two SoA rows + three threaded rows, all bit-identical.
         assert_eq!(result.kernel_rows.len(), 6);
         for k in &result.kernel_rows {

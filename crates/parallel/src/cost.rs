@@ -21,6 +21,8 @@
 
 use serde::{Deserialize, Serialize};
 
+pub mod calibrate;
+
 /// Machine presets for cost projection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MachineModel {

@@ -51,6 +51,7 @@ pub mod tag;
 pub mod wire;
 
 pub use comm::{Communicator, World};
+pub use cost::calibrate::{fit as calibrate_fit, CalSample, CalibratedModel, CalibrationError};
 pub use cost::{CostModel, MachineModel, ProjectedCost};
 pub use error::{CommError, CommResult};
 pub use fault::{

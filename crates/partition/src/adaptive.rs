@@ -300,12 +300,15 @@ pub fn payoff_gate(
     remaining_steps: u64,
     cfg: &AdaptiveLbConfig,
 ) -> GateDecision {
-    let k = costs.sim_secs.len().max(1);
-    let combined: Vec<f64> = costs
-        .sim_secs
-        .iter()
-        .zip(costs.vis_secs.iter().chain(std::iter::repeat(&0.0)))
-        .map(|(s, v)| s + v)
+    // Pad the *shorter* vector with zeros, whichever it is: zipping
+    // with only vis padded would silently drop trailing vis ranks when
+    // vis_secs is the longer vector, underestimating the bottleneck.
+    let k = costs.sim_secs.len().max(costs.vis_secs.len()).max(1);
+    let combined: Vec<f64> = (0..k)
+        .map(|i| {
+            costs.sim_secs.get(i).copied().unwrap_or(0.0)
+                + costs.vis_secs.get(i).copied().unwrap_or(0.0)
+        })
         .collect();
     let max_now = combined.iter().cloned().fold(0.0, f64::max);
     let mean = combined.iter().sum::<f64>() / k as f64;
@@ -462,6 +465,37 @@ mod tests {
         // Exorbitant migration cost → rejected outright.
         let d = payoff_gate(&plan, &c, 1e9, 5000, &cfg);
         assert!(!d.apply);
+    }
+
+    #[test]
+    fn gate_pads_asymmetric_cost_vectors_both_ways() {
+        let plan = RebalanceOutcome {
+            owner: vec![],
+            moved_vertices: 100,
+            migration_volume: 100.0,
+            imbalance_before: 2.0,
+            imbalance_after: 1.0,
+            imbalance2_before: 1.0,
+            imbalance2_after: 1.0,
+            cut_before: 10,
+            cut_after: 10,
+        };
+        let cfg = AdaptiveLbConfig::default();
+        // vis_secs longer than sim_secs: the trailing vis rank (5.0 s)
+        // is the true bottleneck and must not be dropped.
+        let long_vis = costs(&[1.0, 1.0], &[0.0, 0.0, 5.0], 1);
+        let d = payoff_gate(&plan, &long_vis, 0.0, 1, &cfg);
+        // max_now = 5.0, mean = 7/3 → positive saving; a truncating zip
+        // would have seen max_now = 1.0 and no benefit at all.
+        assert!(d.benefit_per_step > 2.0, "{d:?}");
+        // Mirror case: sim_secs longer than vis_secs behaves the same.
+        let long_sim = costs(&[0.0, 0.0, 5.0], &[1.0, 1.0], 1);
+        let m = payoff_gate(&plan, &long_sim, 0.0, 1, &cfg);
+        assert!((d.benefit_per_step - m.benefit_per_step).abs() < 1e-12);
+        // Equal-length vectors keep their existing arithmetic.
+        let even = costs(&[2.0, 1.0], &[1.0, 0.0], 1);
+        let e = payoff_gate(&plan, &even, 0.0, 1, &cfg);
+        assert!((e.benefit_per_step - 1.0).abs() < 1e-12, "{e:?}");
     }
 
     #[test]

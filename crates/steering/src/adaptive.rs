@@ -13,9 +13,16 @@
 //!    messages;
 //! 3. on trigger, the plan from
 //!    [`plan_rebalance`](hemelb_partition::plan_rebalance) is priced
-//!    with the α–β–γ [`CostModel`] (projected migration seconds) and
+//!    with an α–β–γ [`CostModel`] (projected migration seconds) and
 //!    gated by [`payoff_gate`](hemelb_partition::payoff_gate) against
-//!    the projected saving over the remaining steps;
+//!    the projected saving over the remaining steps. The pricing model
+//!    **self-calibrates**: every window's all-reduced measurements
+//!    (span totals, message/byte counts, send times) feed a
+//!    non-negative least-squares fit
+//!    ([`hemelb_parallel::calibrate_fit`]), and once that fit is usable
+//!    it replaces the preset — migrations are priced at this machine's
+//!    measured rates, identically on every rank because the fit is a
+//!    pure function of all-reduced inputs;
 //! 4. an applied plan goes through [`DistSolver::repartition`], which
 //!    is bit-transparent — physics after an adaptive rebalance is
 //!    bit-identical to never having rebalanced.
@@ -26,7 +33,7 @@
 use crate::error::SteeringResult;
 use hemelb_core::DistSolver;
 use hemelb_geometry::SparseGeometry;
-use hemelb_parallel::{Communicator, CostModel, MachineModel};
+use hemelb_parallel::{calibrate_fit, CalSample, Communicator, CostModel, MachineModel};
 use hemelb_partition::graph::Connectivity;
 use hemelb_partition::{
     payoff_gate, plan_rebalance, AdaptiveLb, AdaptiveLbConfig, GateDecision, Observation,
@@ -74,33 +81,69 @@ pub struct AdaptiveDriver {
     lb: AdaptiveLb,
     graph: SiteGraph,
     cost_model: CostModel,
+    /// Model fitted from this run's own windows; replaces `cost_model`
+    /// for migration pricing as soon as the fit is usable.
+    calibrated: Option<CostModel>,
+    /// Calibration samples accumulated from all-reduced window
+    /// measurements — identical on every rank by construction.
+    samples: Vec<CalSample>,
     prev_sim_secs: f64,
     prev_vis_secs: f64,
+    prev_msgs: u64,
+    prev_bytes: u64,
+    prev_send_secs: f64,
     last_imbalance: f64,
     applied: u64,
 }
 
+/// Cap on retained calibration samples: enough windows to fit well,
+/// bounded so a long run's driver state stays small. Growth simply
+/// stops at the cap (identically on every rank), keeping the fit —
+/// and therefore the collective decisions — consistent.
+const MAX_CAL_SAMPLES: usize = 512;
+
 impl AdaptiveDriver {
     /// Build the driver: the site graph is constructed once from the
-    /// geometry (topology never changes mid-run), and migrations are
-    /// priced with the shared-memory machine model by default.
+    /// geometry (topology never changes mid-run). Migrations start out
+    /// priced with the shared-memory preset and switch to the
+    /// self-calibrated fit as windows accumulate measurements.
     pub fn new(geo: &SparseGeometry, cfg: AdaptiveLbConfig) -> Self {
         AdaptiveDriver {
             lb: AdaptiveLb::new(cfg),
             graph: SiteGraph::from_geometry(geo, Connectivity::Six),
             cost_model: CostModel::for_machine(MachineModel::SharedMemory),
+            calibrated: None,
+            samples: Vec::new(),
             prev_sim_secs: 0.0,
             prev_vis_secs: 0.0,
+            prev_msgs: 0,
+            prev_bytes: 0,
+            prev_send_secs: 0.0,
             last_imbalance: 1.0,
             applied: 0,
         }
     }
 
-    /// Price migrations with a different machine model (e.g.
-    /// [`MachineModel::CrayXe6`] for co-design projections).
+    /// Price migrations with a different *fallback* machine model (e.g.
+    /// [`MachineModel::CrayXe6`] for co-design projections). Once the
+    /// driver's own window measurements yield a usable calibrated fit,
+    /// that fit takes over the pricing (see
+    /// [`AdaptiveDriver::pricing_model`]).
     pub fn with_cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = model;
         self
+    }
+
+    /// The model currently pricing migrations: the self-calibrated fit
+    /// when one is usable, the fallback preset before that.
+    pub fn pricing_model(&self) -> &CostModel {
+        self.calibrated.as_ref().unwrap_or(&self.cost_model)
+    }
+
+    /// Whether migration pricing is running on a self-calibrated model
+    /// (false until enough windows produced a usable fit).
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated.is_some()
     }
 
     /// The configuration in force.
@@ -157,20 +200,69 @@ impl AdaptiveDriver {
         self.prev_sim_secs = sim_total;
         self.prev_vis_secs = vis_total;
 
-        // 2. Share: each rank fills its own two slots, sum-reduce, so
-        // every rank ends up with the identical per-rank cost vector
-        // and every later decision is collectively consistent by
-        // construction.
+        // This rank's communication deltas for the window, for the
+        // calibration samples. `send_secs` (time spent inside sends),
+        // not `recv_wait`: wait is idleness *caused by* imbalance
+        // elsewhere — folding it in would inflate α with load skew and
+        // invert the signal, the same reason `lb.halo-wait` is excluded
+        // from SIM_PHASES.
+        let stats = comm.stats();
+        let msgs = stats.total_msgs().saturating_sub(self.prev_msgs);
+        let bytes = stats.total_bytes().saturating_sub(self.prev_bytes);
+        let send_secs = (stats.total_send_secs() - self.prev_send_secs).max(0.0);
+        self.prev_msgs = stats.total_msgs();
+        self.prev_bytes = stats.total_bytes();
+        self.prev_send_secs = stats.total_send_secs();
+        let work = solver.local_sites().len() as u64 * steps_elapsed.max(1);
+
+        // 2. Share: each rank fills its own slot group, sum-reduce, so
+        // every rank ends up with the identical per-rank measurement
+        // vector and every later decision — including the calibration
+        // fit — is collectively consistent by construction.
         let size = comm.size();
-        let mut slots = vec![0.0f64; 2 * size];
-        slots[2 * comm.rank()] = sim;
-        slots[2 * comm.rank() + 1] = vis;
+        const SLOTS: usize = 6;
+        let mut slots = vec![0.0f64; SLOTS * size];
+        let base = SLOTS * comm.rank();
+        slots[base] = sim;
+        slots[base + 1] = vis;
+        slots[base + 2] = msgs as f64;
+        slots[base + 3] = bytes as f64;
+        slots[base + 4] = work as f64;
+        slots[base + 5] = send_secs;
         let reduced = comm.all_reduce_f64_vec(slots, |a, b| a + b)?;
         let costs = WindowCosts {
-            sim_secs: (0..size).map(|r| reduced[2 * r]).collect(),
-            vis_secs: (0..size).map(|r| reduced[2 * r + 1]).collect(),
+            sim_secs: (0..size).map(|r| reduced[SLOTS * r]).collect(),
+            vis_secs: (0..size).map(|r| reduced[SLOTS * r + 1]).collect(),
             steps: steps_elapsed.max(1),
         };
+
+        // 2b. Self-calibration: every rank contributes one pure-compute
+        // sample (sim span total vs site updates) and one pure-comm
+        // sample (send time vs message/byte counts) per window. The
+        // inputs are the all-reduced vector, so the fit — a pure
+        // function — lands on bit-identical coefficients everywhere.
+        for r in 0..size {
+            if self.samples.len() + 2 > MAX_CAL_SAMPLES {
+                break;
+            }
+            self.samples.push(CalSample {
+                msgs: 0,
+                bytes: 0,
+                work: reduced[SLOTS * r + 4] as u64,
+                secs: reduced[SLOTS * r],
+            });
+            self.samples.push(CalSample {
+                msgs: reduced[SLOTS * r + 2] as u64,
+                bytes: reduced[SLOTS * r + 3] as u64,
+                work: 0,
+                secs: reduced[SLOTS * r + 5],
+            });
+        }
+        if let Ok(cal) = calibrate_fit(&self.samples) {
+            if cal.is_usable() {
+                self.calibrated = Some(cal.model);
+            }
+        }
 
         // 3. Hysteresis.
         let observation = self.lb.observe(&costs);
@@ -210,9 +302,9 @@ impl AdaptiveDriver {
         // distributions plus its id, after a counts exchange (one small
         // message per rank pair).
         let q = solver.model().q;
-        let bytes = plan.moved_vertices as u64 * (4 + 8 * q as u64);
-        let msgs = 2 * (size as u64) * (size as u64);
-        let migration_secs = self.cost_model.time(msgs, bytes, 0);
+        let mig_bytes = plan.moved_vertices as u64 * (4 + 8 * q as u64);
+        let mig_msgs = 2 * (size as u64) * (size as u64);
+        let migration_secs = self.pricing_model().time(mig_msgs, mig_bytes, 0);
         let gate = payoff_gate(
             &plan,
             &costs,
@@ -238,5 +330,63 @@ impl AdaptiveDriver {
         // decomposition; start accumulating evidence afresh.
         self.lb.reset();
         Ok(decision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemelb_core::SolverConfig;
+    use hemelb_geometry::VesselBuilder;
+    use hemelb_parallel::run_spmd;
+    use std::sync::Arc;
+
+    #[test]
+    fn driver_self_calibrates_from_window_measurements() {
+        let geo = Arc::new(VesselBuilder::straight_tube(16.0, 3.0).voxelise(1.0));
+        let geo2 = geo.clone();
+        let results = run_spmd(2, move |comm| {
+            let owner: Vec<usize> = (0..geo2.fluid_count() as u32)
+                .map(|s| {
+                    (geo2.position(s)[0] as usize * comm.size() / geo2.shape()[0])
+                        .min(comm.size() - 1)
+                })
+                .collect();
+            let cfg = SolverConfig::pressure_driven(1.005, 0.995);
+            let mut ds = DistSolver::new(geo2.clone(), owner, cfg, comm).unwrap();
+            let mut driver = AdaptiveDriver::new(&geo2, AdaptiveLbConfig::default());
+            assert!(!driver.is_calibrated());
+            let preset = *driver.pricing_model();
+            // A few windows of real stepping provide both pure-compute
+            // and pure-comm samples; the fit should become usable.
+            for _ in 0..4 {
+                ds.step_n(10).unwrap();
+                driver.end_window(comm, &mut ds, 10, 100).unwrap();
+            }
+            let calibrated = driver.is_calibrated();
+            let model = *driver.pricing_model();
+            (calibrated, preset, model)
+        });
+        for (calibrated, preset, model) in &results {
+            assert!(
+                *calibrated,
+                "driver never produced a usable calibrated model"
+            );
+            // The fitted model is usable and is not the fallback preset.
+            assert!(model.gamma.is_finite() && model.gamma > 0.0);
+            assert!(model.beta.is_finite() && model.beta > 0.0);
+            assert!(model.alpha.is_finite() && model.alpha >= 0.0);
+            assert!(
+                (model.alpha, model.beta, model.gamma) != (preset.alpha, preset.beta, preset.gamma),
+                "calibrated model identical to the preset — fit never took over"
+            );
+        }
+        // Collective consistency: the fit is a pure function of the
+        // all-reduced inputs, so both ranks hold bit-identical models.
+        let (_, _, m0) = &results[0];
+        let (_, _, m1) = &results[1];
+        assert_eq!(m0.alpha.to_bits(), m1.alpha.to_bits());
+        assert_eq!(m0.beta.to_bits(), m1.beta.to_bits());
+        assert_eq!(m0.gamma.to_bits(), m1.gamma.to_bits());
     }
 }

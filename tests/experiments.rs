@@ -66,15 +66,21 @@ fn e5_e6_fig4_images_render() {
 #[test]
 fn e7_scaling_shape() {
     let result = scaling::run(Size::Tiny, &[1, 4], 4);
-    // Halo traffic appears only with >1 rank, and the projection stays
-    // in the compute-dominated regime (the paper's scalability claim).
+    // Halo traffic appears only with >1 rank.
     for name in ["naive", "hilbert", "kway"] {
         let rows = result.rows_for(name);
         assert_eq!(rows[0].halo_bytes_per_step, 0);
         assert!(rows[1].halo_bytes_per_step > 0);
         assert!(rows[1].imbalance < 1.5, "{name}: {}", rows[1].imbalance);
     }
-    assert!(result.projection.comm_fraction < 0.5);
+    // The projection prices with the *calibrated* model, so the exact
+    // comm share depends on this box's measured in-process rates (far
+    // slower than a real interconnect — often comm-dominated at 32k);
+    // the invariant is that it is a genuine fraction, not the old
+    // hand-constant artefact of always landing compute-dominated.
+    assert!(result.projection.comm_fraction > 0.0);
+    assert!(result.projection.comm_fraction < 1.0);
+    assert!(result.projection.model.gamma.is_finite());
 }
 
 #[test]

@@ -273,6 +273,100 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn calibrated_model_round_trips_bench_json_losslessly(
+        alpha in any::<f64>(),
+        beta in any::<f64>(),
+        gamma in any::<f64>(),
+        r2 in any::<f64>(),
+        residuals in proptest::collection::vec(any::<f64>(), 0..8),
+    ) {
+        // BENCH_projection.json carries the calibrated model as bit-split
+        // counters (hi/lo 32-bit halves of each f64): the round trip must
+        // be exact to the bit for *every* f64, including NaN, ±inf and
+        // subnormals, or a re-gated baseline would drift.
+        use hemelb::obs::{ObsReport, Recorder};
+        use hemelb::parallel::{CalibratedModel, CostModel};
+        let cal = CalibratedModel {
+            model: CostModel { alpha, beta, gamma },
+            residuals: residuals.clone(),
+            r2,
+            samples: residuals.len(),
+        };
+        let mut rec = Recorder::new();
+        cal.record_to(&mut rec, "projection.model");
+        let json = rec.report().to_json();
+        let report = ObsReport::from_json(&json).unwrap();
+        let back = CalibratedModel::from_report(&report, "projection.model").unwrap();
+        prop_assert_eq!(back.model.alpha.to_bits(), alpha.to_bits());
+        prop_assert_eq!(back.model.beta.to_bits(), beta.to_bits());
+        prop_assert_eq!(back.model.gamma.to_bits(), gamma.to_bits());
+        prop_assert_eq!(back.r2.to_bits(), r2.to_bits());
+        prop_assert_eq!(back.samples, residuals.len());
+        prop_assert_eq!(back.residuals.len(), residuals.len());
+        for (a, b) in back.residuals.iter().zip(&residuals) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn calibration_fit_is_deterministic(
+        raw in proptest::collection::vec(
+            (0u64..1000, 0u64..1_000_000, 0u64..1_000_000, 0.0f64..10.0),
+            3..24,
+        ),
+    ) {
+        // The fit runs collectively (every rank fits the same all-reduced
+        // samples and must land on the identical model), so identical
+        // inputs must produce bit-identical outputs — or identical errors.
+        use hemelb::parallel::{calibrate_fit, CalSample};
+        let samples: Vec<CalSample> = raw
+            .iter()
+            .map(|&(msgs, bytes, work, secs)| CalSample { msgs, bytes, work, secs })
+            .collect();
+        match (calibrate_fit(&samples), calibrate_fit(&samples)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.model.alpha.to_bits(), b.model.alpha.to_bits());
+                prop_assert_eq!(a.model.beta.to_bits(), b.model.beta.to_bits());
+                prop_assert_eq!(a.model.gamma.to_bits(), b.model.gamma.to_bits());
+                prop_assert_eq!(a.r2.to_bits(), b.r2.to_bits());
+                prop_assert_eq!(a.residuals.len(), b.residuals.len());
+                for (x, y) in a.residuals.iter().zip(&b.residuals) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "nondeterministic outcome: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_is_monotone_in_q(
+        values in proptest::collection::vec(1e-9f64..1e3, 1..128),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..12),
+    ) {
+        use hemelb::obs::Histogram;
+        let mut h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let mut sorted = qs;
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for q in sorted {
+            let v = h.quantile(q);
+            prop_assert!(
+                v >= prev,
+                "quantile({q}) = {v} dropped below an earlier quantile {prev}"
+            );
+            prev = v;
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
